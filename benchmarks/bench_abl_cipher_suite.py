@@ -1,0 +1,50 @@
+"""Ablation — reference AES suite vs fast hashlib suite.
+
+The two backends must agree functionally and be charged identical
+simulated costs (the cost model keys on byte counts, not the backend);
+only *host* wall-clock differs.
+"""
+
+import time
+
+from conftest import record_table
+
+from repro.core import ShieldStore, shield_opt
+from repro.experiments.common import TableResult
+
+
+def run_ablation():
+    rows = []
+    for suite in ("aes-reference", "fast-hashlib"):
+        store = ShieldStore(
+            shield_opt(num_buckets=64, num_mac_hashes=32, suite_name=suite)
+        )
+        wall_start = time.perf_counter()
+        for i in range(250):
+            store.set(f"key-{i:04d}".encode(), b"value-" + bytes([i % 250]) * 26)
+        for i in range(250):
+            assert store.get(f"key-{i:04d}".encode())[:6] == b"value-"
+        wall = time.perf_counter() - wall_start
+        rows.append(
+            [
+                suite,
+                store.machine.elapsed_us(),
+                store.machine.counters.aes_calls,
+                round(wall * 1000, 1),
+            ]
+        )
+    return TableResult(
+        "Ablation cipher-suite",
+        "Reference AES vs fast suite: identical simulated cost, different host cost",
+        ["suite", "simulated us", "aes calls", "host ms"],
+        rows,
+        ["simulated columns must match exactly; host wall-clock differs"],
+    )
+
+
+def test_cipher_suite_ablation(benchmark):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    record_table(result)
+    reference, fast = result.rows
+    assert reference[1] == fast[1]  # identical simulated time
+    assert reference[2] == fast[2]  # identical crypto call counts

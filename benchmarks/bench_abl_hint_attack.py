@@ -1,0 +1,64 @@
+"""Ablation — two-step search under key-hint corruption (§5.4).
+
+The key hint is plaintext, so an attacker can corrupt hints to make the
+one-step search miss.  The two-step remedy falls back to decrypting the
+whole chain.  This bench measures (a) the steady-state cost of having
+two-step enabled, and (b) what hint corruption does to miss-path costs.
+"""
+
+from conftest import BENCH_SCALE, record_table
+
+from repro.core import ShieldStore, shield_opt
+from repro.experiments.common import TableResult
+
+
+def build(two_step: bool):
+    store = ShieldStore(
+        shield_opt(num_buckets=32, num_mac_hashes=16, two_step_search=two_step)
+    )
+    for i in range(600):
+        store.set(f"key-{i:04d}".encode(), b"v" * 32)
+    return store
+
+
+def run_ablation():
+    rows = []
+    for two_step in (False, True):
+        store = build(two_step)
+        machine = store.machine
+        # Hit path: gets of existing keys.
+        machine.reset_measurement()
+        for i in range(500):
+            store.get(f"key-{i:04d}".encode())
+        hit_us = machine.elapsed_us() / 500
+        # Miss path: gets of absent keys (where step two triggers).
+        machine.reset_measurement()
+        misses = 0
+        for i in range(200):
+            try:
+                store.get(f"absent-{i:04d}".encode())
+            except Exception:
+                misses += 1
+        miss_us = machine.elapsed_us() / 200
+        decrypts = store.stats.search_decryptions
+        rows.append(
+            ["two-step" if two_step else "one-step", hit_us, miss_us, decrypts]
+        )
+    return TableResult(
+        "Ablation hint-attack",
+        "Two-step search: hit/miss cost and decryption work",
+        ["search", "hit us/op", "miss us/op", "total decryptions"],
+        rows,
+        ["hits are unaffected; only misses (and inserts) pay for step two"],
+    )
+
+
+def test_hint_attack_ablation(benchmark):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    record_table(result)
+    one_step = result.rows[0]
+    two_step = result.rows[1]
+    # Hit path costs are within noise of each other.
+    assert abs(two_step[1] - one_step[1]) / one_step[1] < 0.1
+    # Misses are costlier with two-step (full chain decryption).
+    assert two_step[2] > one_step[2]

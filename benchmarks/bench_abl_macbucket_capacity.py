@@ -1,0 +1,47 @@
+"""Ablation — MAC bucket node capacity vs chain length.
+
+The paper fixes 30 MACs per node.  Sweep the capacity under a long-chain
+configuration: tiny nodes chain (pointer chasing returns), oversized
+nodes waste allocator bytes.
+"""
+
+from conftest import record_table
+
+from repro.core import ShieldStore, shield_opt
+from repro.experiments.common import TableResult
+
+
+def run_ablation():
+    rows = []
+    for capacity in (2, 8, 30, 64):
+        store = ShieldStore(
+            shield_opt(
+                num_buckets=8, num_mac_hashes=8, mac_bucket_capacity=capacity
+            )
+        )
+        for i in range(320):  # chains of ~40, the paper's worst case
+            store.set(f"key-{i:04d}".encode(), b"v" * 16)
+        machine = store.machine
+        machine.reset_measurement()
+        for i in range(400):
+            store.get(f"key-{i % 320:04d}".encode())
+        rows.append(
+            [capacity, machine.elapsed_us() / 400, store.allocator.bytes_live]
+        )
+    return TableResult(
+        "Ablation MAC-bucket capacity",
+        "Get cost and allocator footprint vs MAC bucket node capacity",
+        ["capacity", "get us/op", "untrusted bytes live"],
+        rows,
+        ["paper picks 30; chains of 40 need two nodes at that setting"],
+    )
+
+
+def test_macbucket_capacity_ablation(benchmark):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    record_table(result)
+    by_capacity = {row[0]: row for row in result.rows}
+    # Degenerate 2-slot nodes chain heavily and cost more per get.
+    assert by_capacity[2][1] > by_capacity[30][1]
+    # Bigger nodes consume more allocator bytes than right-sized ones.
+    assert by_capacity[64][2] >= by_capacity[8][2]

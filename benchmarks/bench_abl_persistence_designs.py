@@ -1,0 +1,114 @@
+"""Ablation — three persistence designs on one write-heavy workload.
+
+ShieldStore's snapshots (§4.4), the §7 op-log alternative, and the
+SPEICHER-style LSM (§8) trade durability window against steady-state
+throughput.  The first two run on the *same* hash store, so their rows
+are directly comparable overhead; the LSM is a different base design and
+is reported alongside for the §8 contrast.
+"""
+
+from conftest import record_table
+
+from repro.core import (
+    MODE_OPTIMIZED,
+    ShieldStore,
+    SnapshotPolicy,
+    SnapshotScheduler,
+    shield_opt,
+)
+from repro.experiments.common import TableResult
+from repro.ext import OperationLog, RecoveringStore, RoteCounterService, ShieldLSM
+from repro.sim import MonotonicCounterService
+
+_OPS = 4000
+_KEYS = 400
+
+
+def _fresh_store():
+    store = ShieldStore(shield_opt(num_buckets=512, num_mac_hashes=256))
+    for i in range(_KEYS):
+        store.set(f"key-{i:04d}".encode(), b"v" * 64)
+    return store
+
+
+def _traffic(target, machine, tick=None):
+    machine.reset_measurement()
+    for i in range(_OPS):
+        key = f"key-{i % _KEYS:04d}".encode()
+        if i % 2 == 0:
+            target.set(key, b"v" * 64)
+        else:
+            target.get(key)
+        if tick is not None:
+            tick()
+    return _OPS / machine.elapsed_us() * 1000.0
+
+
+def run_ablation():
+    rows = []
+
+    base = _fresh_store()
+    base_kops = _traffic(base, base.machine)
+    rows.append(["hash store, no persistence", base_kops, "everything", "-"])
+
+    snap_store = _fresh_store()
+    scheduler = SnapshotScheduler(
+        snap_store, SnapshotPolicy(mode=MODE_OPTIMIZED, interval_us=1_500.0)
+    )
+    snap_kops = _traffic(
+        snap_store, snap_store.machine, tick=lambda: scheduler.tick(is_write=True)
+    )
+    rows.append(["+ snapshots (opt, §4.4)", snap_kops, "snapshot interval",
+                 f"{scheduler.snapshots_taken} snapshots"])
+
+    # Op-log on SGX hardware counters: the §7 complaint, quantified —
+    # even batched 256:1, each ~60 ms NVRAM bump crushes throughput.
+    log_store = _fresh_store()
+    log = OperationLog(log_store, MonotonicCounterService(), counter_batch=256)
+    wrapped = RecoveringStore(log_store, log)
+    log_kops = _traffic(wrapped, log_store.machine)
+    rows.append(["+ op-log, SGX counters (§7)", log_kops, "tail batch",
+                 f"{log.counter_bumps} NVRAM bumps"])
+
+    # Op-log on ROTE-style quorum counters: the mitigation §7 cites.
+    rote_store = _fresh_store()
+    rote_log = OperationLog(rote_store, RoteCounterService(), counter_batch=256)
+    rote_wrapped = RecoveringStore(rote_store, rote_log)
+    rote_kops = _traffic(rote_wrapped, rote_store.machine)
+    rows.append(["+ op-log, ROTE counters", rote_kops, "tail batch",
+                 f"{rote_log.counter_bumps} quorum acks"])
+
+    lsm = ShieldLSM(memtable_bytes=32 * 1024)
+    for i in range(_KEYS):
+        lsm.set(f"key-{i:04d}".encode(), b"v" * 64)
+    lsm_kops = _traffic(lsm, lsm.machine)
+    rows.append(["shield-lsm (§8, per-op WAL)", lsm_kops, "zero",
+                 f"{lsm.flushes} flushes"])
+
+    return TableResult(
+        "Ablation persistence-designs",
+        "Throughput vs durability window (50% writes, 64B values)",
+        ["design", "Kop/s", "loss window", "events"],
+        rows,
+        ["snapshots barely dent the hash store; the op-log pays per-write "
+         "crypto+storage; the LSM is a different base trading its whole "
+         "design for a zero-loss window"],
+    )
+
+
+def test_persistence_design_ablation(benchmark):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    record_table(result)
+    kops = {row[0]: row[1] for row in result.rows}
+    base = kops["hash store, no persistence"]
+    snapshots = kops["+ snapshots (opt, §4.4)"]
+    sgx_log = kops["+ op-log, SGX counters (§7)"]
+    rote_log = kops["+ op-log, ROTE counters"]
+    # Optimized snapshots cost only a few percent (Fig. 19's claim).
+    assert snapshots > base * 0.78
+    # SGX hardware counters make logged persistence impractical — the
+    # exact §7 argument for why the paper chose snapshots.
+    assert sgx_log < base * 0.15
+    # ROTE-style counters recover most of the gap (refs [8, 31]).
+    assert rote_log > sgx_log * 5
+    assert rote_log > base * 0.4

@@ -1,0 +1,19 @@
+"""Cycle-attribution breakdown — the analysis behind every figure."""
+
+from conftest import record_table
+
+from repro.experiments import breakdown
+
+
+def test_cycle_breakdown(benchmark, bench_scale, bench_ops):
+    result = benchmark.pedantic(
+        lambda: breakdown.run(scale=bench_scale, ops=bench_ops), rounds=1, iterations=1
+    )
+    record_table(result)
+    rows = {row[0]: row for row in result.rows}
+    # The Baseline's cycles are overwhelmingly demand paging.
+    assert rows["baseline"][3] > 75
+    # ShieldStore systems never fault (their data is untrusted memory).
+    assert rows["shieldopt"][3] < 1
+    # ...and spend real budget on crypto instead.
+    assert rows["shieldopt"][5] > 8

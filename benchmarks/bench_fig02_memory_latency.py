@@ -1,0 +1,26 @@
+"""Figure 2 — memory access latency w/ and w/o SGX vs working set."""
+
+from conftest import record_table
+
+from repro.experiments import fig02
+
+
+def test_fig02_memory_latency(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig02.run(scale=bench_scale, accesses=2000), rounds=1, iterations=1
+    )
+    record_table(result)
+    rows = {row[0]: row for row in result.rows}
+    # Columns: WSS, NoSGX-r, Enclave-r, Unprot-r, NoSGX-w, Enclave-w, Unprot-w
+    small, big = rows[16], rows[4096]
+    # In-EPC reads ~5.7x NoSGX (paper §2.1).
+    assert 4.0 < small[2] / small[1] < 7.5
+    # Unprotected-from-enclave ~= NoSGX at every size.
+    assert 0.8 < small[3] / small[1] < 1.2
+    assert 0.8 < big[3] / big[1] < 1.2
+    # Thrashing reads ~578x, writes ~685x (paper Fig. 2).
+    assert 300 < big[2] / big[1] < 900
+    assert big[5] / big[4] > big[2] / big[1]  # writes hurt more
+    # Latency is monotonically non-decreasing past the EPC knee.
+    enclave_reads = [rows[w][2] for w in (64, 96, 128, 256, 1024, 4096)]
+    assert all(a <= b * 1.05 for a, b in zip(enclave_reads, enclave_reads[1:]))

@@ -1,0 +1,23 @@
+"""Figure 3 — the naive in-enclave store collapses beyond the EPC."""
+
+from conftest import record_table
+
+from repro.experiments import fig03
+
+
+def test_fig03_naive_collapse(benchmark, bench_scale, bench_ops):
+    result = benchmark.pedantic(
+        lambda: fig03.run(scale=bench_scale, ops=bench_ops), rounds=1, iterations=1
+    )
+    record_table(result)
+    rows = {row[0]: row for row in result.rows}
+    # Below the EPC the secure store is within a small factor of insecure.
+    assert rows[16][3] < 8
+    # At 4 GB the paper reports a 134x collapse; require the same decade.
+    assert 60 < rows[4096][3] < 250
+    # Insecure throughput is flat across the sweep.
+    insecure = [row[1] for row in result.rows]
+    assert max(insecure) / min(insecure) < 2.5
+    # Baseline throughput decreases monotonically-ish with the data size.
+    baseline = [row[2] for row in result.rows]
+    assert baseline[0] > baseline[-1] * 5

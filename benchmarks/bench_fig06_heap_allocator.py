@@ -1,0 +1,19 @@
+"""Figure 6 — OCALL counts and throughput vs allocation granularity."""
+
+from conftest import record_table
+
+from repro.experiments import fig06
+
+
+def test_fig06_heap_allocator(benchmark, bench_scale, bench_ops):
+    result = benchmark.pedantic(
+        lambda: fig06.run(scale=bench_scale, ops=bench_ops), rounds=1, iterations=1
+    )
+    record_table(result)
+    total_ocalls = result.column("OCALLs (total)")
+    # Bigger chunks -> drastically fewer allocator exits (paper Fig. 6).
+    assert total_ocalls[0] > total_ocalls[-1] * 4
+    assert all(a >= b for a, b in zip(total_ocalls, total_ocalls[1:]))
+    # Throughput must not degrade as chunks grow.
+    kops = result.column("Kop/s")
+    assert kops[-1] >= kops[0] * 0.97

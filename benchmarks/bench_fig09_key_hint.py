@@ -1,0 +1,20 @@
+"""Figure 9 — decryptions to find the match, w/ and w/o key hints."""
+
+from conftest import record_table
+
+from repro.experiments import fig09
+
+
+def test_fig09_key_hint(benchmark, bench_scale, bench_ops):
+    result = benchmark.pedantic(
+        lambda: fig09.run(scale=bench_scale, ops=bench_ops), rounds=1, iterations=1
+    )
+    record_table(result)
+    one_m = {row[0]: row for row in result.rows}["1M"]
+    eight_m = {row[0]: row for row in result.rows}["8M"]
+    # Long chains (1M buckets): hints cut decryptions by several x.
+    assert one_m[3] > 3.0
+    # Short chains (8M buckets): reduction exists but is much smaller.
+    assert 1.05 < eight_m[3] < one_m[3]
+    # With hints, ~1 decryption per op regardless of chain length.
+    assert one_m[5] < 1.6

@@ -1,0 +1,37 @@
+"""Figure 10 — overall normalized throughput, the headline result."""
+
+from conftest import record_table
+
+from repro.experiments import fig10
+from repro.experiments.common import (
+    SYSTEM_BASELINE,
+    SYSTEM_GRAPHENE,
+    SYSTEM_SHIELDBASE,
+    SYSTEM_SHIELDOPT,
+)
+
+
+def test_fig10_overall(benchmark, bench_scale, bench_ops):
+    result = benchmark.pedantic(
+        lambda: fig10.run(scale=bench_scale, ops=bench_ops), rounds=1, iterations=1
+    )
+    record_table(result)
+    headers = list(result.headers)
+    col = {name: headers.index(f"{name} (norm)") for name in (
+        SYSTEM_GRAPHENE, SYSTEM_BASELINE, SYSTEM_SHIELDBASE, SYSTEM_SHIELDOPT
+    )}
+    for row in result.rows:
+        threads = row[0]
+        opt = row[col[SYSTEM_SHIELDOPT]]
+        base_ratio = row[col[SYSTEM_SHIELDBASE]]
+        graphene = row[col[SYSTEM_GRAPHENE]]
+        # Paper bands (we accept a generous envelope around them).
+        if threads == 1:
+            assert 6 <= opt <= 18, (row, "paper: 8-11x at 1 thread")
+        else:
+            assert 18 <= opt <= 45, (row, "paper: 24-30x at 4 threads")
+        # ShieldOpt >= ShieldBase >= several x Baseline.
+        assert opt >= base_ratio * 0.95
+        assert base_ratio > 4
+        # Graphene-memcached lives near the Baseline (-12%..+34% in paper).
+        assert 0.5 < graphene < 2.0

@@ -1,0 +1,20 @@
+"""Figure 11 — per-workload throughput, large data set."""
+
+from conftest import record_table
+
+from repro.experiments import fig11
+
+
+def test_fig11_workloads(benchmark, bench_scale, bench_ops):
+    result = benchmark.pedantic(
+        lambda: fig11.run(scale=bench_scale, ops=bench_ops), rounds=1, iterations=1
+    )
+    record_table(result)
+    rows = {row[0]: row for row in result.rows}
+    ratio_col = list(result.headers).index("shieldbase/baseline")
+    # Paper: ~7.3x on RD50 mixes, rising to ~11x on RD95/RD100.
+    assert rows["RD50_Z"][ratio_col] > 4
+    assert rows["RD95_Z"][ratio_col] > rows["RD50_Z"][ratio_col] * 0.9
+    # Read-only beats update-heavy for ShieldStore (no re-encryption).
+    opt_col = list(result.headers).index("shieldopt Kop/s")
+    assert rows["RD100_Z"][opt_col] > rows["RD50_Z"][opt_col]

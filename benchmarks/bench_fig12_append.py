@@ -1,0 +1,19 @@
+"""Figure 12 — append-operation mixes."""
+
+from conftest import record_table
+
+from repro.experiments import fig12
+
+
+def test_fig12_append(benchmark, bench_scale, bench_ops):
+    result = benchmark.pedantic(
+        lambda: fig12.run(scale=bench_scale, ops=bench_ops), rounds=1, iterations=1
+    )
+    record_table(result)
+    rows = {row[0]: row for row in result.rows}
+    ratio_col = list(result.headers).index("opt/baseline")
+    # Paper: 1.7-16x improvements across the append mixes.
+    for name, row in rows.items():
+        assert row[ratio_col] > 1.3, (name, row[ratio_col])
+    # Zipfian appends benefit least (hot values balloon, crypto dominates).
+    assert rows["AP5_Z99"][ratio_col] <= rows["AP5_U"][ratio_col] * 1.3

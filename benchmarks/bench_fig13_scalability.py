@@ -1,0 +1,22 @@
+"""Figure 13 — 1-to-4-thread scalability of the three systems."""
+
+from conftest import record_table
+
+from repro.experiments import fig13
+
+
+def test_fig13_scalability(benchmark, bench_scale, bench_ops):
+    result = benchmark.pedantic(
+        lambda: fig13.run(scale=bench_scale, ops=bench_ops), rounds=1, iterations=1
+    )
+    record_table(result)
+    rows = {row[0]: row for row in result.rows}
+    # ShieldOpt scales near-linearly (paper: ~3.8x at 4 threads).
+    assert rows["shieldopt"][5] > 2.8
+    # The baseline gains little beyond 2 threads (paging serialization).
+    assert rows["baseline"][5] < 2.0
+    # Graphene-memcached degrades or stalls at 4 threads vs 2.
+    graphene = rows["memcached+graphene"]
+    assert graphene[4] < graphene[2] * 1.35
+    # ShieldOpt throughput strictly dominates the others at 4 threads.
+    assert rows["shieldopt"][4] > 5 * rows["baseline"][4]

@@ -1,0 +1,27 @@
+"""Figure 14 — cumulative optimization ablation over chain lengths."""
+
+from conftest import BENCH_SCALE, record_table
+
+from repro.experiments import fig14
+
+
+def test_fig14_ablation(benchmark):
+    # Chain lengths (the experiment's x-dimension) are scale-invariant,
+    # so this grid runs at a smaller scale: the 40M-entry cells preload
+    # 4x the pairs through 40-long chains.
+    scale = min(BENCH_SCALE / 2, 0.001)
+    result = benchmark.pedantic(
+        lambda: fig14.run(scale=scale, ops=500), rounds=1, iterations=1
+    )
+    record_table(result)
+    by_cell = {(row[0], row[1]): row for row in result.rows}
+    # Long chains (1M buckets / 40M entries): KeyOPT must deliver a big
+    # win over ShieldBase (paper: the dominant effect in that corner).
+    long_chain = by_cell[("1M buckets / 40M entries", "RD95_Z")]
+    shieldbase, keyopt, heap, macbucket = long_chain[2:6]
+    assert keyopt > shieldbase * 1.5
+    # The fully optimized configuration is the best of the column.
+    assert macbucket >= max(shieldbase, keyopt) * 0.9
+    # Short chains (8M/10M): optimizations matter much less.
+    short_chain = by_cell[("8M buckets / 10M entries", "RD95_Z")]
+    assert short_chain[5] < short_chain[2] * 2.5

@@ -1,0 +1,18 @@
+"""Figure 15 — MAC-hash count trade-off (EPC overflow at 8M)."""
+
+from conftest import record_table
+
+from repro.experiments import fig15
+
+
+def test_fig15_mac_hashes(benchmark, bench_scale, bench_ops):
+    result = benchmark.pedantic(
+        lambda: fig15.run(scale=bench_scale, ops=bench_ops), rounds=1, iterations=1
+    )
+    record_table(result)
+    for row in result.rows:
+        name, one_m, two_m, four_m, eight_m = row
+        # More hashes help... (paper: +5..13% from 1M to 4M)
+        assert four_m > one_m
+        # ...until the array exceeds the EPC and paging wrecks it.
+        assert eight_m < four_m * 0.75, (name, four_m, eight_m)

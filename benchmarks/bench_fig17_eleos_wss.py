@@ -1,0 +1,24 @@
+"""Figure 17 — vs Eleos across working-set sizes (4 KB values)."""
+
+from conftest import record_table
+
+from repro.experiments import fig17
+
+
+def test_fig17_eleos_working_sets(benchmark, bench_scale, bench_ops):
+    result = benchmark.pedantic(
+        lambda: fig17.run(scale=bench_scale, ops=bench_ops), rounds=1, iterations=1
+    )
+    record_table(result)
+    rows = {row[0]: row for row in result.rows}
+    # Eleos cannot run past its 2 GB memsys5 pool (paper §6.3).
+    assert rows[4096][1] is None and rows[8192][1] is None
+    assert rows[2048][1] is not None
+    # Eleos degrades as the set grows; ShieldOpt stays flat.
+    assert rows[2048][1] < rows[64][1]
+    shield = [rows[w][2] for w in (64, 512, 2048, 8192)]
+    assert max(shield) / min(shield) < 1.5
+    # Eleos wins at small working sets (its cache covers them)...
+    assert rows[64][1] > rows[64][2]
+    # ...and the in-enclave cache closes that gap (paper §6.3).
+    assert rows[64][3] > rows[64][2]

@@ -1,0 +1,32 @@
+"""Figure 18 — networked client/server evaluation."""
+
+from conftest import record_table
+
+from repro.experiments import fig18
+
+
+def test_fig18_networked(benchmark, bench_scale, bench_ops):
+    result = benchmark.pedantic(
+        lambda: fig18.run(scale=bench_scale, ops=max(300, bench_ops // 3)),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    headers = list(result.headers)
+    col = {name: headers.index(name) for name in fig18.NET_SYSTEMS}
+    for row in result.rows:
+        threads = row[0]
+        ratio = row[col["shieldopt+hotcalls"]] / row[col["baseline+hotcalls"]]
+        if threads == 1:
+            # Paper: 4.9-6.4x at 1 thread.
+            assert 3.5 < ratio < 10, (row[1], ratio)
+        else:
+            # Paper: 9.2-10.7x at 4 threads; ours runs high (~17-21x)
+            # because the simulated client never saturates the server
+            # the way the paper's single 10GbE load generator does.
+            assert 6 < ratio < 24, (row[1], ratio)
+        # HotCalls beat OCALLs for the same store.
+        assert row[col["shieldopt+hotcalls"]] > row[col["shieldopt"]]
+        # Insecure systems still beat the shielded store (paper: 3-3.9x).
+        gap = row[col["insecure baseline"]] / row[col["shieldopt+hotcalls"]]
+        assert 1.3 < gap < 8, (row[1], gap)

@@ -1,0 +1,35 @@
+"""Figure 19 — persistence: none vs naive vs optimized snapshots."""
+
+from conftest import record_table
+
+from repro.experiments import fig19
+
+
+def test_fig19_persistence(benchmark, bench_scale):
+    # Every cell must cross at least one snapshot interval; the fastest
+    # (small, read-only) cells need ~55k ops to cover 1.15 intervals.
+    result = benchmark.pedantic(
+        lambda: fig19.run(scale=bench_scale, max_ops=68_000, intervals=1.15),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    headers = list(result.headers)
+    naive_col = headers.index("naive loss %")
+    opt_col = headers.index("opt loss %")
+    large_naive = [r[naive_col] for r in result.rows if r[0] == "large"]
+    small_naive = [r[naive_col] for r in result.rows if r[0] == "small"]
+    for row in result.rows:
+        # Every cell crossed a snapshot: naive must have paid something.
+        assert row[naive_col] > 1, (row[0], row[1], "no snapshot occurred?")
+        # Optimized persistence costs far less than naive (paper: 2-6.5%
+        # vs up to 25%), and never *gains* throughput.
+        assert row[opt_col] < row[naive_col]
+        assert row[opt_col] < 12
+        # Naive stalls are bounded but material on the large set.
+        assert row[naive_col] < 40
+    # Bigger data sets stall longer under naive snapshots.
+    assert min(large_naive) > max(small_naive) * 0.9
+    # Read-only + optimized is nearly free (paper: matches no-persistence).
+    read_only_opt = [r[opt_col] for r in result.rows if r[1] == "RD100_Z"]
+    assert all(v < 5 for v in read_only_opt)

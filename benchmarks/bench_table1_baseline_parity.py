@@ -1,0 +1,20 @@
+"""Table 1 — memcached vs baseline parity (networked, no SGX)."""
+
+from conftest import record_table
+
+from repro.experiments import table1
+
+
+def test_table1_baseline_parity(benchmark, bench_scale, bench_ops):
+    result = benchmark.pedantic(
+        lambda: table1.run(scale=bench_scale, ops=bench_ops),
+        rounds=1,
+        iterations=1,
+    )
+    record_table(result)
+    for threads, memcached, baseline, ratio, _pm, _pb in result.rows:
+        # Paper: the two designs perform alike (within ~10%).
+        assert 0.85 < ratio < 1.15, (threads, ratio)
+    one_thread, four_threads = result.rows[0][2], result.rows[1][2]
+    # Paper: 312 -> 846 Kop/s, i.e. meaningful but sub-linear scaling.
+    assert 1.8 < four_threads / one_thread < 3.6

@@ -1,0 +1,64 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper table/figure through its
+``repro.experiments`` module, asserts the paper's shape properties, and
+records the formatted table under ``benchmarks/results/`` (also echoed
+to stdout, visible with ``pytest -s``).
+
+Size knobs (environment):
+
+* ``REPRO_BENCH_SCALE`` — working-set scale vs the paper (default 0.005,
+  i.e. 10M pairs -> 50k).  Larger is more faithful and slower.
+* ``REPRO_BENCH_OPS``   — measured requests per cell (default 1500).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.005"))
+BENCH_OPS = int(os.environ.get("REPRO_BENCH_OPS", "1500"))
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+# Sweep figures get an ASCII chart appended to their result file:
+# experiment -> (x header, series headers, log_y)
+_CHARTS = {
+    "Figure 2": ("WSS (MB)", ["NoSGX read", "SGX_Enclave read"], True),
+    "Figure 3": ("WSS (MB)", ["NoSGX (Kop/s)", "Baseline (Kop/s)"], True),
+    "Figure 17": (
+        "WSS (MB)",
+        ["Eleos Kop/s", "ShieldOpt Kop/s", "ShieldOpt+cache Kop/s"],
+        False,
+    ),
+}
+
+
+def record_table(result) -> str:
+    """Persist a TableResult (plus a chart for sweeps); returns the text."""
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    text = result.format()
+    if result.experiment in _CHARTS:
+        from repro.experiments import charts
+
+        x_header, series, log_y = _CHARTS[result.experiment]
+        try:
+            text += "\n\n" + charts.render_sweep(result, x_header, series, log_y=log_y)
+        except Exception:
+            pass  # charts are cosmetic; never fail a bench over them
+    name = result.experiment.lower().replace(" ", "").replace(".", "")
+    (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print("\n" + text)
+    return text
+
+
+@pytest.fixture
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture
+def bench_ops():
+    return BENCH_OPS

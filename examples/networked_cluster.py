@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Scenario: a real TCP deployment with remote attestation.
+
+Runs an actual ShieldStore server on a localhost socket (not the cost
+model — real frames, real handshake) and drives it with three clients:
+
+* two legitimate clients that attest the enclave and share data;
+* one client expecting a *different* enclave measurement, which must
+  refuse to connect (supply-chain check: wrong code in the enclave).
+"""
+
+from repro import AttestationService, ShieldStore, shield_opt
+from repro.errors import AttestationError
+from repro.net import TCPShieldClient, TCPShieldServer
+
+
+def main() -> None:
+    ias = AttestationService(b"shared-attestation-root")
+    store = ShieldStore(shield_opt(num_buckets=1024, num_mac_hashes=512))
+    server = TCPShieldServer(store, ias)
+    server.start()
+    host, port = server.address
+    print(f"server enclave listening on {host}:{port}")
+    print(f"enclave measurement: {store.enclave.measurement.hex()[:24]}...")
+
+    try:
+        print("\n== client A: attest, write ==")
+        alice = TCPShieldClient(
+            server.address, ias, store.enclave.measurement, bytes(range(32))
+        )
+        alice.set(b"inventory:widget", b"count=150;price=9.99")
+        alice.increment(b"inventory:orders", 1)
+        print("A wrote inventory:widget")
+
+        print("\n== client B: attest, read what A wrote ==")
+        bob = TCPShieldClient(
+            server.address, ias, store.enclave.measurement, bytes(range(32, 64))
+        )
+        print("B reads ->", bob.get(b"inventory:widget"))
+        print("B appends, gets ->", bob.append(b"inventory:widget", b";restock=soon"))
+
+        print("\n== client C: expects a different enclave build ==")
+        wrong_measurement = bytes(32)
+        try:
+            TCPShieldClient(
+                server.address, ias, wrong_measurement, bytes(range(64, 96))
+            )
+            print("-> C CONNECTED (bug!)")
+        except AttestationError as exc:
+            print(f"-> C refused to trust the server: {exc}")
+
+        alice.close()
+        bob.close()
+    finally:
+        server.close()
+    print("\nserver stopped; all session keys forgotten")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e .` on offline hosts
+(no wheel package available for PEP 660 editable builds)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Comparator systems re-implemented on the shared SGX simulator.
+
+All four systems expose the same ``get/set/append/__len__`` surface and
+route each key to a simulated worker thread, so the experiment harness
+drives them interchangeably:
+
+* :class:`~repro.baselines.insecure.InsecureStore` — NoSGX reference;
+* :class:`~repro.baselines.naive_sgx.NaiveSgxStore` — the paper's
+  *Baseline* (whole table in enclave memory, hardware paging);
+* :class:`~repro.baselines.graphene_memcached.GrapheneMemcachedStore` —
+  memcached under a library OS;
+* :class:`~repro.baselines.eleos.EleosStore` — user-space paging.
+"""
+
+from repro.baselines.eleos import EleosStore
+from repro.baselines.graphene_memcached import GrapheneMemcachedStore
+from repro.baselines.insecure import InsecureStore
+from repro.baselines.naive_sgx import NaiveSgxStore
+from repro.baselines.plainhash import PlainHashTable
+
+__all__ = [
+    "EleosStore",
+    "GrapheneMemcachedStore",
+    "InsecureStore",
+    "NaiveSgxStore",
+    "PlainHashTable",
+]

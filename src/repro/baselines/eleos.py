@@ -1,0 +1,218 @@
+"""Eleos-style user-space paging comparator (§6.3, Figs. 16-17).
+
+Eleos (Orenbach et al., EuroSys'17) keeps the application's data in an
+enclave-managed *backing store* in untrusted memory and pages it into an
+EPC-resident software cache ("spages") without exiting the enclave.
+Compared with SGX hardware paging, a miss costs software page
+en/decryption instead of an exit plus kernel paging — but protection is
+still page-granular, which is what ShieldStore's fine-grained design
+beats for small values (Fig. 16).
+
+The paper's comparison ports *the baseline chained hash store* onto
+Eleos, so every structure is paged: the bucket-pointer array, each chain
+hop, and the entry payload.  Small values mean many scattered entries
+and a proportionally huge bucket array, so per-get page-miss counts grow
+as values shrink — the mechanism behind the 40x gap at 16 B values.
+
+Modeled properties from §6.3:
+
+* configurable page granularity: 4 KB default, 1 KB sub-pages supported;
+* the memsys5 slab allocator manages at most 2 GB per pool, so data sets
+  beyond the (scaled) limit raise :class:`UnsupportedConfigError` —
+  "Eleos does not support the data set larger than 2GB";
+* growing the backing store across multiple pools adds bookkeeping
+  overhead, degrading throughput as the data set grows past ~200 MB.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import KeyNotFoundError, UnsupportedConfigError
+from repro.sim.cycles import GB
+from repro.sim.enclave import Enclave, ExecContext, Machine
+from repro.util import fnv1a
+
+_MEASUREMENT = bytes([0xE1] * 32)
+
+# Software paging bookkeeping per miss (page-table walk, LRU update).
+FAULT_BOOKKEEPING_CYCLES = 2_400
+# Extra per-access bookkeeping once the backing store spans >1 pool.
+MULTI_POOL_TAX_CYCLES = 900
+POOL_BYTES_PAPER = 2 * GB
+_ENTRY_HEADER = 16  # next_ptr + sizes, as in the plain baseline store
+_BUCKET_SLOT = 8
+
+
+class EleosStore:
+    """Baseline chained KV store ported onto Eleos user-space paging."""
+
+    name = "eleos"
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        page_bytes: int = 4096,
+        cache_bytes: Optional[int] = None,
+        pool_limit_bytes: Optional[int] = None,
+        max_data_bytes: Optional[int] = None,
+        num_buckets: Optional[int] = None,
+        expected_pairs: Optional[int] = None,
+    ):
+        if page_bytes not in (1024, 4096):
+            raise UnsupportedConfigError(
+                "Eleos supports 4KB pages and 1KB sub-pages only"
+            )
+        self.machine = machine if machine is not None else Machine()
+        self.enclave = Enclave(self.machine, _MEASUREMENT, name="eleos-kv")
+        cost = self.machine.cost
+        self.page_bytes = page_bytes
+        # The spage cache lives in the EPC; leave room for Eleos metadata.
+        self.cache_bytes = (
+            cache_bytes
+            if cache_bytes is not None
+            else int(cost.epc_effective_bytes * 0.8)
+        )
+        self.cache_pages = max(1, self.cache_bytes // page_bytes)
+        self.pool_limit_bytes = (
+            pool_limit_bytes if pool_limit_bytes is not None else POOL_BYTES_PAPER
+        )
+        self.max_data_bytes = max_data_bytes
+        self._cache: "OrderedDict[int, bool]" = OrderedDict()
+        # Chained hash structure: bucket -> [key, ...] in chain order,
+        # entry offsets/value lengths tracked per key.  The bucket array
+        # occupies the front of the backing store; entries follow.
+        self.num_buckets = num_buckets if num_buckets is not None else 1 << 16
+        self._buckets: Dict[int, List[bytes]] = {}
+        self._index: Dict[bytes, Tuple[int, int]] = {}  # key -> (offset, vlen)
+        self._values: Dict[bytes, bytes] = {}
+        self._bucket_region = self.num_buckets * _BUCKET_SLOT
+        self._next_offset = self._bucket_region
+        self._ctxs: List[ExecContext] = [
+            self.enclave.context(t)
+            for t in range(self.machine.clock.num_threads)
+        ]
+        self.software_faults = 0
+        self._rr = -1
+
+    # -- capacity rules ----------------------------------------------------
+    def _check_capacity(self, additional: int) -> None:
+        # The memsys5 pool holds the key-value data; the bucket array is
+        # a separate allocation, so it does not count against the limit.
+        total = self._next_offset - self._bucket_region + additional
+        limit = (
+            self.max_data_bytes
+            if self.max_data_bytes is not None
+            else self.pool_limit_bytes
+        )
+        if total > limit:
+            raise UnsupportedConfigError(
+                f"Eleos backing store would reach {total} bytes, beyond the "
+                f"memsys5 pool limit of {limit} bytes"
+            )
+
+    @property
+    def _pools_in_use(self) -> int:
+        # One memsys5 pool per (scaled) 10% of the pool limit; several
+        # pools add measurable bookkeeping (paper §6.3).
+        pool = max(1, self.pool_limit_bytes // 10)
+        return 1 + self._next_offset // pool
+
+    # -- the software pager -------------------------------------------------
+    def _touch(self, ctx: ExecContext, offset: int, size: int, write: bool) -> None:
+        cost = self.machine.cost
+        first = offset // self.page_bytes
+        last = (offset + max(size, 1) - 1) // self.page_bytes
+        for page in range(first, last + 1):
+            if page in self._cache:
+                self._cache.move_to_end(page)
+                if write:
+                    self._cache[page] = True
+                continue
+            # Software fault: decrypt the target page in, verify its MAC,
+            # and encrypt + re-MAC the victim out when dirty.
+            fault = FAULT_BOOKKEEPING_CYCLES
+            fault += cost.aes_cycles(self.page_bytes)
+            fault += cost.cmac_cycles(self.page_bytes)
+            if len(self._cache) >= self.cache_pages:
+                _victim, dirty = self._cache.popitem(last=False)
+                if dirty:
+                    fault += cost.aes_cycles(self.page_bytes)
+                    fault += cost.cmac_cycles(self.page_bytes)
+            self._cache[page] = write
+            ctx.charge(fault)
+            self.software_faults += 1
+        if self._pools_in_use > 1:
+            ctx.charge(MULTI_POOL_TAX_CYCLES * (self._pools_in_use - 1))
+        ctx.charge(cost.mem_cycles(size, write, in_epc=True))
+
+    def _ctx_of(self, key: bytes) -> ExecContext:
+        # Worker threads pick requests off shared connections round-robin
+        # (memcached-style); keys are not partitioned across threads.
+        self._rr = (self._rr + 1) % len(self._ctxs)
+        return self._ctxs[self._rr]
+
+    def _bucket_of(self, key: bytes) -> int:
+        return fnv1a(key) % self.num_buckets
+
+    def _walk(self, ctx: ExecContext, key: bytes) -> bool:
+        """Touch the bucket slot and chain entries up to the match."""
+        bucket = self._bucket_of(key)
+        self._touch(
+            ctx, bucket * _BUCKET_SLOT, _BUCKET_SLOT, write=False
+        )
+        for chain_key in self._buckets.get(bucket, ()):
+            offset, vlen = self._index[chain_key]
+            # Reading the header (and key) of each candidate pages it in.
+            probe = _ENTRY_HEADER + len(chain_key)
+            if chain_key == key:
+                self._touch(ctx, offset, probe + vlen, write=False)
+                return True
+            self._touch(ctx, offset, probe, write=False)
+        return False
+
+    # -- operations -----------------------------------------------------------
+    def get(self, key: bytes) -> bytes:
+        key = bytes(key)
+        ctx = self._ctx_of(key)
+        ctx.charge(self.machine.cost.op_dispatch_cycles)
+        if key not in self._index:
+            self._walk(ctx, key)
+            raise KeyNotFoundError(key)
+        self._walk(ctx, key)
+        return self._values[key]
+
+    def set(self, key: bytes, value: bytes) -> None:
+        key, value = bytes(key), bytes(value)
+        ctx = self._ctx_of(key)
+        ctx.charge(self.machine.cost.op_dispatch_cycles)
+        record = _ENTRY_HEADER + len(key) + len(value)
+        existing = self._index.get(key)
+        self._walk(ctx, key)
+        if existing is not None and existing[1] == len(value):
+            offset = existing[0]
+        else:
+            self._check_capacity(record)
+            offset = self._next_offset
+            self._next_offset += record
+            ctx.charge(self.machine.cost.malloc_cycles)
+            if existing is None:
+                bucket = self._bucket_of(key)
+                self._buckets.setdefault(bucket, []).insert(0, key)
+        self._touch(ctx, offset, record, write=True)
+        self._index[key] = (offset, len(value))
+        self._values[key] = value
+
+    def append(self, key: bytes, suffix: bytes) -> bytes:
+        key = bytes(key)
+        try:
+            old = self.get(key)
+        except KeyNotFoundError:
+            old = b""
+        new = old + bytes(suffix)
+        self.set(key, new)
+        return new
+
+    def __len__(self) -> int:
+        return len(self._index)

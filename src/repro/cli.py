@@ -1,0 +1,215 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                      — the experiment catalog with paper refs
+* ``run <experiment> [...]``    — regenerate one table/figure (with an
+  optional ASCII chart of the shape)
+* ``demo``                      — one-minute guided tour of the store
+  and its defenses
+* ``serve --port N``            — start a real TCP ShieldStore server
+* ``info``                      — cost-model constants and version
+
+Examples::
+
+    python -m repro run fig03 --scale 0.005 --ops 2000 --chart
+    python -m repro run table1
+    python -m repro demo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import ALL_EXPERIMENTS
+
+_PAPER_REFS = {
+    "table1": "baseline parity with memcached (networked, no SGX)",
+    "fig02": "memory latency w/ and w/o SGX vs working set",
+    "fig03": "naive in-enclave store collapse beyond the EPC",
+    "fig06": "extra heap allocator: OCALLs vs chunk size",
+    "fig09": "key-hint decryption savings",
+    "fig10": "overall normalized throughput (headline result)",
+    "fig11": "per-workload throughput, large data set",
+    "fig12": "append-operation mixes",
+    "fig13": "1-4 thread scalability",
+    "fig14": "optimization ablation over chain lengths",
+    "fig15": "MAC-hash count trade-off",
+    "fig16": "vs Eleos across value sizes",
+    "fig17": "vs Eleos across working-set sizes",
+    "fig18": "networked evaluation (HotCalls)",
+    "fig19": "persistence: none/naive/optimized snapshots",
+    "breakdown": "per-op cycle attribution by subsystem (beyond the paper)",
+}
+
+_CHARTS = {
+    # experiment -> (kind, x/label header, series headers, log_y)
+    "fig02": ("line", "WSS (MB)", ["NoSGX read", "SGX_Enclave read"], True),
+    "fig03": ("line", "WSS (MB)", ["NoSGX (Kop/s)", "Baseline (Kop/s)"], True),
+    "fig17": (
+        "line",
+        "WSS (MB)",
+        ["Eleos Kop/s", "ShieldOpt Kop/s", "ShieldOpt+cache Kop/s"],
+        False,
+    ),
+    "fig11": (
+        "bars",
+        "workload",
+        ["baseline Kop/s", "shieldbase Kop/s", "shieldopt Kop/s"],
+        False,
+    ),
+    "fig16": ("bars", "value (B)", ["Eleos Kop/s", "ShieldOpt Kop/s"], False),
+}
+
+
+def _cmd_list(_args) -> int:
+    print("experiments (python -m repro run <name>):")
+    for name in sorted(ALL_EXPERIMENTS):
+        print(f"  {name:8s} {_PAPER_REFS.get(name, '')}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    module = ALL_EXPERIMENTS.get(args.experiment)
+    if module is None:
+        print(f"unknown experiment {args.experiment!r}; try `python -m repro list`")
+        return 2
+    kwargs = {}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.ops is not None:
+        run_params = module.run.__code__.co_varnames[: module.run.__code__.co_argcount]
+        kwargs["ops" if "ops" in run_params else "max_ops"] = args.ops
+    result = module.run(**kwargs)
+    print(result.format())
+    if args.chart and args.experiment in _CHARTS:
+        from repro.experiments import charts
+
+        kind, x_header, series, log_y = _CHARTS[args.experiment]
+        print()
+        if kind == "line":
+            print(charts.render_sweep(result, x_header, series, log_y=log_y))
+        else:
+            print(charts.render_bars(result, x_header, series, unit=" Kop/s"))
+    return 0
+
+
+def _cmd_demo(_args) -> int:
+    from repro import Attacker, ShieldStore, shield_opt
+    from repro.errors import IntegrityError, ReplayError
+
+    store = ShieldStore(shield_opt(num_buckets=512, num_mac_hashes=256))
+    store.set(b"demo-key", b"demo-value")
+    print("set/get:", store.get(b"demo-key"))
+    attacker = Attacker(store.machine.memory)
+    base, size = attacker.untrusted_allocations()[-1]
+    print("untrusted memory holds only ciphertext:",
+          b"demo-value" not in attacker.read(base, size))
+    # Locate and tamper the entry.
+    bucket = store.keyring.keyed_bucket_hash(b"demo-key", store.config.num_buckets)
+    addr = int.from_bytes(
+        store.machine.memory.raw_read(store.buckets.slot_addr(bucket), 8), "little"
+    )
+    attacker.flip_bit(addr + 35, 1)
+    try:
+        store.get(b"demo-key")
+        print("tampering detected: NO (bug)")
+        return 1
+    except (IntegrityError, ReplayError) as exc:
+        print(f"tampering detected: {type(exc).__name__}")
+    print(f"simulated time so far: {store.machine.elapsed_us():.1f} us")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro import AttestationService, ShieldStore, shield_opt
+    from repro.net import TCPShieldServer
+
+    store = ShieldStore(shield_opt(num_buckets=8192, num_mac_hashes=4096))
+    service = AttestationService(args.attestation_secret.encode())
+    server = TCPShieldServer(store, service, host=args.host, port=args.port)
+    server.start()
+    host, port = server.address
+    print(f"ShieldStore enclave serving on {host}:{port}")
+    print(f"measurement: {store.enclave.measurement.hex()}")
+    print("press Ctrl-C to stop")
+    try:
+        import time
+
+        while True:
+            time.sleep(1)
+    except KeyboardInterrupt:
+        server.close()
+        print("stopped")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.core.planner import plan
+
+    result = plan(
+        args.pairs,
+        key_size=args.key_size,
+        val_size=args.value_size,
+        num_buckets=args.buckets,
+        num_mac_hashes=args.mac_hashes,
+    )
+    print(result.summary())
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    import repro
+    from repro.sim.cycles import DEFAULT_COST_MODEL as cost
+
+    print(f"repro {repro.__version__} — ShieldStore (EuroSys'19) reproduction")
+    print(f"platform model: {cost.freq_ghz} GHz, EPC {cost.epc_effective_bytes >> 20} MB "
+          f"effective, LLC {cost.llc_bytes >> 20} MB")
+    print(f"fault: read {cost.page_fault_read_cycles} cy / write "
+          f"{cost.page_fault_write_cycles} cy ({cost.fault_serial_fraction:.0%} serialized)")
+    print(f"crossings: ecall {cost.ecall_cycles} cy, hotcall {cost.hotcall_cycles} cy")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="ShieldStore (EuroSys'19) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
+
+    run = sub.add_parser("run", help="regenerate a paper table/figure")
+    run.add_argument("experiment")
+    run.add_argument("--scale", type=float, default=None,
+                     help="working-set scale vs paper (default per-experiment)")
+    run.add_argument("--ops", type=int, default=None, help="measured requests")
+    run.add_argument("--chart", action="store_true", help="also render ASCII chart")
+    run.set_defaults(func=_cmd_run)
+
+    sub.add_parser("demo", help="one-minute guided tour").set_defaults(func=_cmd_demo)
+
+    serve = sub.add_parser("serve", help="start a real TCP server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--attestation-secret", default="dev-attestation-secret")
+    serve.set_defaults(func=_cmd_serve)
+
+    sub.add_parser("info", help="cost-model constants").set_defaults(func=_cmd_info)
+
+    planner = sub.add_parser("plan", help="size a deployment (§4.3 trade-offs)")
+    planner.add_argument("pairs", type=int, help="expected key-value pairs")
+    planner.add_argument("--key-size", type=int, default=16)
+    planner.add_argument("--value-size", type=int, default=512)
+    planner.add_argument("--buckets", type=int, default=None)
+    planner.add_argument("--mac-hashes", type=int, default=None)
+    planner.set_defaults(func=_cmd_plan)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

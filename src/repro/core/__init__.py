@@ -1,0 +1,74 @@
+"""ShieldStore core: the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.store.ShieldStore` — single-partition store.
+* :class:`~repro.core.partition.PartitionedShieldStore` — §5.3
+  hash-partitioned multi-threaded store.
+* :class:`~repro.core.config.StoreConfig` with the
+  :func:`~repro.core.config.shield_base` / :func:`~repro.core.config.shield_opt`
+  paper variants.
+* :class:`~repro.core.persistence.Snapshotter` /
+  :class:`~repro.core.persistence.SnapshotScheduler` — §4.4 persistence.
+"""
+
+from repro.core.allocator import ExtraHeapAllocator, OcallAllocator, make_allocator
+from repro.core.cache import EnclaveCache
+from repro.core.config import StoreConfig, shield_base, shield_opt
+from repro.core.entry import (
+    HEADER_SIZE,
+    MAC_SIZE,
+    EntryHeader,
+    entry_total_size,
+    mac_message,
+    pack_header,
+    unpack_header,
+)
+from repro.core.hashindex import BucketTable
+from repro.core.macbucket import MacBucketStore
+from repro.core.mactree import MacTree
+from repro.core.partition import PartitionedShieldStore
+from repro.core.planner import CapacityPlan, plan
+from repro.core.persistence import (
+    MODE_NAIVE,
+    MODE_NONE,
+    MODE_OPTIMIZED,
+    SnapshotPolicy,
+    SnapshotScheduler,
+    Snapshotter,
+)
+from repro.core.stats import StoreStats
+from repro.core.store import DEFAULT_MEASUREMENT, FoundEntry, ShieldStore
+
+__all__ = [
+    "BucketTable",
+    "CapacityPlan",
+    "DEFAULT_MEASUREMENT",
+    "EnclaveCache",
+    "EntryHeader",
+    "ExtraHeapAllocator",
+    "FoundEntry",
+    "HEADER_SIZE",
+    "MAC_SIZE",
+    "MODE_NAIVE",
+    "MODE_NONE",
+    "MODE_OPTIMIZED",
+    "MacBucketStore",
+    "MacTree",
+    "OcallAllocator",
+    "PartitionedShieldStore",
+    "ShieldStore",
+    "SnapshotPolicy",
+    "SnapshotScheduler",
+    "Snapshotter",
+    "StoreConfig",
+    "StoreStats",
+    "entry_total_size",
+    "mac_message",
+    "make_allocator",
+    "pack_header",
+    "plan",
+    "shield_base",
+    "shield_opt",
+    "unpack_header",
+]

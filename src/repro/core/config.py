@@ -1,0 +1,113 @@
+"""Store configuration and the paper's named variants.
+
+The evaluation compares four systems (paper §6.1): Baseline (naive
+in-enclave table), Memcached+Graphene, ShieldBase (this design without
+the §5 optimizations, multi-threading excepted) and ShieldOpt (all
+optimizations).  :func:`shield_base` and :func:`shield_opt` build those
+two; the Figure 14 ablation toggles the intermediate flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sim.cycles import MB
+
+DEFAULT_NUM_BUCKETS = 8_000_000
+DEFAULT_NUM_MAC_HASHES = 4_000_000
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """All knobs of a ShieldStore instance.
+
+    Attributes
+    ----------
+    num_buckets:
+        Hash buckets in the untrusted main table.  Paper default 8M.
+    num_mac_hashes:
+        In-enclave bucket-set MAC hashes (§4.3).  Paper default 4M;
+        Figure 15 sweeps 1M-8M.
+    mac_bucketing:
+        §5.2 — keep per-bucket MAC arrays in untrusted memory instead of
+        pointer-chasing entry chains for integrity reads.
+    mac_bucket_capacity:
+        MAC slots per MAC-bucket node before chaining (paper: 30).
+    key_hint_enabled:
+        §5.4 — 1-byte plaintext keyed hash of the key in each entry.
+    two_step_search:
+        §5.4 remedy — fall back to a full decrypt-everything search when
+        the hint pass finds nothing (tolerates malicious hint corruption).
+    use_extra_heap:
+        §5.1 — in-enclave allocator carving untrusted chunks; when off,
+        every entry allocation OCALLs out for memory.
+    heap_chunk_bytes:
+        sbrk granularity of the extra heap allocator (paper: 16 MB).
+    pointer_check:
+        §7 — validate that untrusted pointers lie outside the enclave's
+        contiguous virtual range before dereferencing.
+    cache_bytes:
+        §6.3 — optional in-enclave LRU cache over hot entries
+        (ShieldOpt+cache in Fig. 17).  0 disables.
+    suite_name:
+        Cipher suite backend; "aes-reference" is the faithful one,
+        "fast-hashlib" keeps big benches quick (identical semantics).
+    seed:
+        Master-secret / IV determinism for reproducible runs.
+    scale:
+        Reporting-only note of the size scale a benchmark ran at.
+    """
+
+    num_buckets: int = DEFAULT_NUM_BUCKETS
+    num_mac_hashes: int = DEFAULT_NUM_MAC_HASHES
+    mac_bucketing: bool = True
+    mac_bucket_capacity: int = 30
+    key_hint_enabled: bool = True
+    two_step_search: bool = True
+    use_extra_heap: bool = True
+    heap_chunk_bytes: int = 16 * MB
+    pointer_check: bool = True
+    cache_bytes: int = 0
+    suite_name: str = "fast-hashlib"
+    seed: int = 2019
+    scale: float = 1.0
+
+    def __post_init__(self):
+        if self.num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
+        if self.num_mac_hashes <= 0:
+            raise ValueError("num_mac_hashes must be positive")
+        if self.num_mac_hashes > self.num_buckets:
+            raise ValueError(
+                "num_mac_hashes cannot exceed num_buckets (each hash covers "
+                ">=1 bucket, paper §4.3)"
+            )
+        if self.mac_bucket_capacity <= 0:
+            raise ValueError("mac_bucket_capacity must be positive")
+        if self.heap_chunk_bytes < 4096:
+            raise ValueError("heap_chunk_bytes must be at least one page")
+
+    def with_(self, **changes) -> "StoreConfig":
+        """Functional update (alias for :func:`dataclasses.replace`)."""
+        return replace(self, **changes)
+
+
+def shield_base(num_buckets: int, num_mac_hashes: int, **overrides) -> StoreConfig:
+    """ShieldStore without the §5 optimizations (paper's *ShieldBase*)."""
+    defaults = dict(
+        num_buckets=num_buckets,
+        num_mac_hashes=num_mac_hashes,
+        mac_bucketing=False,
+        key_hint_enabled=False,
+        two_step_search=False,
+        use_extra_heap=False,
+    )
+    defaults.update(overrides)
+    return StoreConfig(**defaults)
+
+
+def shield_opt(num_buckets: int, num_mac_hashes: int, **overrides) -> StoreConfig:
+    """Fully optimized ShieldStore (paper's *ShieldOpt*)."""
+    defaults = dict(num_buckets=num_buckets, num_mac_hashes=num_mac_hashes)
+    defaults.update(overrides)
+    return StoreConfig(**defaults)

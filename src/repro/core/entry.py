@@ -1,0 +1,98 @@
+"""Data-entry codec: the byte layout of Figure 5.
+
+Each key-value pair lives in untrusted memory as one contiguous record::
+
+    offset  size  field       protection
+    0       8     next_ptr    plaintext (untrusted chain metadata, §7)
+    8       1     key_hint    plaintext keyed hash of the key (§5.4)
+    9       4     key_size    plaintext (per Fig. 5)
+    13      4     val_size    plaintext
+    17      16    iv_ctr      plaintext combined IV/counter (§4.2)
+    33      k+v   enc_kv      AES-CTR ciphertext of key || value
+    33+k+v  16    mac         CMAC binding enc_kv, sizes, hint, iv_ctr
+
+The MAC input follows §4.2 exactly: "encrypted key/value, key/value
+sizes, key-index, and IV/counter".  The ``next_ptr`` is deliberately NOT
+covered — it is availability-only metadata an attacker may corrupt
+without compromising confidentiality or integrity (§7); relocating an
+entry to another bucket is caught by the bucket-set MAC hashes instead.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import StoreError
+
+PTR_SIZE = 8
+HEADER_SIZE = 33
+MAC_SIZE = 16
+IV_SIZE = 16
+NULL_PTR = 0
+
+_HEADER_FMT = "<QBII16s"
+assert struct.calcsize(_HEADER_FMT) == HEADER_SIZE
+
+
+@dataclass
+class EntryHeader:
+    """Parsed plaintext header of one data entry."""
+
+    next_ptr: int
+    key_hint: int
+    key_size: int
+    val_size: int
+    iv_ctr: bytes
+
+    @property
+    def kv_size(self) -> int:
+        return self.key_size + self.val_size
+
+    @property
+    def total_size(self) -> int:
+        return HEADER_SIZE + self.kv_size + MAC_SIZE
+
+
+def entry_total_size(key_size: int, val_size: int) -> int:
+    """Bytes one entry occupies in untrusted memory."""
+    return HEADER_SIZE + key_size + val_size + MAC_SIZE
+
+
+def pack_header(header: EntryHeader) -> bytes:
+    """Serialize a header to its 33-byte wire form."""
+    if not 0 <= header.key_hint <= 0xFF:
+        raise StoreError("key hint must fit one byte")
+    if len(header.iv_ctr) != IV_SIZE:
+        raise StoreError(f"IV/counter must be {IV_SIZE} bytes")
+    return struct.pack(
+        _HEADER_FMT,
+        header.next_ptr,
+        header.key_hint,
+        header.key_size,
+        header.val_size,
+        header.iv_ctr,
+    )
+
+
+def unpack_header(raw: bytes) -> EntryHeader:
+    """Parse 33 header bytes read from untrusted memory."""
+    if len(raw) != HEADER_SIZE:
+        raise StoreError(f"header must be {HEADER_SIZE} bytes, got {len(raw)}")
+    next_ptr, hint, key_size, val_size, iv_ctr = struct.unpack(_HEADER_FMT, raw)
+    return EntryHeader(next_ptr, hint, key_size, val_size, iv_ctr)
+
+
+def mac_message(header: EntryHeader, enc_kv: bytes) -> bytes:
+    """The exact byte string the entry MAC authenticates (§4.2)."""
+    return (
+        enc_kv
+        + struct.pack("<II", header.key_size, header.val_size)
+        + bytes([header.key_hint])
+        + header.iv_ctr
+    )
+
+
+def mac_offset(header: EntryHeader) -> int:
+    """Offset of the MAC field within the entry record."""
+    return HEADER_SIZE + header.kv_size

@@ -1,0 +1,127 @@
+"""Hash-partitioned multi-threading (paper §5.3, Figure 8).
+
+Each simulated worker thread owns an exclusive slice of the hash-key
+space — ``Partition(KEY) = H(KEY) / total_threads`` — realized here as
+one independent :class:`~repro.core.store.ShieldStore` per thread, each
+with its own buckets, MAC tree and allocator, all sharing one machine
+(and therefore one EPC and one paging serializer).  Because partitions
+are disjoint, no locks exist and per-thread clocks advance independently;
+run wall-time is the slowest thread's clock.
+
+SGX cannot grow an enclave's thread pool at runtime (§5.3), so the
+partition count is fixed at construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import StoreConfig
+from repro.core.stats import StoreStats
+from repro.core.store import DEFAULT_MEASUREMENT, ShieldStore
+from repro.crypto.keys import KeyRing
+from repro.errors import StoreError
+from repro.sim.enclave import Enclave, Machine
+
+
+class PartitionedShieldStore:
+    """ShieldStore sharded over the machine's worker threads."""
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        machine: Optional[Machine] = None,
+        master_secret: Optional[bytes] = None,
+    ):
+        self.config = config
+        self.machine = machine if machine is not None else Machine(seed=config.seed)
+        num_threads = self.machine.clock.num_threads
+        if config.num_buckets < num_threads:
+            raise StoreError("need at least one bucket per thread")
+        self.enclave = Enclave(self.machine, DEFAULT_MEASUREMENT)
+        if master_secret is None:
+            master_secret = bytes(
+                self.machine.rng.getrandbits(8) for _ in range(32)
+            )
+        # All partitions share the key ring (one enclave, one secret);
+        # the router hashes with it before dispatching.
+        self._keyring = KeyRing(master_secret)
+        per_buckets = max(1, config.num_buckets // num_threads)
+        per_hashes = max(1, min(config.num_mac_hashes // num_threads, per_buckets))
+        part_config = config.with_(
+            num_buckets=per_buckets, num_mac_hashes=per_hashes
+        )
+        self.partitions: List[ShieldStore] = [
+            ShieldStore(
+                part_config,
+                machine=self.machine,
+                enclave=self.enclave,
+                thread_id=t,
+                master_secret=master_secret,
+            )
+            for t in range(num_threads)
+        ]
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.partitions)
+
+    def partition_of(self, key: bytes) -> ShieldStore:
+        """Route a key to its owning partition (hash-disjoint, lock-free)."""
+        h = self._keyring.keyed_bucket_hash(bytes(key), 1 << 30)
+        return self.partitions[h * self.num_threads >> 30]
+
+    # -- operations are delegated to the owner thread's store ---------------
+    def get(self, key: bytes) -> bytes:
+        return self.partition_of(key).get(key)
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self.partition_of(key).set(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self.partition_of(key).delete(key)
+
+    def append(self, key: bytes, suffix: bytes) -> bytes:
+        return self.partition_of(key).append(key, suffix)
+
+    def increment(self, key: bytes, delta: int = 1) -> int:
+        return self.partition_of(key).increment(key, delta)
+
+    def compare_and_swap(self, key: bytes, expected: bytes, new_value: bytes) -> bool:
+        return self.partition_of(key).compare_and_swap(key, expected, new_value)
+
+    def contains(self, key: bytes) -> bool:
+        return self.partition_of(key).contains(key)
+
+    def multi_get(self, keys):
+        """Batched lookup, fanned out to the owning partitions.
+
+        Each partition serves its slice of the batch on its own thread
+        clock, so the batch completes in max-partition time — the
+        multi-key analogue of Fig. 8's partitioning.
+        """
+        by_partition = {}
+        for key in keys:
+            partition = self.partition_of(bytes(key))
+            by_partition.setdefault(partition.thread_id, (partition, []))[1].append(
+                bytes(key)
+            )
+        results = {}
+        for partition, partition_keys in by_partition.values():
+            results.update(partition.multi_get(partition_keys))
+        return results
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    # -- aggregates -----------------------------------------------------
+    def stats(self) -> StoreStats:
+        """Merged operation stats across partitions."""
+        merged = StoreStats()
+        for p in self.partitions:
+            merged = merged.merge(p.stats)
+        return merged
+
+    def elapsed_us(self) -> float:
+        """Simulated wall time (slowest thread)."""
+        return self.machine.elapsed_us()

@@ -1,0 +1,289 @@
+"""Snapshot persistence (paper §4.4, Algorithm 1; evaluated in Fig. 19).
+
+Two halves:
+
+* **Functional snapshots** — :class:`Snapshotter` writes a restorable
+  snapshot: the in-enclave metadata (master secret, MAC tree, count) is
+  *sealed* to the platform; the untrusted entry records are written
+  verbatim — they are already encrypted and integrity-protected, which
+  is the design's headline persistence advantage (no re-encryption).
+  A monotonic counter defends restores against rollback to an older
+  snapshot.  Restore rebuilds the chains and verifies every bucket-set
+  hash, so offline tampering with the snapshot file is detected.
+
+* **Performance model** — :class:`SnapshotScheduler` drives the paper's
+  three Fig. 19 modes during a throughput run.  ``naive`` stalls all
+  serving threads for the full storage write.  ``optimized`` follows
+  Algorithm 1: a brief stall for sealing + fork, then a copy-on-write
+  window during which the forked child streams entries to storage while
+  the parent serves; writes during the window go additionally to a
+  temporary table and are merged back when the child finishes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.entry import HEADER_SIZE, unpack_header
+from repro.core.store import ShieldStore
+from repro.errors import SnapshotError
+from repro.sim.counters import MonotonicCounterService
+from repro.sim.enclave import ExecContext
+from repro.sim.sealing import SealingService
+
+_MAGIC = b"SSSNAP1\0"
+
+MODE_NONE = "none"
+MODE_NAIVE = "naive"
+MODE_OPTIMIZED = "optimized"
+
+
+# ---------------------------------------------------------------------------
+# functional snapshots
+# ---------------------------------------------------------------------------
+class Snapshotter:
+    """Writes and restores real snapshot blobs for one store."""
+
+    def __init__(
+        self,
+        sealing: SealingService,
+        counters: MonotonicCounterService,
+        counter_name: str = "shieldstore",
+    ):
+        self.sealing = sealing
+        self.counters = counters
+        self.counter_name = counter_name
+
+    def snapshot_bytes(self, ctx: ExecContext, store: ShieldStore) -> bytes:
+        """Produce a snapshot blob; bumps the monotonic counter."""
+        counter = self.counters.increment(ctx, self.counter_name)
+        meta = struct.pack("<Q", counter) + store.metadata_blob()
+        sealed = self.sealing.seal(ctx, store.enclave, meta)
+        parts: List[bytes] = [
+            _MAGIC,
+            struct.pack("<Q", counter),
+            struct.pack("<I", len(sealed)),
+            sealed,
+        ]
+        records: List[bytes] = []
+        count = 0
+        for bucket, record in store.iter_raw_entries():
+            records.append(struct.pack("<II", bucket, len(record)) + record)
+            count += 1
+        parts.append(struct.pack("<Q", count))
+        parts.extend(records)
+        return b"".join(parts)
+
+    def restore(
+        self,
+        ctx: ExecContext,
+        blob: bytes,
+        store: ShieldStore,
+        verify: bool = True,
+    ) -> ShieldStore:
+        """Load a snapshot into a freshly constructed, empty ``store``.
+
+        Raises :class:`SnapshotError` on format/tamper problems and
+        :class:`~repro.errors.RollbackError` on stale snapshots.
+        """
+        if len(store) != 0:
+            raise SnapshotError("restore target store must be empty")
+        if blob[: len(_MAGIC)] != _MAGIC:
+            raise SnapshotError("snapshot has wrong magic")
+        off = len(_MAGIC)
+        (claimed_counter,) = struct.unpack_from("<Q", blob, off)
+        off += 8
+        (sealed_len,) = struct.unpack_from("<I", blob, off)
+        off += 4
+        sealed = blob[off : off + sealed_len]
+        off += sealed_len
+        meta = self.sealing.unseal(ctx, store.enclave, sealed)
+        (sealed_counter,) = struct.unpack_from("<Q", meta, 0)
+        if sealed_counter != claimed_counter:
+            raise SnapshotError("snapshot header counter does not match sealed value")
+        self.counters.check_not_rolled_back(self.counter_name, sealed_counter)
+        store.load_metadata_blob(meta[8:])
+
+        (count,) = struct.unpack_from("<Q", blob, off)
+        off += 8
+        # Rebuild chains bucket by bucket, preserving chain order.
+        tails: Dict[int, int] = {}
+        mem = store.machine.memory
+        restored = 0
+        while restored < count:
+            bucket, rec_len = struct.unpack_from("<II", blob, off)
+            off += 8
+            record = blob[off : off + rec_len]
+            off += rec_len
+            header = unpack_header(record[:HEADER_SIZE])
+            addr = store.allocator.alloc(ctx, len(record))
+            # Stored next_ptr values are stale; relink below.
+            mem.write(ctx, addr, record)
+            mem.write(ctx, addr, struct.pack("<Q", 0))  # clear next
+            if bucket in tails:
+                mem.write(ctx, tails[bucket], struct.pack("<Q", addr))
+            else:
+                store.buckets.write_head(ctx, bucket, addr)
+            tails[bucket] = addr
+            if store.macbuckets is not None:
+                mac = record[HEADER_SIZE + header.kv_size :]
+                head = store.buckets.read_mac_ptr(ctx, bucket, False)
+                macs = store.macbuckets.read_all(ctx, head) if head else []
+                macs.append(mac)
+                if head == 0:
+                    head = store.allocator.alloc(ctx, store.macbuckets.node_size)
+                    store.buckets.write_mac_ptr(ctx, bucket, head)
+                store.macbuckets.write_all(ctx, head, macs)
+            restored += 1
+
+        if verify:
+            self._verify_all_sets(ctx, store)
+        return store
+
+    @staticmethod
+    def _verify_all_sets(ctx: ExecContext, store: ShieldStore) -> None:
+        """Check every bucket-set hash against the restored MAC tree."""
+        for set_id in range(store.config.num_mac_hashes):
+            by_bucket = {
+                b: store._collect_bucket_macs(ctx, b)
+                for b in store.mactree.buckets_of(set_id)
+            }
+            if any(by_bucket.values()) or store.mactree.read_hash(
+                ctx, set_id
+            ) != bytes(16):
+                store._verify_set(ctx, set_id, by_bucket)
+
+
+# ---------------------------------------------------------------------------
+# performance model of periodic snapshots
+# ---------------------------------------------------------------------------
+@dataclass
+class SnapshotPolicy:
+    """How (and how often) periodic snapshots run during a measurement.
+
+    ``fixed_cost_scale`` scales the per-snapshot *fixed* costs (fork,
+    sealing, the ~60 ms monotonic-counter bump) relative to the paper's
+    60-second schedule.  Scaled benchmarks shrink the interval together
+    with the data, so these interval-independent costs must shrink by the
+    same factor to preserve the paper's snapshot duty cycle; it defaults
+    to ``interval_us / 60 s``.  Pass 1.0 for unscaled (real-time) runs.
+    """
+
+    mode: str = MODE_NONE
+    interval_us: float = 60_000_000.0  # paper: every 60 s (Redis default)
+    sealed_meta_bytes: Optional[int] = None  # default: derived from store
+    fixed_cost_scale: Optional[float] = None
+
+    def __post_init__(self):
+        if self.mode not in (MODE_NONE, MODE_NAIVE, MODE_OPTIMIZED):
+            raise SnapshotError(f"unknown snapshot mode {self.mode!r}")
+        if self.fixed_cost_scale is None:
+            self.fixed_cost_scale = min(1.0, self.interval_us / 60_000_000.0)
+
+
+class SnapshotScheduler:
+    """Applies Fig. 19 snapshot costs to a running store's thread clocks.
+
+    Experiments call :meth:`tick` between operations (cheap); the
+    scheduler watches simulated time and injects stalls / per-write
+    overheads according to the policy.
+    """
+
+    # Extra cycles a set pays during the optimized window: encrypt+insert
+    # into the temporary table and update its metadata (Algorithm 1 L7).
+    TEMP_TABLE_FACTOR = 0.6
+    # Per-entry cost of folding the temporary table back into the main
+    # table after the child finishes (Algorithm 1 L11).
+    MERGE_CYCLES_PER_ENTRY = 2_500.0
+
+    def __init__(self, store, policy: SnapshotPolicy):
+        self.store = store  # ShieldStore or PartitionedShieldStore
+        self.policy = policy
+        self.machine = store.machine
+        self.next_snapshot_us = policy.interval_us
+        self.window_end_us: Optional[float] = None
+        self.temp_table_writes = 0
+        self.snapshots_taken = 0
+        self.total_stall_us = 0.0
+
+    # -- helpers ---------------------------------------------------------
+    def _data_bytes(self) -> int:
+        if hasattr(self.store, "partitions"):
+            return sum(p.untrusted_bytes_live() for p in self.store.partitions)
+        return self.store.untrusted_bytes_live()
+
+    def _meta_bytes(self) -> int:
+        if self.policy.sealed_meta_bytes is not None:
+            return self.policy.sealed_meta_bytes
+        if hasattr(self.store, "partitions"):
+            return sum(
+                p.config.num_mac_hashes * 16 + 64 for p in self.store.partitions
+            )
+        return self.store.config.num_mac_hashes * 16 + 64
+
+    def _storage_us(self, nbytes: int) -> float:
+        cost = self.machine.cost
+        return cost.storage_seek_us + nbytes / cost.storage_write_bw_bytes_per_us
+
+    def _stall_all(self, us: float) -> None:
+        cycles = self.machine.cost.us_to_cycles(us)
+        for clock in self.machine.clock.threads:
+            clock.charge(cycles)
+        self.total_stall_us += us
+
+    # -- the per-operation hook -----------------------------------------
+    def tick(self, is_write: bool) -> None:
+        """Advance the snapshot state machine; call once per operation."""
+        if self.policy.mode == MODE_NONE:
+            return
+        now_us = self.machine.elapsed_us()
+        if self.window_end_us is not None and now_us >= self.window_end_us:
+            self._finish_window()
+        if now_us >= self.next_snapshot_us:
+            self._begin_snapshot()
+        elif (
+            self.policy.mode == MODE_OPTIMIZED
+            and self.window_end_us is not None
+            and is_write
+        ):
+            # Algorithm 1 line 7: mirror the write into the temp table.
+            extra = self.machine.cost.op_dispatch_cycles * self.TEMP_TABLE_FACTOR
+            extra += self.machine.cost.aes_cycles(64) * self.TEMP_TABLE_FACTOR
+            self.machine.clock.threads[0].charge(extra)
+            self.temp_table_writes += 1
+
+    def _begin_snapshot(self) -> None:
+        cost = self.machine.cost
+        fixed = self.policy.fixed_cost_scale
+        seal_us = fixed * cost.cycles_to_us(
+            cost.aes_cycles(self._meta_bytes()) + cost.cmac_cycles(self._meta_bytes())
+        )
+        counter_us = fixed * cost.monotonic_counter_us
+        meta_write_us = fixed * self._storage_us(self._meta_bytes())
+        data_write_us = self._storage_us(self._data_bytes())
+        self.snapshots_taken += 1
+        if self.policy.mode == MODE_NAIVE:
+            # Serving is blocked for the entire snapshot.
+            self._stall_all(seal_us + counter_us + meta_write_us + data_write_us)
+            self.next_snapshot_us = (
+                self.machine.elapsed_us() + self.policy.interval_us
+            )
+        else:
+            # Optimized: stall only for seal + fork + counter + metadata;
+            # the forked child writes entries concurrently.
+            fork_us = fixed * cost.cycles_to_us(cost.fork_cycles)
+            self._stall_all(seal_us + counter_us + fork_us + meta_write_us)
+            self.window_end_us = self.machine.elapsed_us() + data_write_us
+            self.temp_table_writes = 0
+            self.next_snapshot_us = (
+                self.machine.elapsed_us() + self.policy.interval_us
+            )
+
+    def _finish_window(self) -> None:
+        # Algorithm 1 line 11: merge the temp table into the main table.
+        merge_cycles = self.temp_table_writes * self.MERGE_CYCLES_PER_ENTRY
+        self.machine.clock.threads[0].charge(merge_cycles)
+        self.window_end_us = None
+        self.temp_table_writes = 0

@@ -1,0 +1,154 @@
+"""Capacity planning: choose bucket and MAC-hash counts for a deployment.
+
+Section 4.3 describes the sizing tension ShieldStore's operator faces:
+
+* too few buckets -> long chains -> more decryptions per search;
+* too many MAC hashes -> the in-enclave array outgrows the EPC and
+  starts demand-paging (Fig. 15's cliff);
+* too few MAC hashes -> large bucket sets -> more MACs read and hashed
+  per integrity check.
+
+:func:`plan` turns those constraints into numbers: given the expected
+population and value size, it sizes the structures, reports where every
+byte lives (EPC vs untrusted), and estimates the per-get verification
+work — the same arithmetic the paper uses to default to 8M buckets and
+4M MAC hashes for 10M pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.entry import entry_total_size
+from repro.core.hashindex import SLOT_SIZE
+from repro.core.macbucket import NODE_HEADER
+from repro.core.mactree import HASH_SIZE
+from repro.sim.cycles import DEFAULT_COST_MODEL, CostModel
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Sizing outcome for one deployment."""
+
+    num_pairs: int
+    key_size: int
+    val_size: int
+    num_buckets: int
+    num_mac_hashes: int
+    avg_chain_length: float
+    buckets_per_set: int
+    # -- memory placement --------------------------------------------------
+    enclave_bytes: int          # MAC-hash array (the EPC budget consumer)
+    untrusted_entry_bytes: int
+    untrusted_index_bytes: int  # bucket slots + MAC buckets
+    epc_budget_bytes: int
+    epc_utilization: float      # enclave_bytes / epc_budget
+    fits_epc: bool
+    # -- per-get work estimates ----------------------------------------------
+    expected_decryptions_per_get: float
+    macs_read_per_get: float
+    est_get_cycles: float
+
+    def summary(self) -> str:
+        """Human-readable report."""
+        lines = [
+            f"population: {self.num_pairs:,} pairs "
+            f"({self.key_size}B keys, {self.val_size}B values)",
+            f"buckets: {self.num_buckets:,} (avg chain {self.avg_chain_length:.2f})",
+            f"MAC hashes: {self.num_mac_hashes:,} "
+            f"(bucket sets of {self.buckets_per_set})",
+            f"enclave memory: {self.enclave_bytes / 2**20:.1f} MB of "
+            f"{self.epc_budget_bytes / 2**20:.1f} MB EPC "
+            f"({self.epc_utilization:.0%}{'' if self.fits_epc else ' — OVERFLOWS, will page!'})",
+            f"untrusted memory: {self.untrusted_entry_bytes / 2**20:.1f} MB entries "
+            f"+ {self.untrusted_index_bytes / 2**20:.1f} MB index",
+            f"per get: ~{self.expected_decryptions_per_get:.2f} decryptions, "
+            f"~{self.macs_read_per_get:.1f} MACs verified, "
+            f"~{self.est_get_cycles:,.0f} cycles",
+        ]
+        return "\n".join(lines)
+
+
+def plan(
+    num_pairs: int,
+    key_size: int = 16,
+    val_size: int = 512,
+    num_buckets: Optional[int] = None,
+    num_mac_hashes: Optional[int] = None,
+    mac_bucket_capacity: int = 30,
+    key_hints: bool = True,
+    cost: CostModel = DEFAULT_COST_MODEL,
+) -> CapacityPlan:
+    """Size a deployment; auto-chooses structure counts when omitted.
+
+    Auto-sizing follows the paper's defaults: buckets ~= 0.8x the pair
+    count (chain ~1.25), and as many MAC hashes as fit in half the
+    effective EPC, capped at the bucket count.
+    """
+    if num_pairs <= 0:
+        raise ValueError("num_pairs must be positive")
+    if num_buckets is None:
+        num_buckets = max(1, int(num_pairs * 0.8))
+    if num_mac_hashes is None:
+        by_epc = cost.epc_effective_bytes // 2 // HASH_SIZE
+        num_mac_hashes = max(1, min(num_buckets, by_epc))
+    num_mac_hashes = min(num_mac_hashes, num_buckets)
+
+    chain = num_pairs / num_buckets
+    buckets_per_set = -(-num_buckets // num_mac_hashes)
+    enclave_bytes = num_mac_hashes * HASH_SIZE
+    entry_bytes = num_pairs * entry_total_size(key_size, val_size)
+    mac_nodes = num_buckets  # one node per non-empty bucket, approx.
+    index_bytes = num_buckets * SLOT_SIZE + mac_nodes * (
+        NODE_HEADER + mac_bucket_capacity * 16
+    )
+    epc_budget = cost.epc_effective_bytes
+    fits = enclave_bytes <= epc_budget
+
+    # Expected decryptions to find a key mid-chain (paper §5.4): with
+    # hints only 1 + collisions/256 candidates decrypt; without, half
+    # the chain on average.
+    if key_hints:
+        decrypts = 1.0 + max(0.0, chain - 1.0) / 256.0
+    else:
+        decrypts = max(1.0, (chain + 1.0) / 2.0)
+    macs_per_get = chain * buckets_per_set
+
+    kv = key_size + val_size
+    est = (
+        cost.op_dispatch_cycles
+        + 2 * cost.keyed_hash_cycles
+        + cost.mem_cycles(SLOT_SIZE, False, False)          # bucket slot
+        + chain * cost.mem_cycles(33, False, False)          # headers
+        + decrypts * (cost.mem_cycles(kv, False, False) + cost.aes_cycles(kv))
+        + cost.cmac_cycles(kv + 25)                          # entry verify
+        + cost.mem_cycles(int(16 * macs_per_get) + NODE_HEADER, False, False)
+        + cost.cmac_cycles(int(16 * macs_per_get))           # set hash
+        + cost.mem_cycles(HASH_SIZE, False, True)            # stored hash
+        + cost.mem_cycles(val_size, True, True)              # response copy
+    )
+    if not fits:
+        # Every get touches the overflowing MAC array: charge the
+        # expected paging cost (Fig. 15's collapse).
+        miss_probability = 1.0 - epc_budget / enclave_bytes
+        est += miss_probability * cost.page_fault_read_cycles
+
+    return CapacityPlan(
+        num_pairs=num_pairs,
+        key_size=key_size,
+        val_size=val_size,
+        num_buckets=num_buckets,
+        num_mac_hashes=num_mac_hashes,
+        avg_chain_length=chain,
+        buckets_per_set=buckets_per_set,
+        enclave_bytes=enclave_bytes,
+        untrusted_entry_bytes=entry_bytes,
+        untrusted_index_bytes=index_bytes,
+        epc_budget_bytes=epc_budget,
+        epc_utilization=enclave_bytes / epc_budget,
+        fits_epc=fits,
+        expected_decryptions_per_get=decrypts,
+        macs_read_per_get=macs_per_get,
+        est_get_cycles=est,
+    )

@@ -1,0 +1,54 @@
+"""Operation-level statistics a store accumulates.
+
+These complement the machine-level :class:`~repro.sim.cycles.CycleCounters`
+(memory events, crypto calls) with store semantics: hits/misses, chain
+walk lengths, search-path decryptions (Fig. 9), allocator OCALLs
+(Fig. 6) and snapshot activity (Fig. 19).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class StoreStats:
+    """Counters for one store (or one partition of a partitioned store)."""
+
+    gets: int = 0
+    sets: int = 0
+    inserts: int = 0
+    updates: int = 0
+    deletes: int = 0
+    appends: int = 0
+    increments: int = 0
+    hits: int = 0
+    misses: int = 0
+    chain_steps: int = 0
+    search_decryptions: int = 0
+    hint_skips: int = 0
+    full_searches: int = 0          # two-step fallbacks taken
+    integrity_checks: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    alloc_ocalls: int = 0
+    alloc_requests: int = 0
+    snapshots: int = 0
+    snapshot_stall_us: float = 0.0
+    temp_table_merges: int = 0
+
+    def merge(self, other: "StoreStats") -> "StoreStats":
+        """Sum counters across partitions; returns a new object."""
+        result = StoreStats()
+        for name in vars(result):
+            setattr(result, name, getattr(self, name) + getattr(other, name))
+        return result
+
+    def snapshot_dict(self) -> dict:
+        """Plain-dict view for reports."""
+        return dict(vars(self))
+
+    @property
+    def operations(self) -> int:
+        """Total client-visible operations served."""
+        return self.gets + self.sets + self.deletes + self.appends + self.increments

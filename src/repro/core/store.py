@@ -1,0 +1,857 @@
+"""ShieldStore: the paper's shielded key-value store (§4, §5).
+
+The store runs "inside" a simulated enclave: its secrets (key ring,
+bucket-set MAC hashes) live in enclave memory, while the main hash table
+— bucket slots, entry records, MAC buckets — lives in untrusted memory
+as real, attacker-visible bytes.  Every operation does the actual
+cryptographic work (encrypt, decrypt, MAC, verify) and charges the
+simulated cycle costs of the accesses it performs.
+
+Operation anatomy (``get``; ``set``/``delete`` add a mutation phase):
+
+1. keyed-hash the client key to a bucket and a 1-byte hint (§4.2, §5.4);
+2. walk the untrusted chain, decrypting only hint-matching candidates;
+3. collect every entry MAC of the covering bucket set — from MAC buckets
+   (§5.2) or by pointer-chasing chains — and verify the in-enclave
+   bucket-set hash (§4.3, replay defense);
+4. verify the found entry's own MAC, then return the plaintext value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.allocator import make_allocator
+from repro.core.cache import EnclaveCache
+from repro.core.config import StoreConfig
+from repro.core.entry import (
+    HEADER_SIZE,
+    MAC_SIZE,
+    EntryHeader,
+    entry_total_size,
+    mac_message,
+    pack_header,
+    unpack_header,
+)
+from repro.core.hashindex import BucketTable
+from repro.core.macbucket import MacBucketStore
+from repro.core.mactree import MacTree
+from repro.core.stats import StoreStats
+from repro.crypto.ctr import increment_iv_ctr
+from repro.crypto.keys import KeyRing
+from repro.crypto.suite import make_suite
+from repro.errors import IntegrityError, KeyNotFoundError, StoreError
+from repro.sim.enclave import Enclave, ExecContext, Machine
+from repro.sim.sdk import sgx_read_rand
+
+_MAX_CHAIN = 1_000_000  # cycle guard against corrupted untrusted chains
+
+# MRENCLAVE of the reference ShieldStore enclave build (any fixed 32 bytes).
+DEFAULT_MEASUREMENT = bytes(range(32))
+
+
+@dataclass
+class FoundEntry:
+    """Result of a successful chain search."""
+
+    addr: int
+    prev_addr: int      # 0 when the entry is the chain head
+    index: int          # position within the chain (0 = head)
+    header: EntryHeader
+    key: bytes
+    value: bytes
+    enc_kv: bytes
+
+
+@dataclass
+class WalkResult:
+    """Everything one chain traversal learned.
+
+    ``candidates`` are entries that were decrypted but did not match the
+    requested key (hint collisions — or tampered ciphertexts, which is
+    why their MACs are verified before a miss is reported).
+    ``chain_len`` is the full chain length when the walk reached the end
+    (always on a miss), or -1 when it stopped early at a match.
+    """
+
+    found: Optional[FoundEntry]
+    macs: List[bytes]
+    chain_len: int
+    candidates: List[Tuple[int, EntryHeader, bytes]]
+
+
+class ShieldStore:
+    """A single-partition shielded key-value store.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.core.config.StoreConfig` to build with.
+    machine:
+        Simulated host; a fresh single-thread machine is created when
+        omitted.
+    enclave:
+        Enclave to run in; created on ``machine`` when omitted.
+    thread_id:
+        The simulated thread that serves this store's operations
+        (partitioned stores assign one store per thread, §5.3).
+    master_secret:
+        32-byte enclave master secret; drawn from the machine RNG when
+        omitted.  Sealing restores it across restarts.
+    """
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        machine: Optional[Machine] = None,
+        enclave: Optional[Enclave] = None,
+        thread_id: int = 0,
+        master_secret: Optional[bytes] = None,
+    ):
+        self.config = config
+        self.machine = machine if machine is not None else Machine(seed=config.seed)
+        self.enclave = (
+            enclave
+            if enclave is not None
+            else Enclave(self.machine, DEFAULT_MEASUREMENT)
+        )
+        self.thread_id = thread_id
+        self._ctx = self.enclave.context(thread_id)
+        if master_secret is None:
+            master_secret = bytes(
+                self.machine.rng.getrandbits(8) for _ in range(32)
+            )
+        self.keyring = KeyRing(master_secret)
+        self.suite = make_suite(
+            config.suite_name, self.keyring.enc_key, self.keyring.mac_key
+        )
+        self.allocator = make_allocator(
+            self.enclave, config.use_extra_heap, config.heap_chunk_bytes
+        )
+        self.buckets = BucketTable(self.enclave, config.num_buckets)
+        self.mactree = MacTree(
+            self.enclave, config.num_mac_hashes, config.num_buckets
+        )
+        self.macbuckets = (
+            MacBucketStore(self.enclave, self.allocator, config.mac_bucket_capacity)
+            if config.mac_bucketing
+            else None
+        )
+        self.cache = (
+            EnclaveCache(self.enclave, config.cache_bytes)
+            if config.cache_bytes > 0
+            else None
+        )
+        self.stats = StoreStats()
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    # small helpers
+    # ------------------------------------------------------------------
+    def _context(self, ctx: Optional[ExecContext]) -> ExecContext:
+        return ctx if ctx is not None else self._ctx
+
+    def _bucket_of(self, ctx: ExecContext, key: bytes) -> int:
+        ctx.charge_keyed_hash()
+        return self.keyring.keyed_bucket_hash(key, self.config.num_buckets)
+
+    def _hint_of(self, ctx: ExecContext, key: bytes) -> int:
+        ctx.charge_keyed_hash()
+        return self.keyring.key_hint(key)
+
+    def _charge_copy(self, ctx: ExecContext, nbytes: int, write: bool) -> None:
+        # Copying request/response payloads across the enclave boundary
+        # (the paper's "copying data back and forth from an enclave").
+        ctx.charge(self.machine.cost.mem_cycles(nbytes, write, in_epc=True))
+
+    def _mem(self):
+        return self.machine.memory
+
+    # -- entry record I/O ---------------------------------------------------
+    def _read_header(self, ctx: ExecContext, addr: int) -> EntryHeader:
+        header = unpack_header(self._mem().read(ctx, addr, HEADER_SIZE))
+        self.buckets.check_pointer(header.next_ptr, self.config.pointer_check)
+        return header
+
+    def _read_enc_kv(self, ctx: ExecContext, addr: int, header: EntryHeader) -> bytes:
+        return self._mem().read(ctx, addr + HEADER_SIZE, header.kv_size)
+
+    def _read_entry_mac(self, ctx: ExecContext, addr: int, header: EntryHeader) -> bytes:
+        return self._mem().read(
+            ctx, addr + HEADER_SIZE + header.kv_size, MAC_SIZE
+        )
+
+    def _decrypt_kv(
+        self, ctx: ExecContext, header: EntryHeader, enc_kv: bytes
+    ) -> Tuple[bytes, bytes]:
+        ctx.charge_aes(len(enc_kv))
+        self.machine.counters.decryptions += 1
+        self.stats.search_decryptions += 1
+        plain = self.suite.decrypt(header.iv_ctr, enc_kv)
+        return plain[: header.key_size], plain[header.key_size :]
+
+    def _write_entry(
+        self,
+        ctx: ExecContext,
+        addr: int,
+        header: EntryHeader,
+        enc_kv: bytes,
+        mac: bytes,
+    ) -> None:
+        self._mem().write(ctx, addr, pack_header(header) + enc_kv + mac)
+
+    def _encrypt_entry(
+        self, ctx: ExecContext, key: bytes, value: bytes, iv_ctr: bytes, next_ptr: int
+    ) -> Tuple[EntryHeader, bytes, bytes]:
+        header = EntryHeader(
+            next_ptr=next_ptr,
+            key_hint=self.keyring.key_hint(key),
+            key_size=len(key),
+            val_size=len(value),
+            iv_ctr=iv_ctr,
+        )
+        ctx.charge_aes(len(key) + len(value))
+        enc_kv = self.suite.encrypt(iv_ctr, key + value)
+        ctx.charge_cmac(len(enc_kv) + 25)
+        mac = self.suite.mac(mac_message(header, enc_kv))
+        return header, enc_kv, mac
+
+    # ------------------------------------------------------------------
+    # chain search
+    # ------------------------------------------------------------------
+    def _walk(
+        self,
+        ctx: ExecContext,
+        bucket: int,
+        key: bytes,
+        hint: int,
+        decrypt_all: bool,
+        collect_macs: bool,
+    ) -> WalkResult:
+        """Walk one bucket chain looking for ``key``.
+
+        ``macs`` is only populated when ``collect_macs`` (the
+        non-MAC-bucket integrity path, which must pointer-chase every
+        entry anyway).
+        """
+        use_hints = self.config.key_hint_enabled and not decrypt_all
+        macs: List[bytes] = []
+        candidates: List[Tuple[int, EntryHeader, bytes]] = []
+        found: Optional[FoundEntry] = None
+        prev = 0
+        addr = self.buckets.read_head(ctx, bucket, self.config.pointer_check)
+        index = 0
+        while addr:
+            if index >= _MAX_CHAIN:
+                raise StoreError("hash chain cycle detected (corrupted table)")
+            header = self._read_header(ctx, addr)
+            self.stats.chain_steps += 1
+            if collect_macs:
+                macs.append(self._read_entry_mac(ctx, addr, header))
+            if found is None and header.key_size == len(key):
+                if not use_hints or header.key_hint == hint:
+                    enc_kv = self._read_enc_kv(ctx, addr, header)
+                    plain_key, plain_val = self._decrypt_kv(ctx, header, enc_kv)
+                    if plain_key == key:
+                        found = FoundEntry(
+                            addr, prev, index, header, plain_key, plain_val, enc_kv
+                        )
+                        if not collect_macs:
+                            # MAC buckets provide the remaining MACs; the
+                            # chain walk can stop at the match (§5.2).
+                            return WalkResult(found, macs, -1, candidates)
+                    else:
+                        candidates.append((index, header, enc_kv))
+                elif use_hints:
+                    self.stats.hint_skips += 1
+            prev = addr
+            addr = header.next_ptr
+            index += 1
+        return WalkResult(found, macs, index, candidates)
+
+    def _search(self, ctx: ExecContext, bucket: int, key: bytes, hint: int) -> WalkResult:
+        """Hint-guided search with the §5.4 two-step fallback.
+
+        The MAC list in the result is populated only in the
+        pointer-chasing (no MAC bucket) configuration.
+        """
+        collect = self.macbuckets is None
+        walk = self._walk(
+            ctx, bucket, key, hint, decrypt_all=False, collect_macs=collect
+        )
+        if (
+            walk.found is None
+            and self.config.key_hint_enabled
+            and self.config.two_step_search
+        ):
+            # Hints may have been corrupted (availability attack, §5.4):
+            # re-walk decrypting everything before concluding absence.
+            self.stats.full_searches += 1
+            walk = self._walk(
+                ctx, bucket, key, hint, decrypt_all=True, collect_macs=collect
+            )
+        return walk
+
+    # ------------------------------------------------------------------
+    # integrity plumbing
+    # ------------------------------------------------------------------
+    def _collect_bucket_macs(self, ctx: ExecContext, bucket: int) -> List[bytes]:
+        """All entry MACs of ``bucket`` in chain order."""
+        if self.macbuckets is not None:
+            head = self.buckets.read_mac_ptr(ctx, bucket, self.config.pointer_check)
+            return self.macbuckets.read_all(ctx, head) if head else []
+        macs: List[bytes] = []
+        addr = self.buckets.read_head(ctx, bucket, self.config.pointer_check)
+        steps = 0
+        while addr:
+            if steps >= _MAX_CHAIN:
+                raise StoreError("hash chain cycle detected (corrupted table)")
+            header = self._read_header(ctx, addr)
+            macs.append(self._read_entry_mac(ctx, addr, header))
+            addr = header.next_ptr
+            steps += 1
+        return macs
+
+    def _gather_set_macs(
+        self,
+        ctx: ExecContext,
+        bucket: int,
+        own_macs: Optional[List[bytes]] = None,
+    ) -> Tuple[int, Dict[int, List[bytes]]]:
+        """MACs of every bucket in the covering set, keyed by bucket."""
+        set_id = self.mactree.set_of(bucket)
+        by_bucket: Dict[int, List[bytes]] = {}
+        for member in self.mactree.buckets_of(set_id):
+            if member == bucket and own_macs is not None:
+                by_bucket[member] = own_macs
+            else:
+                by_bucket[member] = self._collect_bucket_macs(ctx, member)
+        return set_id, by_bucket
+
+    @staticmethod
+    def _flatten(by_bucket: Dict[int, List[bytes]]) -> List[bytes]:
+        return [mac for b in sorted(by_bucket) for mac in by_bucket[b]]
+
+    def _verify_set(
+        self, ctx: ExecContext, set_id: int, by_bucket: Dict[int, List[bytes]]
+    ) -> None:
+        self.stats.integrity_checks += 1
+        self.mactree.verify_set(ctx, self.suite, set_id, self._flatten(by_bucket))
+
+    def _update_set(
+        self, ctx: ExecContext, set_id: int, by_bucket: Dict[int, List[bytes]]
+    ) -> None:
+        self.mactree.update_set(ctx, self.suite, set_id, self._flatten(by_bucket))
+
+    def _verify_found(
+        self,
+        ctx: ExecContext,
+        found: FoundEntry,
+        bucket_macs: List[bytes],
+    ) -> None:
+        """Check the found entry's own MAC against the authenticated copy."""
+        ctx.charge_cmac(len(found.enc_kv) + 25)
+        computed = self.suite.mac(mac_message(found.header, found.enc_kv))
+        if found.index >= len(bucket_macs):
+            raise IntegrityError(
+                "entry is missing from its MAC bucket (tampered metadata)"
+            )
+        if computed != bucket_macs[found.index]:
+            raise IntegrityError(
+                f"entry MAC mismatch for key {found.key!r}: untrusted entry "
+                "bytes were tampered with"
+            )
+
+    def _verify_walk(
+        self,
+        ctx: ExecContext,
+        walk: "WalkResult",
+        bucket_macs: List[bytes],
+    ) -> None:
+        """Authenticate everything a walk concluded (hardening beyond the
+        paper; see DESIGN.md).
+
+        * Decrypted-but-unmatched candidates are verified, so a flipped
+          ciphertext cannot masquerade as a different key and turn into a
+          silent authenticated miss.
+        * On a miss, the observed chain length must equal the
+          authenticated MAC count — in MAC-bucket mode a truncated chain
+          would otherwise hide entries while the set hash still matched.
+        """
+        for index, header, enc_kv in walk.candidates:
+            ctx.charge_cmac(len(enc_kv) + 25)
+            computed = self.suite.mac(mac_message(header, enc_kv))
+            if index >= len(bucket_macs) or computed != bucket_macs[index]:
+                raise IntegrityError(
+                    f"chain entry at position {index} failed verification: "
+                    "untrusted entry bytes were tampered with"
+                )
+        if (
+            walk.found is None
+            and walk.chain_len >= 0
+            and walk.chain_len != len(bucket_macs)
+        ):
+            raise IntegrityError(
+                f"chain length {walk.chain_len} does not match the "
+                f"authenticated MAC count {len(bucket_macs)}: entries were "
+                "hidden or injected"
+            )
+
+    # ------------------------------------------------------------------
+    # public operations
+    # ------------------------------------------------------------------
+    def get(self, key: bytes, ctx: Optional[ExecContext] = None) -> bytes:
+        """Return the value stored under ``key``.
+
+        Raises :class:`KeyNotFoundError` when absent,
+        :class:`IntegrityError`/:class:`ReplayError` when untrusted state
+        fails verification.
+        """
+        ctx = self._context(ctx)
+        ctx.charge(self.machine.cost.op_dispatch_cycles)
+        self.stats.gets += 1
+        key = bytes(key)
+        if self.cache is not None:
+            cached = self.cache.lookup(ctx, key)
+            if cached is not None:
+                self.stats.cache_hits += 1
+                self.stats.hits += 1
+                return cached
+            self.stats.cache_misses += 1
+        bucket = self._bucket_of(ctx, key)
+        hint = self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
+        walk = self._search(ctx, bucket, key, hint)
+        found = walk.found
+        set_id, by_bucket = self._gather_set_macs(
+            ctx, bucket, walk.macs if self.macbuckets is None else None
+        )
+        self._verify_set(ctx, set_id, by_bucket)
+        self._verify_walk(ctx, walk, by_bucket[bucket])
+        if found is None:
+            self.stats.misses += 1
+            raise KeyNotFoundError(key)
+        self._verify_found(ctx, found, by_bucket[bucket])
+        self._charge_copy(ctx, len(found.value), write=True)
+        if self.cache is not None:
+            self.cache.insert(ctx, key, found.value)
+        self.stats.hits += 1
+        return found.value
+
+    def set(self, key: bytes, value: bytes, ctx: Optional[ExecContext] = None) -> None:
+        """Insert or update ``key`` -> ``value``."""
+        ctx = self._context(ctx)
+        ctx.charge(self.machine.cost.op_dispatch_cycles)
+        self.stats.sets += 1
+        key, value = bytes(key), bytes(value)
+        self._charge_copy(ctx, len(key) + len(value), write=False)
+        bucket = self._bucket_of(ctx, key)
+        hint = self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
+        walk = self._search(ctx, bucket, key, hint)
+        found = walk.found
+        set_id, by_bucket = self._gather_set_macs(
+            ctx, bucket, walk.macs if self.macbuckets is None else None
+        )
+        self._verify_set(ctx, set_id, by_bucket)
+        self._verify_walk(ctx, walk, by_bucket[bucket])
+        if found is not None:
+            self._update_entry(ctx, bucket, set_id, by_bucket, found, value)
+            self.stats.updates += 1
+        else:
+            self._insert_entry(ctx, bucket, set_id, by_bucket, key, value)
+            self.stats.inserts += 1
+        if self.cache is not None:
+            self.cache.insert(ctx, key, value)
+
+    def delete(self, key: bytes, ctx: Optional[ExecContext] = None) -> None:
+        """Remove ``key``; raises :class:`KeyNotFoundError` when absent."""
+        ctx = self._context(ctx)
+        ctx.charge(self.machine.cost.op_dispatch_cycles)
+        self.stats.deletes += 1
+        key = bytes(key)
+        bucket = self._bucket_of(ctx, key)
+        hint = self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
+        walk = self._search(ctx, bucket, key, hint)
+        found = walk.found
+        set_id, by_bucket = self._gather_set_macs(
+            ctx, bucket, walk.macs if self.macbuckets is None else None
+        )
+        self._verify_set(ctx, set_id, by_bucket)
+        self._verify_walk(ctx, walk, by_bucket[bucket])
+        if found is None:
+            self.stats.misses += 1
+            raise KeyNotFoundError(key)
+        self._verify_found(ctx, found, by_bucket[bucket])
+        # Unlink from the chain.
+        if found.prev_addr:
+            self._mem().write(
+                ctx, found.prev_addr, found.header.next_ptr.to_bytes(8, "little")
+            )
+        else:
+            self.buckets.write_head(ctx, bucket, found.header.next_ptr)
+        self.allocator.free(ctx, found.addr, found.header.total_size)
+        if self.macbuckets is not None:
+            head = self.buckets.read_mac_ptr(ctx, bucket, self.config.pointer_check)
+            new_head = self.macbuckets.remove(ctx, head, found.index)
+            if new_head != head:
+                self.buckets.write_mac_ptr(ctx, bucket, new_head)
+        macs = by_bucket[bucket]
+        del macs[found.index]
+        self._update_set(ctx, set_id, by_bucket)
+        if self.cache is not None:
+            self.cache.invalidate(key)
+        self.count -= 1
+        self._sync_alloc_stats()
+
+    def append(self, key: bytes, suffix: bytes, ctx: Optional[ExecContext] = None) -> bytes:
+        """Append ``suffix`` to the value (server-side op, §6.2).
+
+        Creates the key when absent (Redis ``APPEND`` semantics).
+        Returns the new value.
+        """
+        ctx = self._context(ctx)
+        ctx.charge(self.machine.cost.op_dispatch_cycles)
+        self.stats.appends += 1
+        key, suffix = bytes(key), bytes(suffix)
+        self._charge_copy(ctx, len(key) + len(suffix), write=False)
+        bucket = self._bucket_of(ctx, key)
+        hint = self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
+        walk = self._search(ctx, bucket, key, hint)
+        found = walk.found
+        set_id, by_bucket = self._gather_set_macs(
+            ctx, bucket, walk.macs if self.macbuckets is None else None
+        )
+        self._verify_set(ctx, set_id, by_bucket)
+        self._verify_walk(ctx, walk, by_bucket[bucket])
+        if found is None:
+            self._insert_entry(ctx, bucket, set_id, by_bucket, key, suffix)
+            self.stats.inserts += 1
+            new_value = suffix
+        else:
+            self._verify_found(ctx, found, by_bucket[bucket])
+            new_value = found.value + suffix
+            self._update_entry(ctx, bucket, set_id, by_bucket, found, new_value)
+            self.stats.updates += 1
+        if self.cache is not None:
+            self.cache.insert(ctx, key, new_value)
+        return new_value
+
+    def increment(
+        self, key: bytes, delta: int = 1, ctx: Optional[ExecContext] = None
+    ) -> int:
+        """Add ``delta`` to an ASCII-integer value (server-side op, §3.2).
+
+        Creates the key at ``delta`` when absent (Redis ``INCRBY``).
+        Returns the new integer value.
+        """
+        ctx = self._context(ctx)
+        ctx.charge(self.machine.cost.op_dispatch_cycles)
+        self.stats.increments += 1
+        key = bytes(key)
+        bucket = self._bucket_of(ctx, key)
+        hint = self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
+        walk = self._search(ctx, bucket, key, hint)
+        found = walk.found
+        set_id, by_bucket = self._gather_set_macs(
+            ctx, bucket, walk.macs if self.macbuckets is None else None
+        )
+        self._verify_set(ctx, set_id, by_bucket)
+        self._verify_walk(ctx, walk, by_bucket[bucket])
+        if found is None:
+            new_int = delta
+            self._insert_entry(
+                ctx, bucket, set_id, by_bucket, key, str(new_int).encode()
+            )
+            self.stats.inserts += 1
+        else:
+            self._verify_found(ctx, found, by_bucket[bucket])
+            try:
+                new_int = int(found.value.decode("ascii")) + delta
+            except (UnicodeDecodeError, ValueError):
+                raise StoreError(
+                    f"value under {key!r} is not an ASCII integer"
+                ) from None
+            self._update_entry(
+                ctx, bucket, set_id, by_bucket, found, str(new_int).encode()
+            )
+            self.stats.updates += 1
+        if self.cache is not None:
+            self.cache.insert(ctx, key, str(new_int).encode())
+        return new_int
+
+    def compare_and_swap(
+        self,
+        key: bytes,
+        expected: bytes,
+        new_value: bytes,
+        ctx: Optional[ExecContext] = None,
+    ) -> bool:
+        """Atomically replace ``key``'s value iff it equals ``expected``.
+
+        Another §3.2 server-side operation: the comparison happens on the
+        plaintext *inside the enclave*, so the client never round-trips
+        the current value, and the host observes only that an entry was
+        rewritten.  Returns True on swap, False on value mismatch; raises
+        :class:`KeyNotFoundError` when absent.
+        """
+        ctx = self._context(ctx)
+        ctx.charge(self.machine.cost.op_dispatch_cycles)
+        key, expected, new_value = bytes(key), bytes(expected), bytes(new_value)
+        self._charge_copy(ctx, len(key) + len(expected) + len(new_value), write=False)
+        bucket = self._bucket_of(ctx, key)
+        hint = self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
+        walk = self._search(ctx, bucket, key, hint)
+        set_id, by_bucket = self._gather_set_macs(
+            ctx, bucket, walk.macs if self.macbuckets is None else None
+        )
+        self._verify_set(ctx, set_id, by_bucket)
+        self._verify_walk(ctx, walk, by_bucket[bucket])
+        if walk.found is None:
+            self.stats.misses += 1
+            raise KeyNotFoundError(key)
+        self._verify_found(ctx, walk.found, by_bucket[bucket])
+        if walk.found.value != expected:
+            return False
+        self._update_entry(ctx, bucket, set_id, by_bucket, walk.found, new_value)
+        self.stats.sets += 1
+        self.stats.updates += 1
+        if self.cache is not None:
+            self.cache.insert(ctx, key, new_value)
+        return True
+
+    def contains(self, key: bytes, ctx: Optional[ExecContext] = None) -> bool:
+        """Membership test with full integrity verification."""
+        try:
+            self.get(key, ctx)
+            return True
+        except KeyNotFoundError:
+            return False
+
+    def multi_get(
+        self, keys, ctx: Optional[ExecContext] = None
+    ) -> Dict[bytes, Optional[bytes]]:
+        """Batched lookup (memcached ``get_multi`` semantics).
+
+        Returns a dict with one entry per requested key; absent keys map
+        to ``None``.  Keys that share a bucket set amortize the set-hash
+        verification: the integrity read covering the whole set is done
+        once per set instead of once per key.
+        """
+        ctx = self._context(ctx)
+        results: Dict[bytes, Optional[bytes]] = {}
+        verified_sets: Dict[int, Dict[int, List[bytes]]] = {}
+        for key in keys:
+            key = bytes(key)
+            ctx.charge(self.machine.cost.op_dispatch_cycles // 2)
+            self.stats.gets += 1
+            if self.cache is not None:
+                cached = self.cache.lookup(ctx, key)
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    self.stats.hits += 1
+                    results[key] = cached
+                    continue
+                self.stats.cache_misses += 1
+            bucket = self._bucket_of(ctx, key)
+            hint = (
+                self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
+            )
+            walk = self._search(ctx, bucket, key, hint)
+            set_id = self.mactree.set_of(bucket)
+            by_bucket = verified_sets.get(set_id)
+            if by_bucket is None:
+                _sid, by_bucket = self._gather_set_macs(
+                    ctx, bucket, walk.macs if self.macbuckets is None else None
+                )
+                self._verify_set(ctx, set_id, by_bucket)
+                verified_sets[set_id] = by_bucket
+            self._verify_walk(ctx, walk, by_bucket[bucket])
+            if walk.found is None:
+                self.stats.misses += 1
+                results[key] = None
+                continue
+            self._verify_found(ctx, walk.found, by_bucket[bucket])
+            self._charge_copy(ctx, len(walk.found.value), write=True)
+            if self.cache is not None:
+                self.cache.insert(ctx, key, walk.found.value)
+            self.stats.hits += 1
+            results[key] = walk.found.value
+        return results
+
+    def __len__(self) -> int:
+        return self.count
+
+    def audit(self, ctx: Optional[ExecContext] = None) -> int:
+        """Full-table integrity audit; returns the number of entries checked.
+
+        Verifies every bucket-set hash *and* every entry's own MAC — the
+        strongest offline check available (an admin operation, e.g. after
+        a restore or on a schedule).  Raises the usual
+        :class:`~repro.errors.ReplayError`/:class:`~repro.errors.IntegrityError`
+        on the first inconsistency.
+        """
+        ctx = self._context(ctx)
+        checked = 0
+        for set_id in range(self.config.num_mac_hashes):
+            by_bucket = {
+                b: self._collect_bucket_macs(ctx, b)
+                for b in self.mactree.buckets_of(set_id)
+            }
+            if any(by_bucket.values()) or self.mactree.read_hash(
+                ctx, set_id
+            ) != bytes(16):
+                self._verify_set(ctx, set_id, by_bucket)
+            for bucket, macs in by_bucket.items():
+                addr = self.buckets.read_head(ctx, bucket, self.config.pointer_check)
+                index = 0
+                while addr:
+                    header = self._read_header(ctx, addr)
+                    enc_kv = self._read_enc_kv(ctx, addr, header)
+                    ctx.charge_cmac(len(enc_kv) + 25)
+                    computed = self.suite.mac(mac_message(header, enc_kv))
+                    if index >= len(macs) or computed != macs[index]:
+                        raise IntegrityError(
+                            f"audit: entry {index} of bucket {bucket} fails "
+                            "verification"
+                        )
+                    addr = header.next_ptr
+                    index += 1
+                    checked += 1
+                if index != len(macs):
+                    raise IntegrityError(
+                        f"audit: bucket {bucket} chain length {index} != "
+                        f"authenticated MAC count {len(macs)}"
+                    )
+        return checked
+
+    # ------------------------------------------------------------------
+    # mutation internals
+    # ------------------------------------------------------------------
+    def _update_entry(
+        self,
+        ctx: ExecContext,
+        bucket: int,
+        set_id: int,
+        by_bucket: Dict[int, List[bytes]],
+        found: FoundEntry,
+        new_value: bytes,
+    ) -> None:
+        self._verify_found(ctx, found, by_bucket[bucket])
+        new_iv = increment_iv_ctr(found.header.iv_ctr)
+        header, enc_kv, mac = self._encrypt_entry(
+            ctx, found.key, new_value, new_iv, found.header.next_ptr
+        )
+        if len(new_value) == found.header.val_size:
+            # Same size: rewrite the record in place.
+            self._write_entry(ctx, found.addr, header, enc_kv, mac)
+        else:
+            # Size changed: reallocate and splice into the same position.
+            self.allocator.free(ctx, found.addr, found.header.total_size)
+            new_addr = self.allocator.alloc(ctx, header.total_size)
+            self._write_entry(ctx, new_addr, header, enc_kv, mac)
+            if found.prev_addr:
+                self._mem().write(
+                    ctx, found.prev_addr, new_addr.to_bytes(8, "little")
+                )
+            else:
+                self.buckets.write_head(ctx, bucket, new_addr)
+        if self.macbuckets is not None:
+            head = self.buckets.read_mac_ptr(ctx, bucket, self.config.pointer_check)
+            self.macbuckets.replace(ctx, head, found.index, mac)
+        by_bucket[bucket][found.index] = mac
+        self._update_set(ctx, set_id, by_bucket)
+        self._sync_alloc_stats()
+
+    def _insert_entry(
+        self,
+        ctx: ExecContext,
+        bucket: int,
+        set_id: int,
+        by_bucket: Dict[int, List[bytes]],
+        key: bytes,
+        value: bytes,
+    ) -> None:
+        iv_ctr = sgx_read_rand(ctx, 16)
+        old_head = self.buckets.read_head(ctx, bucket, self.config.pointer_check)
+        header, enc_kv, mac = self._encrypt_entry(ctx, key, value, iv_ctr, old_head)
+        addr = self.allocator.alloc(ctx, header.total_size)
+        self._write_entry(ctx, addr, header, enc_kv, mac)
+        self.buckets.write_head(ctx, bucket, addr)
+        if self.macbuckets is not None:
+            head = self.buckets.read_mac_ptr(ctx, bucket, self.config.pointer_check)
+            new_head = self.macbuckets.insert_front(ctx, head, mac)
+            if new_head != head:
+                self.buckets.write_mac_ptr(ctx, bucket, new_head)
+        by_bucket[bucket].insert(0, mac)
+        self._update_set(ctx, set_id, by_bucket)
+        self.count += 1
+        self._sync_alloc_stats()
+
+    def _sync_alloc_stats(self) -> None:
+        self.stats.alloc_ocalls = self.allocator.ocalls
+        self.stats.alloc_requests = self.allocator.requests
+
+    # ------------------------------------------------------------------
+    # iteration (snapshots, tests)
+    # ------------------------------------------------------------------
+    def iter_raw_entries(self) -> Iterator[Tuple[int, bytes]]:
+        """Yield (bucket, raw_record_bytes) without charging cycles.
+
+        Used by the snapshot child process, which reads the untrusted
+        region directly (the entries are already encrypted, §4.4).
+        """
+        mem = self._mem()
+        for bucket in range(self.config.num_buckets):
+            addr_raw = mem.raw_read(self.buckets.slot_addr(bucket), 8)
+            addr = int.from_bytes(addr_raw, "little")
+            steps = 0
+            while addr:
+                if steps >= _MAX_CHAIN:
+                    raise StoreError("hash chain cycle during snapshot walk")
+                header = unpack_header(mem.raw_read(addr, HEADER_SIZE))
+                record = mem.raw_read(addr, header.total_size)
+                yield bucket, record
+                addr = header.next_ptr
+                steps += 1
+
+    def iter_items(
+        self, ctx: Optional[ExecContext] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Decrypt-iterate all (key, value) pairs (charged enclave work)."""
+        ctx = self._context(ctx)
+        for _bucket, record in self.iter_raw_entries():
+            header = unpack_header(record[:HEADER_SIZE])
+            enc_kv = record[HEADER_SIZE : HEADER_SIZE + header.kv_size]
+            ctx.charge_aes(len(enc_kv))
+            plain = self.suite.decrypt(header.iv_ctr, enc_kv)
+            yield plain[: header.key_size], plain[header.key_size :]
+
+    # ------------------------------------------------------------------
+    # snapshot plumbing (see repro.core.persistence for the manager)
+    # ------------------------------------------------------------------
+    def metadata_blob(self) -> bytes:
+        """Serialize in-enclave metadata for sealing (§4.4)."""
+        tree = self.mactree.dump()
+        return (
+            len(self.keyring.master).to_bytes(4, "little")
+            + self.keyring.master
+            + self.count.to_bytes(8, "little")
+            + tree
+        )
+
+    def load_metadata_blob(self, blob: bytes) -> None:
+        """Restore sealed metadata (inverse of :meth:`metadata_blob`)."""
+        mlen = int.from_bytes(blob[:4], "little")
+        master = blob[4 : 4 + mlen]
+        off = 4 + mlen
+        self.count = int.from_bytes(blob[off : off + 8], "little")
+        off += 8
+        self.keyring = KeyRing(master)
+        self.suite = make_suite(
+            self.config.suite_name, self.keyring.enc_key, self.keyring.mac_key
+        )
+        self.mactree.load(blob[off:])
+
+    def untrusted_bytes_live(self) -> int:
+        """Bytes of untrusted memory currently holding store data."""
+        return self.allocator.bytes_live + self.config.num_buckets * 16

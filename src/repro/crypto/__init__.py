@@ -1,0 +1,42 @@
+"""Crypto substrate: from-scratch AES-128/CTR/CMAC plus a fast suite.
+
+Public surface:
+
+* :class:`repro.crypto.aes.AES128` — reference block cipher (FIPS-197).
+* :func:`repro.crypto.ctr.ctr_transform` — CTR mode, SGX-SDK IV/counter
+  convention.
+* :func:`repro.crypto.cmac.cmac` — AES-CMAC (RFC 4493).
+* :class:`repro.crypto.suite.CipherSuite` and friends — pluggable
+  authenticated-encryption backends.
+* :class:`repro.crypto.keys.KeyRing` — in-enclave secret derivation.
+"""
+
+from repro.crypto.aes import AES128
+from repro.crypto.cmac import cmac, verify_cmac
+from repro.crypto.ctr import ctr_transform, increment_iv_ctr, keystream
+from repro.crypto.keys import KeyRing, derive_key
+from repro.crypto.suite import (
+    CipherSuite,
+    FastSuite,
+    ReferenceSuite,
+    available_suites,
+    make_suite,
+    register_suite,
+)
+
+__all__ = [
+    "AES128",
+    "CipherSuite",
+    "FastSuite",
+    "KeyRing",
+    "ReferenceSuite",
+    "available_suites",
+    "cmac",
+    "ctr_transform",
+    "derive_key",
+    "increment_iv_ctr",
+    "keystream",
+    "make_suite",
+    "register_suite",
+    "verify_cmac",
+]

@@ -1,0 +1,73 @@
+"""AES-CMAC (RFC 4493), the stand-in for ``sgx_rijndael128_cmac``.
+
+ShieldStore attaches a 128-bit CMAC to every data entry (paper §4.2,
+"MAC Hashing") and folds per-entry MACs into in-enclave bucket-set hashes
+(§4.3).  This is the reference implementation; the scaled benchmarks use
+the HMAC backend in :mod:`repro.crypto.fast` with identical semantics.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128, BLOCK_SIZE
+from repro.errors import CryptoError
+
+MAC_SIZE = 16
+_MSB = 1 << 127
+_MASK = (1 << 128) - 1
+_RB = 0x87  # the constant for 128-bit block sizes
+
+
+def _left_shift_one(block_int: int) -> int:
+    return (block_int << 1) & _MASK
+
+
+def generate_subkeys(cipher: AES128) -> tuple:
+    """Derive the K1/K2 subkeys of RFC 4493 §2.3."""
+    l_value = int.from_bytes(cipher.encrypt_block(bytes(BLOCK_SIZE)), "big")
+    k1 = _left_shift_one(l_value)
+    if l_value & _MSB:
+        k1 ^= _RB
+    k2 = _left_shift_one(k1)
+    if k1 & _MSB:
+        k2 ^= _RB
+    return k1.to_bytes(16, "big"), k2.to_bytes(16, "big")
+
+
+def cmac(key: bytes, message: bytes) -> bytes:
+    """Compute AES-CMAC over ``message`` with a 16-byte ``key``."""
+    return cmac_with_cipher(AES128(key), message)
+
+
+def cmac_with_cipher(cipher: AES128, message: bytes) -> bytes:
+    """CMAC with a pre-scheduled cipher (avoids re-expanding hot keys)."""
+    k1, k2 = generate_subkeys(cipher)
+    n_blocks = (len(message) + BLOCK_SIZE - 1) // BLOCK_SIZE
+    if n_blocks == 0:
+        n_blocks = 1
+        complete = False
+    else:
+        complete = len(message) % BLOCK_SIZE == 0
+    if complete:
+        last = bytes(
+            a ^ b for a, b in zip(message[(n_blocks - 1) * BLOCK_SIZE :], k1)
+        )
+    else:
+        tail = message[(n_blocks - 1) * BLOCK_SIZE :]
+        padded = tail + b"\x80" + bytes(BLOCK_SIZE - len(tail) - 1)
+        last = bytes(a ^ b for a, b in zip(padded, k2))
+    state = bytes(BLOCK_SIZE)
+    for i in range(n_blocks - 1):
+        block = message[i * BLOCK_SIZE : (i + 1) * BLOCK_SIZE]
+        state = cipher.encrypt_block(bytes(a ^ b for a, b in zip(state, block)))
+    return cipher.encrypt_block(bytes(a ^ b for a, b in zip(state, last)))
+
+
+def verify_cmac(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time-ish comparison of an expected CMAC tag."""
+    if len(tag) != MAC_SIZE:
+        raise CryptoError(f"CMAC tag must be {MAC_SIZE} bytes, got {len(tag)}")
+    expected = cmac(key, message)
+    diff = 0
+    for a, b in zip(expected, tag):
+        diff |= a ^ b
+    return diff == 0

@@ -1,0 +1,45 @@
+"""AES-CTR stream encryption mirroring ``sgx_aes_ctr_encrypt``.
+
+The SGX SDK manages the IV and counter as one combined 128-bit block that
+is incremented per keystream block (paper §4.2, "IV/counter management").
+We follow the same convention: callers hand us a 16-byte ``iv_ctr`` value
+and we treat the whole value as a big-endian counter.
+
+CTR is symmetric, so :func:`ctr_transform` both encrypts and decrypts.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128, BLOCK_SIZE
+from repro.errors import CryptoError
+
+IV_SIZE = 16
+_CTR_MASK = (1 << 128) - 1
+
+
+def increment_iv_ctr(iv_ctr: bytes, amount: int = 1) -> bytes:
+    """Increment a combined IV/counter block, wrapping modulo 2^128."""
+    if len(iv_ctr) != IV_SIZE:
+        raise CryptoError(f"IV/counter must be {IV_SIZE} bytes, got {len(iv_ctr)}")
+    value = (int.from_bytes(iv_ctr, "big") + amount) & _CTR_MASK
+    return value.to_bytes(IV_SIZE, "big")
+
+
+def keystream(cipher: AES128, iv_ctr: bytes, length: int) -> bytes:
+    """Generate ``length`` bytes of CTR keystream starting at ``iv_ctr``."""
+    if len(iv_ctr) != IV_SIZE:
+        raise CryptoError(f"IV/counter must be {IV_SIZE} bytes, got {len(iv_ctr)}")
+    if length < 0:
+        raise CryptoError("keystream length must be non-negative")
+    counter = int.from_bytes(iv_ctr, "big")
+    blocks = []
+    for _ in range((length + BLOCK_SIZE - 1) // BLOCK_SIZE):
+        blocks.append(cipher.encrypt_block(counter.to_bytes(IV_SIZE, "big")))
+        counter = (counter + 1) & _CTR_MASK
+    return b"".join(blocks)[:length]
+
+
+def ctr_transform(cipher: AES128, iv_ctr: bytes, data: bytes) -> bytes:
+    """Encrypt or decrypt ``data`` under CTR mode (the two are identical)."""
+    stream = keystream(cipher, iv_ctr, len(data))
+    return bytes(a ^ b for a, b in zip(data, stream))

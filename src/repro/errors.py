@@ -1,0 +1,74 @@
+"""Exception hierarchy for the ShieldStore reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Security-relevant failures (integrity, replay, sealing)
+have dedicated subclasses because the test suite and the paper's threat
+model (Section 3.3) distinguish them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class CryptoError(ReproError):
+    """Malformed key/IV sizes or other misuse of the crypto substrate."""
+
+
+class IntegrityError(ReproError):
+    """A MAC check failed: untrusted data was tampered with."""
+
+
+class ReplayError(IntegrityError):
+    """A stale-but-valid entry was replayed; caught by the MAC tree."""
+
+
+class SealingError(ReproError):
+    """Unsealing failed: wrong platform identity or corrupted blob."""
+
+
+class RollbackError(SealingError):
+    """A sealed snapshot is older than the monotonic counter allows."""
+
+
+class AttestationError(ReproError):
+    """Remote attestation failed (bad quote, wrong measurement)."""
+
+
+class EnclaveError(ReproError):
+    """Illegal enclave operation (e.g. syscall inside the enclave)."""
+
+
+class EnclaveMemoryError(EnclaveError):
+    """Out of enclave memory, or an access outside any allocation."""
+
+
+class PointerSafetyError(EnclaveError):
+    """An untrusted pointer targets the enclave's address range (§7)."""
+
+
+class AllocationError(ReproError):
+    """The extra heap allocator could not satisfy a request."""
+
+
+class StoreError(ReproError):
+    """Generic key-value store failure (bad request, closed store...)."""
+
+
+class KeyNotFoundError(StoreError, KeyError):
+    """Lookup for a key that does not exist in the store."""
+
+
+class SnapshotError(StoreError):
+    """Snapshot could not be written or restored."""
+
+
+class ProtocolError(ReproError):
+    """Malformed or unauthenticated network message."""
+
+
+class UnsupportedConfigError(ReproError):
+    """A comparator cannot run this configuration (e.g. Eleos's 2 GB
+    memsys5 pool limit, §6.3); experiments report the cell as absent."""

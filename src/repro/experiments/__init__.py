@@ -1,0 +1,48 @@
+"""Experiment modules: one per paper table/figure.
+
+Each module exposes ``run(scale=..., ops=..., seed=...) -> TableResult``
+regenerating the rows/series of its table or figure, with the paper's
+expectations recorded in the result notes.  ``python -m
+repro.experiments.<name>`` prints the table directly.
+"""
+
+from repro.experiments import (
+    breakdown,
+    fig02,
+    fig03,
+    fig06,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    table1,
+)
+from repro.experiments.common import RunResult, TableResult
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "breakdown": breakdown,
+    "fig02": fig02,
+    "fig03": fig03,
+    "fig06": fig06,
+    "fig09": fig09,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+    "fig18": fig18,
+    "fig19": fig19,
+}
+
+__all__ = ["ALL_EXPERIMENTS", "RunResult", "TableResult"]

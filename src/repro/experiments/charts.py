@@ -1,0 +1,142 @@
+"""ASCII chart rendering for experiment results.
+
+The paper's evaluation is figures, not tables; these renderers let a
+terminal user *see* the shapes the benchmarks assert — log-scale line
+charts for sweeps (Figs. 2, 3, 17) and grouped bar charts for
+categorical comparisons (Figs. 10-16, 18, 19).  No plotting libraries:
+plain Unicode to stdout.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+_BAR_FILL = "█"
+_BAR_HALF = "▌"
+_POINTS = "ox+*#@%&"
+
+
+def _fmt_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if value >= 1000:
+        return f"{value / 1000:.0f}k"
+    if value >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2g}"
+
+
+def bar_chart(
+    title: str,
+    labels: Sequence[str],
+    series: Dict[str, Sequence[Optional[float]]],
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Grouped horizontal bar chart.
+
+    ``series`` maps series name -> one value per label; None renders as
+    an ``(unsupported)`` stub (e.g. Eleos beyond its pool limit).
+    """
+    peak = max(
+        (v for values in series.values() for v in values if v is not None),
+        default=1.0,
+    )
+    peak = peak or 1.0
+    name_width = max(len(name) for name in series)
+    lines = [f"-- {title} --"]
+    for i, label in enumerate(labels):
+        lines.append(f"{label}:")
+        for name, values in series.items():
+            value = values[i]
+            if value is None:
+                lines.append(f"  {name.ljust(name_width)} | (unsupported)")
+                continue
+            cells = value / peak * width
+            bar = _BAR_FILL * int(cells)
+            if cells - int(cells) >= 0.5:
+                bar += _BAR_HALF
+            lines.append(
+                f"  {name.ljust(name_width)} |{bar} {_fmt_tick(value)}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def line_chart(
+    title: str,
+    x_labels: Sequence,
+    series: Dict[str, Sequence[Optional[float]]],
+    height: int = 12,
+    log_y: bool = True,
+    unit: str = "",
+) -> str:
+    """Multi-series chart on a character grid (log y-axis by default).
+
+    Mirrors the paper's log-scale sweep figures; each series gets a
+    distinct point glyph, collisions render as ``*``.
+    """
+    values = [v for vs in series.values() for v in vs if v is not None and v > 0]
+    if not values:
+        return f"-- {title} -- (no data)"
+    lo, hi = min(values), max(values)
+    if log_y:
+        lo_t, hi_t = math.log10(lo), math.log10(hi)
+    else:
+        lo_t, hi_t = lo, hi
+    if hi_t - lo_t < 1e-12:
+        hi_t = lo_t + 1.0
+    columns = len(x_labels)
+    grid = [[" "] * columns for _ in range(height)]
+
+    def row_of(value: float) -> int:
+        t = math.log10(value) if log_y else value
+        frac = (t - lo_t) / (hi_t - lo_t)
+        return height - 1 - int(round(frac * (height - 1)))
+
+    for si, (name, vs) in enumerate(series.items()):
+        glyph = _POINTS[si % len(_POINTS)]
+        for x, v in enumerate(vs):
+            if v is None or (log_y and v <= 0):
+                continue
+            r = row_of(v)
+            grid[r][x] = "*" if grid[r][x] not in (" ", glyph) else glyph
+
+    axis_width = max(len(_fmt_tick(hi)), len(_fmt_tick(lo))) + 1
+    lines = [f"-- {title} --"]
+    for r, row in enumerate(grid):
+        if r == 0:
+            tick = _fmt_tick(hi)
+        elif r == height - 1:
+            tick = _fmt_tick(lo)
+        else:
+            tick = ""
+        lines.append(f"{tick.rjust(axis_width)} |" + " ".join(row))
+    lines.append(" " * axis_width + " +" + "--" * columns)
+    label_line = " " * (axis_width + 2) + " ".join(
+        str(x)[0] for x in x_labels
+    )
+    lines.append(label_line + f"   (x: {x_labels[0]}..{x_labels[-1]}, y{' log' if log_y else ''}: {unit})")
+    legend = "   ".join(
+        f"{_POINTS[i % len(_POINTS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * (axis_width + 2) + legend)
+    return "\n".join(lines)
+
+
+def render_sweep(result, x_header: str, series_headers: List[str], log_y=True) -> str:
+    """Render a TableResult sweep (one x column, several y columns)."""
+    x = result.column(x_header)
+    series = {h: result.column(h) for h in series_headers}
+    return line_chart(
+        f"{result.experiment}: {result.title}", x, series, log_y=log_y
+    )
+
+
+def render_bars(result, label_header: str, series_headers: List[str], unit="") -> str:
+    """Render a TableResult as grouped bars."""
+    labels = [str(v) for v in result.column(label_header)]
+    series = {h: result.column(h) for h in series_headers}
+    return bar_chart(
+        f"{result.experiment}: {result.title}", labels, series, unit=unit
+    )

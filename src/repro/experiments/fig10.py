@@ -1,0 +1,69 @@
+"""Figure 10 — overall throughput, normalized to the Baseline.
+
+Four systems (Memcached+Graphene, Baseline, ShieldBase, ShieldOpt),
+three data sizes, 1 and 4 threads, averaged over all Table 2 workloads,
+each thread count normalized to its own Baseline.
+
+Paper bands: ShieldBase 7-10x (1T) / 21-26x (4T); ShieldOpt 8-11x (1T) /
+24-30x (4T); Memcached+Graphene within -12%..+34% of Baseline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ALL_KV_SYSTEMS,
+    DEFAULT_OPS,
+    DEFAULT_SCALE,
+    SEED,
+    SYSTEM_BASELINE,
+    TableResult,
+)
+from repro.experiments.suite import average_kops, run_suite
+from repro.workloads import LARGE, MEDIUM, SMALL, TABLE2_WORKLOADS
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    ops: int = DEFAULT_OPS,
+    seed: int = SEED,
+    threads=(1, 4),
+    data_specs=(SMALL, MEDIUM, LARGE),
+) -> TableResult:
+    """Regenerate Figure 10 (normalized average throughput)."""
+    results = run_suite(
+        list(ALL_KV_SYSTEMS),
+        list(data_specs),
+        list(threads),
+        list(TABLE2_WORKLOADS),
+        scale=scale,
+        ops=ops,
+        seed=seed,
+    )
+    rows = []
+    for thread_count in threads:
+        for data in data_specs:
+            base = average_kops(
+                results, SYSTEM_BASELINE, data.name, thread_count, TABLE2_WORKLOADS
+            )
+            row = [thread_count, data.name, round(base, 1)]
+            for system in ALL_KV_SYSTEMS:
+                avg = average_kops(
+                    results, system, data.name, thread_count, TABLE2_WORKLOADS
+                )
+                row.append(avg / base if base else None)
+            rows.append(row)
+    notes = [
+        "normalized to Baseline at the same thread count (paper Fig. 10)",
+        "paper bands: ShieldOpt 8-11x (1T), 24-30x (4T); ShieldBase 7-10x / 21-26x",
+    ]
+    return TableResult(
+        "Figure 10",
+        "Overall performance with 1 and 4 threads (normalized to Baseline)",
+        ["threads", "data", "baseline Kop/s"] + [f"{s} (norm)" for s in ALL_KV_SYSTEMS],
+        rows,
+        notes,
+    )
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,53 @@
+"""Figure 11 — per-workload throughput on the large data set.
+
+Absolute Kop/s for every Table 2 workload across the four systems.
+Paper observations: ShieldBase ~7.3x over Baseline on the RD50 mixes,
+rising to ~11x as the get ratio grows (RD95/RD100); ShieldOpt adds a
+further margin on top.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ALL_KV_SYSTEMS,
+    DEFAULT_OPS,
+    DEFAULT_SCALE,
+    SEED,
+    SYSTEM_BASELINE,
+    SYSTEM_SHIELDBASE,
+    TableResult,
+)
+from repro.experiments.suite import run_suite
+from repro.workloads import LARGE, TABLE2_WORKLOADS
+
+
+def run(scale: float = DEFAULT_SCALE, ops: int = DEFAULT_OPS, seed: int = SEED) -> TableResult:
+    """Regenerate Figure 11 (Kop/s per workload, large data set)."""
+    results = run_suite(
+        list(ALL_KV_SYSTEMS), [LARGE], [1], list(TABLE2_WORKLOADS),
+        scale=scale, ops=ops, seed=seed,
+    )
+    rows = []
+    for spec in TABLE2_WORKLOADS:
+        row = [spec.name]
+        for system in ALL_KV_SYSTEMS:
+            result = results[(system, LARGE.name, 1, spec.name)]
+            row.append(result.kops if result else None)
+        base = results[(SYSTEM_BASELINE, LARGE.name, 1, spec.name)].kops
+        shieldbase = results[(SYSTEM_SHIELDBASE, LARGE.name, 1, spec.name)].kops
+        row.append(shieldbase / base)
+        rows.append(row)
+    notes = [
+        "paper: ShieldBase/Baseline ~7.3x on RD50 mixes, ~11x on RD95/RD100",
+    ]
+    return TableResult(
+        "Figure 11",
+        "Throughput per workload, large data set (1 thread)",
+        ["workload"] + [f"{s} Kop/s" for s in ALL_KV_SYSTEMS] + ["shieldbase/baseline"],
+        rows,
+        notes,
+    )
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,179 @@
+"""Figure 18 — networked evaluation (client/server over 10 GbE).
+
+Six configurations: Memcached+Graphene, Baseline(+HotCalls), ShieldOpt,
+ShieldOpt+HotCalls, Insecure Memcached, Insecure Baseline; three data
+sizes; 1 and 4 threads; all Table 2 workloads averaged.  Secure systems
+carry session-encrypted requests/responses (§3.2).
+
+Paper anchors (vs Baseline+HotCalls): ShieldOpt+HotCalls 4.9-6.4x at 1
+thread and 9.2-10.7x at 4 threads; vs Insecure Baseline it is 3.0x /
+3.9x slower, while the secure Baseline is 17.7x / 39.8x slower.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.baselines import GrapheneMemcachedStore, InsecureStore, NaiveSgxStore
+from repro.core import PartitionedShieldStore, ShieldStore
+from repro.crypto.keys import derive_key
+from repro.crypto.suite import make_suite
+from repro.experiments.common import (
+    DEFAULT_OPS,
+    DEFAULT_SCALE,
+    PAPER_BUCKETS,
+    PAPER_PAIRS,
+    SEED,
+    TableResult,
+    make_machine,
+    preload,
+    scaled,
+    shield_config,
+)
+from repro.net.message import Request
+from repro.net.server import (
+    FRONTEND_DIRECT,
+    FRONTEND_HOTCALLS,
+    FRONTEND_OCALL,
+    NetworkedServer,
+    make_secure_channels,
+)
+from repro.workloads import LARGE, MEDIUM, SMALL, OperationStream, TABLE2_WORKLOADS
+
+NET_SYSTEMS = (
+    "memcached+graphene",
+    "baseline+hotcalls",
+    "shieldopt",
+    "shieldopt+hotcalls",
+    "insecure memcached",
+    "insecure baseline",
+)
+
+
+def _channels():
+    root = b"fig18-session-root-secret-0000000"
+    suite_c = make_suite("fast-hashlib", derive_key(root, "c/enc"), derive_key(root, "c/mac"))
+    suite_s = make_suite("fast-hashlib", derive_key(root, "c/enc"), derive_key(root, "c/mac"))
+    return make_secure_channels(suite_c, suite_s)
+
+
+def _build(name: str, machine, scale: float) -> NetworkedServer:
+    buckets = scaled(PAPER_BUCKETS, scale)
+    threads = machine.clock.num_threads
+    if name == "insecure memcached":
+        return NetworkedServer(
+            GrapheneMemcachedStore(machine, num_buckets=buckets, secure=False),
+            frontend=FRONTEND_DIRECT,
+        )
+    if name == "insecure baseline":
+        return NetworkedServer(
+            InsecureStore(machine, num_buckets=buckets), frontend=FRONTEND_DIRECT
+        )
+    if name == "memcached+graphene":
+        return NetworkedServer(
+            GrapheneMemcachedStore(machine, num_buckets=buckets, secure=True),
+            frontend=FRONTEND_OCALL,
+        )
+    if name == "baseline+hotcalls":
+        cch, sch = _channels()
+        return NetworkedServer(
+            NaiveSgxStore(machine, num_buckets=buckets),
+            frontend=FRONTEND_HOTCALLS,
+            server_channel=sch,
+            client_channel=cch,
+        )
+    if name in ("shieldopt", "shieldopt+hotcalls"):
+        config = shield_config(scale)
+        store = (
+            PartitionedShieldStore(config, machine=machine)
+            if threads > 1
+            else ShieldStore(config, machine=machine)
+        )
+        cch, sch = _channels()
+        return NetworkedServer(
+            store,
+            frontend=FRONTEND_HOTCALLS if name.endswith("hotcalls") else FRONTEND_OCALL,
+            server_channel=sch,
+            client_channel=cch,
+        )
+    raise ValueError(name)
+
+
+def _drive(server: NetworkedServer, stream: OperationStream, count: int) -> int:
+    executed = 0
+    for op in stream.operations(count):
+        if op.op == "rmw":
+            server.handle(Request("get", op.key))
+            server.handle(Request("set", op.key, op.value))
+        else:
+            server.handle(Request(op.op, op.key, op.value or b""))
+        executed += 1
+    return executed
+
+
+def measure_cell(
+    name: str, data, threads: int, scale: float, ops: int, seed: int
+) -> float:
+    """Average networked Kop/s over all Table 2 workloads for one cell."""
+    machine = make_machine(threads, scale, seed=seed)
+    server = _build(name, machine, scale)
+    load = OperationStream(TABLE2_WORKLOADS[0], data, scaled(PAPER_PAIRS, scale), seed=seed)
+    preload(server.store, load)
+    values = []
+    for spec in TABLE2_WORKLOADS:
+        stream = OperationStream(spec, data, scaled(PAPER_PAIRS, scale), seed=seed + 13)
+        _drive(server, stream, ops)  # warm
+        machine.reset_measurement()
+        executed = _drive(server, stream, ops)
+        values.append(executed / machine.elapsed_us() * 1000.0)
+    return sum(values) / len(values)
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    ops: int = DEFAULT_OPS // 3,
+    seed: int = SEED,
+    data_specs=(SMALL, MEDIUM, LARGE),
+    threads=(1, 4),
+) -> TableResult:
+    """Regenerate Figure 18 (networked throughput)."""
+    rows = []
+    cells: Dict[Tuple[str, str, int], float] = {}
+    for thread_count in threads:
+        for data in data_specs:
+            row = [thread_count, data.name]
+            for name in NET_SYSTEMS:
+                kops = measure_cell(name, data, thread_count, scale, ops, seed)
+                cells[(name, data.name, thread_count)] = kops
+                row.append(kops)
+            rows.append(row)
+    notes = []
+    for thread_count in threads:
+        ratios = [
+            cells[("shieldopt+hotcalls", d.name, thread_count)]
+            / cells[("baseline+hotcalls", d.name, thread_count)]
+            for d in data_specs
+        ]
+        gaps = [
+            cells[("insecure baseline", d.name, thread_count)]
+            / cells[("shieldopt+hotcalls", d.name, thread_count)]
+            for d in data_specs
+        ]
+        notes.append(
+            f"{thread_count}T: ShieldOpt+HC / Baseline+HC = "
+            f"{min(ratios):.1f}-{max(ratios):.1f}x "
+            f"(paper: {'4.9-6.4' if thread_count == 1 else '9.2-10.7'}x); "
+            f"insecure gap {min(gaps):.1f}-{max(gaps):.1f}x "
+            f"(paper avg: {'3.0' if thread_count == 1 else '3.9'}x)"
+        )
+    return TableResult(
+        "Figure 18",
+        "Networked evaluation with 1 and 4 threads (Kop/s)",
+        ["threads", "data"] + list(NET_SYSTEMS),
+        rows,
+        notes,
+    )
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,126 @@
+"""Figure 19 — persistence: no / naive / optimized snapshots.
+
+Periodic snapshots (§4.4) write the already-encrypted untrusted entries
+plus sealed in-enclave metadata to storage every 60 s.  ``naive`` blocks
+request processing for the whole write; ``optimized`` (Algorithm 1)
+forks a child writer and keeps serving through a temporary table.
+
+Paper: naive degrades up to 25% on the large set; optimized degrades
+only 2.1% / 2.6% / 6.5% (small/medium/large), and 100%-read workloads
+see almost none (nothing to mirror into the temp table).
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    MODE_NAIVE,
+    MODE_NONE,
+    MODE_OPTIMIZED,
+    ShieldStore,
+    SnapshotPolicy,
+    SnapshotScheduler,
+)
+from repro.crypto.keys import derive_key
+from repro.crypto.suite import make_suite
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    PAPER_PAIRS,
+    SEED,
+    TableResult,
+    make_machine,
+    preload,
+    scaled,
+    shield_config,
+)
+from repro.net.message import Request
+from repro.net.server import FRONTEND_HOTCALLS, NetworkedServer, make_secure_channels
+from repro.workloads import (
+    LARGE,
+    MEDIUM,
+    SMALL,
+    OperationStream,
+    RD50_Z,
+    RD95_Z,
+    RD100_Z,
+)
+
+MODES = (MODE_NONE, MODE_NAIVE, MODE_OPTIMIZED)
+WORKLOADS = (RD50_Z, RD95_Z, RD100_Z)
+PAPER_INTERVAL_US = 60_000_000.0
+
+
+def _measure(
+    mode: str, spec, data, scale: float, seed: int, max_ops: int, intervals: float
+) -> float:
+    machine = make_machine(1, scale, seed=seed)
+    store = ShieldStore(shield_config(scale), machine=machine)
+    root = b"fig19-session-root-secret-0000000"
+    suite_c = make_suite("fast-hashlib", derive_key(root, "enc"), derive_key(root, "mac"))
+    suite_s = make_suite("fast-hashlib", derive_key(root, "enc"), derive_key(root, "mac"))
+    cch, sch = make_secure_channels(suite_c, suite_s)
+    server = NetworkedServer(
+        store, frontend=FRONTEND_HOTCALLS, server_channel=sch, client_channel=cch
+    )
+    stream = OperationStream(spec, data, scaled(PAPER_PAIRS, scale), seed=seed)
+    preload(store, stream)
+    machine.reset_measurement()
+    interval_us = PAPER_INTERVAL_US * scale
+    scheduler = SnapshotScheduler(store, SnapshotPolicy(mode=mode, interval_us=interval_us))
+    target_us = intervals * interval_us
+    executed = 0
+    for op in stream.operations(max_ops):
+        if op.op == "rmw":
+            server.handle(Request("get", op.key))
+            server.handle(Request("set", op.key, op.value))
+        else:
+            server.handle(Request(op.op, op.key, op.value or b""))
+        executed += 1
+        scheduler.tick(is_write=op.op != "get")
+        if machine.elapsed_us() >= target_us:
+            break
+    return executed / machine.elapsed_us() * 1000.0
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    seed: int = SEED,
+    max_ops: int = 60_000,
+    intervals: float = 2.5,
+) -> TableResult:
+    """Regenerate Figure 19 (throughput with persistence support)."""
+    rows = []
+    for data in (SMALL, MEDIUM, LARGE):
+        for spec in WORKLOADS:
+            cells = {
+                mode: _measure(mode, spec, data, scale, seed, max_ops, intervals)
+                for mode in MODES
+            }
+            rows.append(
+                [
+                    data.name,
+                    spec.name,
+                    cells[MODE_NONE],
+                    cells[MODE_NAIVE],
+                    cells[MODE_OPTIMIZED],
+                    100 * (1 - cells[MODE_NAIVE] / cells[MODE_NONE]),
+                    100 * (1 - cells[MODE_OPTIMIZED] / cells[MODE_NONE]),
+                ]
+            )
+    notes = [
+        "snapshot interval = 60s x scale, so snapshot duty cycle matches "
+        "the paper's 60-second Redis-style schedule",
+        "paper: naive degrades up to 25% (large); optimized 2.1/2.6/6.5% "
+        "avg by size, ~0% for 100% reads",
+    ]
+    return TableResult(
+        "Figure 19",
+        "Performance of ShieldStore with persistency support (Kop/s)",
+        ["data", "workload", "none", "naive", "optimized",
+         "naive loss %", "opt loss %"],
+        rows,
+        notes,
+    )
+
+
+if __name__ == "__main__":
+    print(run().format())

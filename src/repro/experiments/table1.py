@@ -1,0 +1,83 @@
+"""Table 1 — baseline parity with memcached (no SGX, networked).
+
+The paper validates its §3.1 baseline design by showing it matches
+memcached in the networked setting with 512 B values: 313.5 vs 311.6
+Kop/s at 1 thread, 876.6 vs 845.8 at 4 threads.  We run the same
+comparison between the memcached model (insecure mode, slab allocator,
+maintainer thread) and the plain baseline over the insecure network
+front-end.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import GrapheneMemcachedStore, InsecureStore
+from repro.experiments.common import (
+    DEFAULT_OPS,
+    DEFAULT_SCALE,
+    PAPER_BUCKETS,
+    PAPER_PAIRS,
+    SEED,
+    TableResult,
+    make_machine,
+    preload,
+    scaled,
+)
+from repro.net.message import Request
+from repro.net.server import FRONTEND_DIRECT, NetworkedServer
+from repro.workloads import DataSpec, OperationStream, RD95_Z
+
+_DATA = DataSpec("table1", 16, 512)
+
+
+def _networked_kops(system_factory, threads: int, scale: float, ops: int, seed: int) -> float:
+    machine = make_machine(threads, scale, seed=seed)
+    system = system_factory(machine)
+    stream = OperationStream(RD95_Z, _DATA, scaled(PAPER_PAIRS, scale), seed=seed)
+    preload(system, stream)
+    server = NetworkedServer(system, frontend=FRONTEND_DIRECT)
+    # Warm, then measure.
+    for op in stream.operations(ops):
+        server.handle(Request(op.op if op.op != "rmw" else "get", op.key, op.value or b""))
+    machine.reset_measurement()
+    executed = 0
+    for op in stream.operations(ops):
+        if op.op == "rmw":
+            server.handle(Request("get", op.key))
+            server.handle(Request("set", op.key, op.value))
+        else:
+            server.handle(Request(op.op, op.key, op.value or b""))
+        executed += 1
+    return executed / machine.elapsed_us() * 1000.0
+
+
+def run(scale: float = DEFAULT_SCALE, ops: int = DEFAULT_OPS, seed: int = SEED) -> TableResult:
+    """Regenerate Table 1 (Kop/s, networked, no SGX, 512 B values)."""
+    buckets = scaled(PAPER_BUCKETS, scale)
+    rows = []
+    paper = {1: (313.5, 311.6), 4: (876.6, 845.8)}
+    for threads in (1, 4):
+        memcached = _networked_kops(
+            lambda m: GrapheneMemcachedStore(m, num_buckets=buckets, secure=False),
+            threads, scale, ops, seed,
+        )
+        baseline = _networked_kops(
+            lambda m: InsecureStore(m, num_buckets=buckets),
+            threads, scale, ops, seed,
+        )
+        p_mc, p_base = paper[threads]
+        rows.append([threads, memcached, baseline, baseline / memcached, p_mc, p_base])
+    notes = [
+        "parity check: the baseline should be within ~10% of memcached",
+    ]
+    return TableResult(
+        "Table 1",
+        "Throughput for key-value stores w/o SGX: memcached vs baseline",
+        ["threads", "memcached (Kop/s)", "baseline (Kop/s)", "base/mc",
+         "paper memcached", "paper baseline"],
+        rows,
+        notes,
+    )
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,182 @@
+"""Client-side encryption — the design §3.2 argues *against*, built.
+
+In the client-side model the server passively stores blobs the client
+encrypted; the enclave (and the server operator) never see plaintext.
+The paper rejects it for three reasons, each of which this
+implementation makes concrete and testable:
+
+1. **no server-side computation** — ``increment``/``append`` need a full
+   client round trip (fetch, decrypt, modify, re-encrypt, store), costed
+   here per §6.4's network constants;
+2. **single-writer keys** — other clients need the data key and the
+   freshness metadata distributed out of band;
+   :class:`ClientKeyDirectory` models that coordination surface;
+3. **client-borne integrity** — the *client* must remember a freshness
+   root for every key (or trust the server not to replay); here each
+   client tracks per-key version watermarks, the minimum state that
+   defeats replays, and pays the bookkeeping for it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.crypto.keys import derive_key
+from repro.crypto.suite import CipherSuite, make_suite
+from repro.errors import IntegrityError, KeyNotFoundError, ReplayError
+from repro.sim.enclave import ExecContext, Machine
+
+_VERSION_SIZE = 8
+
+
+class PassiveStore:
+    """The untrusted server: stores opaque blobs, computes nothing.
+
+    Runs outside any enclave — there is nothing to protect server-side.
+    A malicious server is modeled by :meth:`rollback`.
+    """
+
+    def __init__(self, machine: Optional[Machine] = None):
+        self.machine = machine if machine is not None else Machine()
+        self._blobs: Dict[bytes, bytes] = {}
+        self._history: Dict[bytes, list] = {}
+
+    def put(self, ctx: ExecContext, key: bytes, blob: bytes) -> None:
+        cost = self.machine.cost
+        ctx.charge(cost.op_dispatch_cycles)
+        ctx.charge(cost.mem_cycles(len(blob), write=True, in_epc=False))
+        self._blobs[bytes(key)] = bytes(blob)
+        self._history.setdefault(bytes(key), []).append(bytes(blob))
+
+    def fetch(self, ctx: ExecContext, key: bytes) -> bytes:
+        cost = self.machine.cost
+        ctx.charge(cost.op_dispatch_cycles)
+        blob = self._blobs.get(bytes(key))
+        if blob is None:
+            raise KeyNotFoundError(key)
+        ctx.charge(cost.mem_cycles(len(blob), write=False, in_epc=False))
+        return blob
+
+    def rollback(self, key: bytes, versions_back: int = 1) -> None:
+        """Malicious server: serve an older blob for ``key``."""
+        history = self._history.get(bytes(key), [])
+        if len(history) > versions_back:
+            self._blobs[bytes(key)] = history[-1 - versions_back]
+
+
+@dataclass
+class ClientKeyDirectory:
+    """Out-of-band key distribution for multi-client deployments.
+
+    The paper: "To allow multiple clients to decrypt the data, multiple
+    clients need to be coordinated to exchange required keys and other
+    security meta-data."  This is that machinery, minimally.
+    """
+
+    master: bytes
+
+    def suite_for_namespace(self, namespace: str) -> CipherSuite:
+        return make_suite(
+            "fast-hashlib",
+            derive_key(self.master, f"cs/{namespace}/enc"),
+            derive_key(self.master, f"cs/{namespace}/mac"),
+        )
+
+
+class ClientSideClient:
+    """One client of the client-side-encryption deployment."""
+
+    def __init__(
+        self,
+        store: PassiveStore,
+        directory: ClientKeyDirectory,
+        namespace: str = "default",
+    ):
+        self.store = store
+        self.suite = directory.suite_for_namespace(namespace)
+        self.machine = store.machine
+        self._ctx = self.machine.context(0, in_enclave=False)
+        # Freshness watermarks: without these, the server could replay
+        # any stale blob undetected.  They are *client* state the
+        # server-side model keeps in the enclave instead.
+        self._versions: Dict[bytes, int] = {}
+
+    # -- wire-format helpers ------------------------------------------------
+    def _seal(self, key: bytes, value: bytes, version: int) -> bytes:
+        iv = version.to_bytes(8, "little") + bytes(8)
+        self._ctx.charge_aes(len(value))
+        ciphertext = self.suite.encrypt(iv, value)
+        header = version.to_bytes(_VERSION_SIZE, "little")
+        self._ctx.charge_cmac(len(key) + len(header) + len(ciphertext))
+        tag = self.suite.mac(key + header + ciphertext)
+        return header + ciphertext + tag
+
+    def _open(self, key: bytes, blob: bytes) -> Tuple[int, bytes]:
+        if len(blob) < _VERSION_SIZE + 16:
+            raise IntegrityError("client-side blob too short")
+        header, ciphertext, tag = (
+            blob[:_VERSION_SIZE],
+            blob[_VERSION_SIZE:-16],
+            blob[-16:],
+        )
+        self._ctx.charge_cmac(len(key) + len(header) + len(ciphertext))
+        if not self.suite.verify(key + header + ciphertext, tag):
+            raise IntegrityError(f"blob for {key!r} failed authentication")
+        version = int.from_bytes(header, "little")
+        expected = self._versions.get(key)
+        if expected is not None and version < expected:
+            raise ReplayError(
+                f"server returned version {version} of {key!r}, but this "
+                f"client has seen version {expected}: replay/rollback"
+            )
+        iv = version.to_bytes(8, "little") + bytes(8)
+        self._ctx.charge_aes(len(ciphertext))
+        return version, self.suite.decrypt(iv, ciphertext)
+
+    def _network_round_trip(self, nbytes: int) -> None:
+        cost = self.machine.cost
+        self._ctx.charge_us(cost.net_rtt_us + nbytes * cost.net_per_byte_us)
+
+    # -- operations -----------------------------------------------------------
+    def set(self, key: bytes, value: bytes) -> None:
+        key, value = bytes(key), bytes(value)
+        version = self._versions.get(key, 0) + 1
+        blob = self._seal(key, value, version)
+        self._network_round_trip(len(blob))
+        self.store.put(self._ctx, key, blob)
+        self._versions[key] = version
+
+    def get(self, key: bytes) -> bytes:
+        key = bytes(key)
+        blob = self.store.fetch(self._ctx, key)
+        self._network_round_trip(len(blob))
+        version, value = self._open(key, blob)
+        self._versions[key] = max(self._versions.get(key, 0), version)
+        return value
+
+    def append(self, key: bytes, suffix: bytes) -> bytes:
+        """Append needs a full fetch-modify-store round trip here —
+        the cost the server-side model's one-shot ``append`` avoids."""
+        try:
+            current = self.get(key)
+        except KeyNotFoundError:
+            current = b""
+        new_value = current + bytes(suffix)
+        self.set(key, new_value)
+        return new_value
+
+    def increment(self, key: bytes, delta: int = 1) -> int:
+        try:
+            current = int(self.get(key))
+        except KeyNotFoundError:
+            current = 0
+        new_value = current + delta
+        self.set(key, str(new_value).encode())
+        return new_value
+
+    def sync_watermarks_from(self, other: "ClientSideClient") -> None:
+        """The §3.2 coordination burden: clients must exchange freshness
+        state or a replay against one is invisible to the other."""
+        for key, version in other._versions.items():
+            self._versions[key] = max(self._versions.get(key, 0), version)

@@ -1,0 +1,183 @@
+"""Sharded multi-node ShieldStore cluster.
+
+The paper evaluates a single 4-core host ("due to the current lack of
+SGX support in server-class multi-socket systems", §6.1) — but its
+deployment story is cloud key-value storage, which shards.  This module
+scales the design *out* the same way §5.3 scales it *up*: hash-disjoint
+ownership, no cross-node coordination on the data path.
+
+* each shard is an independent ShieldStore enclave on its own simulated
+  machine, with its own master secret (one compromised platform never
+  weakens another);
+* clients route by consistent hashing over a virtual-node ring, after
+  attesting every shard's enclave;
+* shards can be added or drained at runtime; only the keys whose ring
+  ownership changes migrate, streamed through the client's attested
+  sessions (re-encrypted per-shard — shards share no keys).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Tuple
+
+from repro.core.config import StoreConfig
+from repro.core.store import ShieldStore
+from repro.errors import AttestationError, StoreError
+from repro.sim.attestation import AttestationService
+from repro.sim.enclave import Machine
+
+_VNODES = 64  # virtual nodes per shard on the hash ring
+
+
+def _ring_position(token: bytes) -> int:
+    return int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
+
+
+class ShardNode:
+    """One cluster member: a machine, an enclave, a store."""
+
+    def __init__(self, node_id: str, config: StoreConfig, seed: int):
+        self.node_id = node_id
+        self.machine = Machine(seed=seed)
+        self.store = ShieldStore(config, machine=self.machine)
+        self.attested = False
+
+    @property
+    def measurement(self) -> bytes:
+        return self.store.enclave.measurement
+
+
+class ShieldCluster:
+    """Client-side view of a sharded ShieldStore deployment."""
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        attestation: AttestationService,
+        num_nodes: int = 3,
+        seed: int = 2019,
+    ):
+        if num_nodes < 1:
+            raise StoreError("a cluster needs at least one node")
+        self.config = config
+        self.attestation = attestation
+        self._seed = seed
+        self.nodes: Dict[str, ShardNode] = {}
+        self._ring: List[Tuple[int, str]] = []
+        self.keys_migrated = 0
+        for i in range(num_nodes):
+            self.add_node(f"node-{i}")
+
+    # -- ring maintenance -------------------------------------------------
+    def _ring_insert(self, node_id: str) -> None:
+        for vnode in range(_VNODES):
+            position = _ring_position(f"{node_id}/{vnode}".encode())
+            bisect.insort(self._ring, (position, node_id))
+
+    def _ring_remove(self, node_id: str) -> None:
+        self._ring = [(p, n) for p, n in self._ring if n != node_id]
+
+    def owner_of(self, key: bytes) -> ShardNode:
+        """Consistent-hash lookup: first ring token at/after the key."""
+        if not self._ring:
+            raise StoreError("cluster has no nodes")
+        position = _ring_position(bytes(key))
+        idx = bisect.bisect_right(self._ring, (position, "\xff" * 8))
+        if idx == len(self._ring):
+            idx = 0
+        return self.nodes[self._ring[idx][1]]
+
+    # -- membership -----------------------------------------------------------
+    def _attest(self, node: ShardNode) -> None:
+        """Client-side attestation of a shard before trusting it."""
+        ctx = node.store.enclave.context()
+        quote = self.attestation.quote(ctx, node.store.enclave, b"cluster-join")
+        self.attestation.verify(quote, node.measurement)
+        node.attested = True
+
+    def add_node(self, node_id: str) -> ShardNode:
+        """Attest and join a new shard, migrating its ring ranges in."""
+        if node_id in self.nodes:
+            raise StoreError(f"duplicate node id {node_id!r}")
+        node = ShardNode(node_id, self.config, self._seed + len(self.nodes))
+        self._attest(node)
+        old_ring_nonempty = bool(self._ring)
+        self.nodes[node_id] = node
+        self._ring_insert(node_id)
+        if old_ring_nonempty:
+            self._rebalance_into(node)
+        return node
+
+    def remove_node(self, node_id: str) -> int:
+        """Drain a shard: move its keys to their new owners, then drop it."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise StoreError(f"unknown node {node_id!r}")
+        if len(self.nodes) == 1:
+            raise StoreError("cannot drain the last node")
+        items = list(node.store.iter_items())
+        self._ring_remove(node_id)
+        del self.nodes[node_id]
+        moved = 0
+        for key, value in items:
+            self.owner_of(key).store.set(key, value)
+            moved += 1
+        self.keys_migrated += moved
+        return moved
+
+    def _rebalance_into(self, new_node: ShardNode) -> int:
+        """Move keys whose ring ownership changed to the new shard."""
+        moved = 0
+        for node in list(self.nodes.values()):
+            if node is new_node:
+                continue
+            relocating = [
+                (key, value)
+                for key, value in node.store.iter_items()
+                if self.owner_of(key) is new_node
+            ]
+            for key, value in relocating:
+                new_node.store.set(key, value)
+                node.store.delete(key)
+                moved += 1
+        self.keys_migrated += moved
+        return moved
+
+    # -- data path ---------------------------------------------------------
+    def _checked_owner(self, key: bytes) -> ShardNode:
+        node = self.owner_of(bytes(key))
+        if not node.attested:
+            raise AttestationError(f"node {node.node_id} was never attested")
+        return node
+
+    def get(self, key: bytes) -> bytes:
+        return self._checked_owner(key).store.get(bytes(key))
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self._checked_owner(key).store.set(bytes(key), bytes(value))
+
+    def delete(self, key: bytes) -> None:
+        self._checked_owner(key).store.delete(bytes(key))
+
+    def append(self, key: bytes, suffix: bytes) -> bytes:
+        return self._checked_owner(key).store.append(bytes(key), bytes(suffix))
+
+    def increment(self, key: bytes, delta: int = 1) -> int:
+        return self._checked_owner(key).store.increment(bytes(key), delta)
+
+    def contains(self, key: bytes) -> bool:
+        return self._checked_owner(key).store.contains(bytes(key))
+
+    def __len__(self) -> int:
+        return sum(len(node.store) for node in self.nodes.values())
+
+    # -- introspection ------------------------------------------------------
+    def shard_sizes(self) -> Dict[str, int]:
+        """Keys per shard (balance check)."""
+        return {node_id: len(node.store) for node_id, node in self.nodes.items()}
+
+    def total_elapsed_us(self) -> float:
+        """Busiest shard's simulated time (cluster wall-clock)."""
+        return max(node.machine.elapsed_us() for node in self.nodes.values())

@@ -1,0 +1,137 @@
+"""Dynamic thread-pool adjustment (§5.3's explicitly deferred feature).
+
+The paper: "current SGX [does not support] dynamic changes in the number
+of enclave threads ... We leave supporting dynamic parallelism
+adjustment for future work."  SGX2's EDMM lifts the hardware limitation;
+this module provides the store-side half: live repartitioning of a
+:class:`~repro.core.partition.PartitionedShieldStore`-style deployment
+when the thread count changes.
+
+Because partitions are hash-disjoint stores, resizing means *migrating*
+every key whose owner changes.  The migration is performed by the
+enclave (decrypt from the old partition, re-encrypt into the new one —
+entries cannot simply be memcpy'd because bucket-set hashes are
+per-partition) and its full cost lands on the simulated clocks, so the
+amortization break-even is measurable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.config import StoreConfig
+from repro.core.store import DEFAULT_MEASUREMENT, ShieldStore
+from repro.crypto.keys import KeyRing
+from repro.errors import StoreError
+from repro.sim.enclave import Enclave, Machine
+
+MAX_THREADS = 16
+
+
+class DynamicShieldStore:
+    """A partitioned store whose parallelism can be resized at runtime."""
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        machine: Optional[Machine] = None,
+        initial_threads: int = 1,
+        master_secret: Optional[bytes] = None,
+    ):
+        # Provision clocks for the maximum pool up front (mirroring how
+        # an SGX enclave pre-declares TCS slots even under EDMM).
+        self.machine = (
+            machine if machine is not None else Machine(num_threads=MAX_THREADS)
+        )
+        if initial_threads < 1 or initial_threads > self.machine.clock.num_threads:
+            raise StoreError("initial_threads out of range for this machine")
+        self.config = config
+        self.enclave = Enclave(self.machine, DEFAULT_MEASUREMENT)
+        if master_secret is None:
+            master_secret = bytes(self.machine.rng.getrandbits(8) for _ in range(32))
+        self._master = master_secret
+        self._keyring = KeyRing(master_secret)
+        self.partitions: List[ShieldStore] = []
+        self.resizes = 0
+        self.keys_migrated = 0
+        self._build_partitions(initial_threads)
+
+    # -- partition construction -------------------------------------------
+    def _partition_config(self, threads: int) -> StoreConfig:
+        per_buckets = max(1, self.config.num_buckets // threads)
+        per_hashes = max(1, min(self.config.num_mac_hashes // threads, per_buckets))
+        return self.config.with_(num_buckets=per_buckets, num_mac_hashes=per_hashes)
+
+    def _build_partitions(self, threads: int) -> List[ShieldStore]:
+        part_config = self._partition_config(threads)
+        self.partitions = [
+            ShieldStore(
+                part_config,
+                machine=self.machine,
+                enclave=self.enclave,
+                thread_id=t,
+                master_secret=self._master,
+            )
+            for t in range(threads)
+        ]
+        return self.partitions
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.partitions)
+
+    def partition_of(self, key: bytes) -> ShieldStore:
+        h = self._keyring.keyed_bucket_hash(bytes(key), 1 << 30)
+        return self.partitions[h * self.num_threads >> 30]
+
+    # -- resizing -------------------------------------------------------------
+    def resize(self, new_threads: int) -> int:
+        """Repartition to ``new_threads`` workers; returns keys migrated.
+
+        All existing data is decrypted by the enclave and re-inserted
+        into the new partitions (each has fresh bucket-set hashes), with
+        migration work charged round-robin across the *new* worker
+        clocks — the threads do the rebalancing in parallel.
+        """
+        if new_threads < 1 or new_threads > self.machine.clock.num_threads:
+            raise StoreError(
+                f"new_threads must be in 1..{self.machine.clock.num_threads}"
+            )
+        if new_threads == self.num_threads:
+            return 0
+        old_partitions = self.partitions
+        self._build_partitions(new_threads)
+        migrated = 0
+        for old in old_partitions:
+            for key, value in old.iter_items():
+                target = self.partition_of(key)
+                target.set(key, value, ctx=target._ctx)
+                migrated += 1
+        self.resizes += 1
+        self.keys_migrated += migrated
+        return migrated
+
+    # -- operations -------------------------------------------------------
+    def get(self, key: bytes) -> bytes:
+        return self.partition_of(key).get(key)
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self.partition_of(key).set(key, value)
+
+    def delete(self, key: bytes) -> None:
+        self.partition_of(key).delete(key)
+
+    def append(self, key: bytes, suffix: bytes) -> bytes:
+        return self.partition_of(key).append(key, suffix)
+
+    def increment(self, key: bytes, delta: int = 1) -> int:
+        return self.partition_of(key).increment(key, delta)
+
+    def contains(self, key: bytes) -> bool:
+        return self.partition_of(key).contains(key)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def elapsed_us(self) -> float:
+        return self.machine.elapsed_us()

@@ -1,0 +1,337 @@
+"""SPEICHER-style shielded LSM store (the paper's §8 counterpart).
+
+SPEICHER (Bailleu et al., FAST'19) — published alongside ShieldStore —
+hardens an LSM tree with SGX for *persistent* key-value storage.  The
+paper contrasts the two designs: ShieldStore optimizes a fast in-memory
+table with coarse snapshots; SPEICHER makes the persistent path itself
+trustworthy.  This module implements the LSM side on the shared
+simulator so the trade-off is measurable:
+
+* **MemTable** — plaintext skiplist in enclave memory (EPC-budgeted);
+* **WAL** — every mutation appends an encrypted, MAC-chained record to
+  untrusted storage before being acknowledged (crash durability with
+  bounded-by-zero loss, unlike 60-second snapshots);
+* **SSTables** — immutable sorted runs in untrusted storage: entries
+  individually encrypted, with a per-table root MAC retained in enclave
+  memory (freshness: a swapped or stale table fails its root check);
+* **size-tiered compaction** — when a level accumulates ``fanout``
+  tables they are merged (decrypt, merge, re-encrypt) into the next
+  level;
+* **get path** — memtable, then newest-to-oldest tables, each gated by
+  a bloom filter to avoid decrypting runs that cannot contain the key.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.crypto.keys import KeyRing
+from repro.crypto.suite import make_suite
+from repro.errors import IntegrityError, KeyNotFoundError
+from repro.ext.skiplist import SkipList
+from repro.sim.enclave import Enclave, ExecContext, Machine
+from repro.util import fnv1a
+
+_MEASUREMENT = bytes([0x15]) * 32
+_TOMBSTONE = object()
+_RECORD_HEADER = struct.Struct("<BII16s")  # kind, klen, vlen, iv
+
+
+class BloomFilter:
+    """Plain k-hash bloom filter over a bytearray of bits."""
+
+    def __init__(self, expected: int, bits_per_key: int = 10):
+        self.size_bits = max(64, expected * bits_per_key)
+        self._bits = bytearray((self.size_bits + 7) // 8)
+        self.hashes = 4
+
+    def _positions(self, key: bytes) -> Iterator[int]:
+        h1 = fnv1a(key)
+        h2 = fnv1a(key + b"\x01") | 1
+        for i in range(self.hashes):
+            yield (h1 + i * h2) % self.size_bits
+
+    def add(self, key: bytes) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+
+    def __contains__(self, key: bytes) -> bool:
+        return all(
+            self._bits[pos >> 3] & (1 << (pos & 7)) for pos in self._positions(key)
+        )
+
+
+class SSTable:
+    """One immutable sorted run in untrusted storage.
+
+    ``records`` maps plaintext key -> encrypted record bytes (the key
+    *order* is exposed for merging/range scans; key and value bytes are
+    not).  ``root_mac`` authenticates the whole run and lives in the
+    enclave's manifest.
+    """
+
+    __slots__ = ("table_id", "level", "records", "bloom", "root_mac", "bytes_size")
+
+    def __init__(self, table_id, level, records, bloom, root_mac, bytes_size):
+        self.table_id = table_id
+        self.level = level
+        self.records = records
+        self.bloom = bloom
+        self.root_mac = root_mac
+        self.bytes_size = bytes_size
+
+
+class ShieldLSM:
+    """Shielded persistent LSM key-value store."""
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        memtable_bytes: int = 64 * 1024,
+        fanout: int = 4,
+        suite_name: str = "fast-hashlib",
+        master_secret: Optional[bytes] = None,
+        seed: int = 2019,
+    ):
+        self.machine = machine if machine is not None else Machine(seed=seed)
+        self.enclave = Enclave(self.machine, _MEASUREMENT, name="shield-lsm")
+        self._ctx = self.enclave.context()
+        if master_secret is None:
+            master_secret = bytes(self.machine.rng.getrandbits(8) for _ in range(32))
+        self.keyring = KeyRing(master_secret)
+        self.suite = make_suite(suite_name, self.keyring.enc_key, self.keyring.mac_key)
+        self.memtable_bytes = memtable_bytes
+        self.fanout = fanout
+        self._memtable = SkipList(seed=seed)
+        self._memtable_used = 0
+        self._levels: List[List[SSTable]] = [[]]
+        self._next_table_id = 0
+        self._wal_last_mac = bytes(16)
+        self.wal_records = 0
+        self.flushes = 0
+        self.compactions = 0
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    # WAL
+    # ------------------------------------------------------------------
+    def _wal_append(self, ctx: ExecContext, kind: int, key: bytes, value: bytes) -> None:
+        body = struct.pack("<BI", kind, len(key)) + key + value
+        iv = struct.pack("<QQ", self.wal_records, 0x3A1)
+        ctx.charge_aes(len(body))
+        ciphertext = self.suite.encrypt(iv, body)
+        ctx.charge_cmac(len(ciphertext) + 16)
+        self._wal_last_mac = self.suite.mac(self._wal_last_mac + ciphertext)
+        # Sequential append to untrusted storage.
+        ctx.charge_us(
+            (len(ciphertext) + 20) / ctx.machine.cost.storage_write_bw_bytes_per_us
+        )
+        self.wal_records += 1
+
+    # ------------------------------------------------------------------
+    # record codec
+    # ------------------------------------------------------------------
+    def _encode_record(
+        self, ctx: ExecContext, key: bytes, value, iv: bytes
+    ) -> bytes:
+        kind = 1 if value is not _TOMBSTONE else 0
+        payload = key + (value if kind else b"")
+        ctx.charge_aes(len(payload))
+        ciphertext = self.suite.encrypt(iv, payload)
+        header = _RECORD_HEADER.pack(
+            kind, len(key), len(payload) - len(key), iv
+        )
+        ctx.charge_cmac(len(header) + len(ciphertext))
+        mac = self.suite.mac(header + ciphertext)
+        return header + ciphertext + mac
+
+    def _decode_record(self, ctx: ExecContext, record: bytes):
+        kind, klen, vlen, iv = _RECORD_HEADER.unpack(record[: _RECORD_HEADER.size])
+        ciphertext = record[_RECORD_HEADER.size : -16]
+        mac = record[-16:]
+        header = record[: _RECORD_HEADER.size]
+        ctx.charge_cmac(len(header) + len(ciphertext))
+        if self.suite.mac(header + ciphertext) != mac:
+            raise IntegrityError("SSTable record failed authentication")
+        ctx.charge_aes(len(ciphertext))
+        payload = self.suite.decrypt(iv, ciphertext)
+        key = payload[:klen]
+        if kind == 0:
+            return key, _TOMBSTONE
+        return key, payload[klen : klen + vlen]
+
+    # ------------------------------------------------------------------
+    # flush & compaction
+    # ------------------------------------------------------------------
+    def _build_table(
+        self, ctx: ExecContext, level: int, items: List[Tuple[bytes, object]]
+    ) -> SSTable:
+        records: Dict[bytes, bytes] = {}
+        bloom = BloomFilter(len(items) or 1)
+        total = 0
+        for i, (key, value) in enumerate(items):
+            iv = struct.pack("<QQ", self._next_table_id, i)
+            record = self._encode_record(ctx, key, value, iv)
+            records[key] = record
+            bloom.add(key)
+            total += len(record)
+        ctx.charge_cmac(16 * max(1, len(items)))
+        root_mac = self.suite.mac(b"".join(records[k][-16:] for k in sorted(records)))
+        ctx.charge_us(total / ctx.machine.cost.storage_write_bw_bytes_per_us)
+        table = SSTable(self._next_table_id, level, records, bloom, root_mac, total)
+        self._next_table_id += 1
+        return table
+
+    def _verify_table(self, ctx: ExecContext, table: SSTable) -> None:
+        ctx.charge_cmac(16 * max(1, len(table.records)))
+        computed = self.suite.mac(
+            b"".join(table.records[k][-16:] for k in sorted(table.records))
+        )
+        if computed != table.root_mac:
+            raise IntegrityError(
+                f"SSTable {table.table_id} root MAC mismatch: stale or "
+                "substituted run"
+            )
+
+    def flush(self, ctx: Optional[ExecContext] = None) -> None:
+        """Write the memtable out as a level-0 SSTable."""
+        ctx = ctx if ctx is not None else self._ctx
+        items = list(self._memtable.items())
+        if not items:
+            return
+        table = self._build_table(ctx, 0, items)
+        self._levels[0].append(table)
+        self._memtable = SkipList(seed=len(items))
+        self._memtable_used = 0
+        self.flushes += 1
+        self._maybe_compact(ctx, 0)
+
+    def _maybe_compact(self, ctx: ExecContext, level: int) -> None:
+        while len(self._levels[level]) >= self.fanout:
+            merged: Dict[bytes, object] = {}
+            # Oldest table first so newer runs win on conflict.
+            for table in self._levels[level]:
+                self._verify_table(ctx, table)
+                for key, record in table.records.items():
+                    merged[key] = self._decode_record(ctx, record)[1]
+            self._levels[level] = []
+            if level + 1 >= len(self._levels):
+                self._levels.append([])
+            drop_tombstones = level + 1 == len(self._levels) - 1 and not self._levels[
+                level + 1
+            ]
+            items = [
+                (key, value)
+                for key, value in sorted(merged.items())
+                if not (drop_tombstones and value is _TOMBSTONE)
+            ]
+            self._levels[level + 1].append(
+                self._build_table(ctx, level + 1, items)
+            )
+            self.compactions += 1
+            level += 1
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def _memtable_put(self, ctx: ExecContext, key: bytes, value) -> None:
+        grow = len(key) + (len(value) if value is not _TOMBSTONE else 1) + 32
+        # The memtable is EPC-resident; charge enclave-memory writes.
+        ctx.charge(ctx.machine.cost.mem_cycles(grow, write=True, in_epc=True))
+        self._memtable.insert(key, value)
+        self._memtable_used += grow
+        if self._memtable_used >= self.memtable_bytes:
+            self.flush(ctx)
+
+    def set(self, key: bytes, value: bytes, ctx: Optional[ExecContext] = None) -> None:
+        ctx = ctx if ctx is not None else self._ctx
+        ctx.charge(ctx.machine.cost.op_dispatch_cycles)
+        key, value = bytes(key), bytes(value)
+        self._wal_append(ctx, 1, key, value)
+        if not self.contains_fast(key):
+            self.count += 1
+        self._memtable_put(ctx, key, value)
+
+    def delete(self, key: bytes, ctx: Optional[ExecContext] = None) -> None:
+        ctx = ctx if ctx is not None else self._ctx
+        ctx.charge(ctx.machine.cost.op_dispatch_cycles)
+        key = bytes(key)
+        if not self.contains_fast(key):
+            raise KeyNotFoundError(key)
+        self._wal_append(ctx, 0, key, b"")
+        self._memtable_put(ctx, key, _TOMBSTONE)
+        self.count -= 1
+
+    def get(self, key: bytes, ctx: Optional[ExecContext] = None) -> bytes:
+        ctx = ctx if ctx is not None else self._ctx
+        ctx.charge(ctx.machine.cost.op_dispatch_cycles)
+        key = bytes(key)
+        hit = self._memtable.search(key)
+        if hit is not None:
+            if hit is _TOMBSTONE:
+                raise KeyNotFoundError(key)
+            ctx.charge(
+                ctx.machine.cost.mem_cycles(len(hit), write=False, in_epc=True)
+            )
+            return hit
+        # Newest tables first: level order, then recency within a level.
+        for level_tables in self._levels:
+            for table in reversed(level_tables):
+                if key not in table.bloom:
+                    continue
+                record = table.records.get(key)
+                if record is None:
+                    continue  # bloom false positive
+                ctx.charge(
+                    ctx.machine.cost.mem_cycles(
+                        len(record), write=False, in_epc=False
+                    )
+                )
+                found_key, value = self._decode_record(ctx, record)
+                if found_key != key:
+                    raise IntegrityError("SSTable record key substitution")
+                if value is _TOMBSTONE:
+                    raise KeyNotFoundError(key)
+                return value
+        raise KeyNotFoundError(key)
+
+    def contains_fast(self, key: bytes) -> bool:
+        """Uncharged membership check for bookkeeping."""
+        hit = self._memtable.search(key)
+        if hit is not None:
+            return hit is not _TOMBSTONE
+        for level_tables in self._levels:
+            for table in reversed(level_tables):
+                record = table.records.get(key)
+                if record is not None:
+                    kind = record[0]
+                    return kind == 1
+        return False
+
+    def range(
+        self, start: bytes, end: bytes, ctx: Optional[ExecContext] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Merged, verified range scan across memtable and all runs."""
+        ctx = ctx if ctx is not None else self._ctx
+        start, end = bytes(start), bytes(end)
+        merged: Dict[bytes, object] = {}
+        for level_tables in reversed(self._levels):
+            for table in level_tables:  # oldest first; newer overwrite
+                self._verify_table(ctx, table)
+                for key in table.records:
+                    if start <= key < end:
+                        merged[key] = self._decode_record(ctx, table.records[key])[1]
+        for key, value in self._memtable.range(start, end):
+            merged[key] = value
+        for key in sorted(merged):
+            value = merged[key]
+            if value is not _TOMBSTONE:
+                yield key, value
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def num_tables(self) -> int:
+        return sum(len(tables) for tables in self._levels)

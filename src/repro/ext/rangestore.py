@@ -1,0 +1,262 @@
+"""Range-query ShieldStore: the §7 future-work ordered index, built.
+
+The paper's hash index cannot serve range queries; §7 sketches a
+skiplist/balanced-tree alternative and notes it "requires substantial
+changes ... such as the re-designing of integrity verification
+meta-data".  This module is that redesign:
+
+* entries keep the Figure 5 record format and live, encrypted, in
+  untrusted memory (reusing the entry codec and extra heap allocator);
+* an ordered index (skiplist) maps plaintext key order to entry
+  addresses — revealing only the *order* of keys, which any
+  range-servable index must (cf. HardIDX);
+* integrity metadata is re-designed from bucket sets to **ordered
+  segments**: the sorted key sequence is cut into runs of
+  ``segment_size`` entries and one in-enclave MAC hash authenticates
+  each run's entry MACs *in order* — so range results can neither be
+  truncated, reordered, nor replayed without a segment-hash mismatch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.allocator import ExtraHeapAllocator
+from repro.core.entry import (
+    HEADER_SIZE,
+    MAC_SIZE,
+    EntryHeader,
+    mac_message,
+    pack_header,
+    unpack_header,
+)
+from repro.crypto.ctr import increment_iv_ctr
+from repro.crypto.keys import KeyRing
+from repro.crypto.suite import make_suite
+from repro.errors import IntegrityError, KeyNotFoundError, ReplayError
+from repro.ext.skiplist import SkipList
+from repro.sim.cycles import MB
+from repro.sim.enclave import Enclave, ExecContext, Machine
+from repro.sim.sdk import sgx_read_rand
+
+_MEASUREMENT = bytes([0x5E]) * 32
+
+
+class RangeShieldStore:
+    """Ordered shielded store with verified range queries."""
+
+    def __init__(
+        self,
+        machine: Optional[Machine] = None,
+        segment_size: int = 32,
+        suite_name: str = "fast-hashlib",
+        master_secret: Optional[bytes] = None,
+        seed: int = 2019,
+    ):
+        if segment_size <= 0:
+            raise ValueError("segment_size must be positive")
+        self.machine = machine if machine is not None else Machine(seed=seed)
+        self.enclave = Enclave(self.machine, _MEASUREMENT, name="range-shieldstore")
+        self._ctx = self.enclave.context()
+        if master_secret is None:
+            master_secret = bytes(self.machine.rng.getrandbits(8) for _ in range(32))
+        self.keyring = KeyRing(master_secret)
+        self.suite = make_suite(
+            suite_name, self.keyring.enc_key, self.keyring.mac_key
+        )
+        self.allocator = ExtraHeapAllocator(self.enclave, 4 * MB)
+        self.segment_size = segment_size
+        # Untrusted ordered index: plaintext key -> entry address.  Only
+        # key *order* is exposed; key bytes never appear in entry records
+        # unencrypted (the index is the accepted leak of range support).
+        self._index = SkipList(seed=seed)
+        # In-enclave segment hashes, one per run of segment_size keys.
+        self._segment_hashes: List[bytes] = []
+        self.count = 0
+
+    # ------------------------------------------------------------------
+    # entry record I/O (same wire format as the hash store)
+    # ------------------------------------------------------------------
+    def _write_record(
+        self, ctx: ExecContext, key: bytes, value: bytes, iv_ctr: bytes
+    ) -> Tuple[int, bytes]:
+        header = EntryHeader(
+            next_ptr=0,
+            key_hint=self.keyring.key_hint(key),
+            key_size=len(key),
+            val_size=len(value),
+            iv_ctr=iv_ctr,
+        )
+        ctx.charge_aes(len(key) + len(value))
+        enc_kv = self.suite.encrypt(iv_ctr, key + value)
+        ctx.charge_cmac(len(enc_kv) + 25)
+        mac = self.suite.mac(mac_message(header, enc_kv))
+        addr = self.allocator.alloc(ctx, header.total_size)
+        self.machine.memory.write(ctx, addr, pack_header(header) + enc_kv + mac)
+        return addr, mac
+
+    def _read_record(self, ctx: ExecContext, addr: int) -> Tuple[EntryHeader, bytes, bytes]:
+        header = unpack_header(self.machine.memory.read(ctx, addr, HEADER_SIZE))
+        enc_kv = self.machine.memory.read(ctx, addr + HEADER_SIZE, header.kv_size)
+        mac = self.machine.memory.read(
+            ctx, addr + HEADER_SIZE + header.kv_size, MAC_SIZE
+        )
+        return header, enc_kv, mac
+
+    def _decrypt(self, ctx: ExecContext, header: EntryHeader, enc_kv: bytes) -> Tuple[bytes, bytes]:
+        ctx.charge_aes(len(enc_kv))
+        plain = self.suite.decrypt(header.iv_ctr, enc_kv)
+        return plain[: header.key_size], plain[header.key_size :]
+
+    # ------------------------------------------------------------------
+    # segment integrity
+    # ------------------------------------------------------------------
+    def _segment_of(self, position: int) -> int:
+        return position // self.segment_size
+
+    def _ordered_addrs(self) -> List[int]:
+        return [addr for _key, addr in self._index.items()]
+
+    def _segment_macs(self, ctx: ExecContext, segment: int) -> List[bytes]:
+        addrs = self._ordered_addrs()
+        start = segment * self.segment_size
+        macs = []
+        for addr in addrs[start : start + self.segment_size]:
+            header = unpack_header(self.machine.memory.read(ctx, addr, HEADER_SIZE))
+            macs.append(
+                self.machine.memory.read(
+                    ctx, addr + HEADER_SIZE + header.kv_size, MAC_SIZE
+                )
+            )
+        return macs
+
+    def _compute_segment_hash(self, ctx: ExecContext, macs: List[bytes]) -> bytes:
+        message = b"".join(macs)
+        ctx.charge_cmac(len(message))
+        return self.suite.mac(message) if macs else bytes(16)
+
+    def _rebuild_segments_from(self, ctx: ExecContext, position: int) -> None:
+        """Recompute segment hashes from the segment containing
+        ``position`` to the end (an insert/delete shifts later runs)."""
+        first = self._segment_of(position)
+        total_segments = -(-self.count // self.segment_size) if self.count else 0
+        del self._segment_hashes[first:]
+        for segment in range(first, total_segments):
+            macs = self._segment_macs(ctx, segment)
+            self._segment_hashes.append(self._compute_segment_hash(ctx, macs))
+
+    def _verify_segment(self, ctx: ExecContext, segment: int) -> None:
+        macs = self._segment_macs(ctx, segment)
+        computed = self._compute_segment_hash(ctx, macs)
+        if segment >= len(self._segment_hashes) or (
+            self._segment_hashes[segment] != computed
+        ):
+            raise ReplayError(
+                f"ordered-segment hash mismatch in segment {segment}: "
+                "untrusted index entries were tampered with or replayed"
+            )
+
+    def _position_of(self, key: bytes) -> int:
+        position = 0
+        for existing_key, _addr in self._index.items():
+            if existing_key >= key:
+                break
+            position += 1
+        return position
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def set(self, key: bytes, value: bytes, ctx: Optional[ExecContext] = None) -> None:
+        """Insert or update ``key``."""
+        ctx = ctx if ctx is not None else self._ctx
+        ctx.charge(self.machine.cost.op_dispatch_cycles)
+        key, value = bytes(key), bytes(value)
+        existing = self._index.search(key)
+        if existing is not None:
+            header, _enc, _mac = self._read_record(ctx, existing)
+            iv = increment_iv_ctr(header.iv_ctr)
+            self.allocator.free(ctx, existing, header.total_size)
+        else:
+            iv = sgx_read_rand(ctx, 16)
+        addr, _mac = self._write_record(ctx, key, value, iv)
+        was_new = self._index.insert(key, addr)
+        if was_new:
+            self.count += 1
+        self._rebuild_segments_from(ctx, self._position_of(key))
+
+    def get(self, key: bytes, ctx: Optional[ExecContext] = None) -> bytes:
+        """Point lookup with segment verification."""
+        ctx = ctx if ctx is not None else self._ctx
+        ctx.charge(self.machine.cost.op_dispatch_cycles)
+        key = bytes(key)
+        addr = self._index.search(key)
+        if addr is None:
+            raise KeyNotFoundError(key)
+        self._verify_segment(ctx, self._segment_of(self._position_of(key)))
+        header, enc_kv, mac = self._read_record(ctx, addr)
+        ctx.charge_cmac(len(enc_kv) + 25)
+        if self.suite.mac(mac_message(header, enc_kv)) != mac:
+            raise IntegrityError(f"entry MAC mismatch for {key!r}")
+        plain_key, plain_val = self._decrypt(ctx, header, enc_kv)
+        if plain_key != key:
+            raise IntegrityError(
+                "index points at an entry for a different key (index splice)"
+            )
+        return plain_val
+
+    def delete(self, key: bytes, ctx: Optional[ExecContext] = None) -> None:
+        """Remove ``key``."""
+        ctx = ctx if ctx is not None else self._ctx
+        ctx.charge(self.machine.cost.op_dispatch_cycles)
+        key = bytes(key)
+        addr = self._index.search(key)
+        if addr is None:
+            raise KeyNotFoundError(key)
+        position = self._position_of(key)
+        self._verify_segment(ctx, self._segment_of(position))
+        header, _enc, _mac = self._read_record(ctx, addr)
+        self._index.delete(key)
+        self.allocator.free(ctx, addr, header.total_size)
+        self.count -= 1
+        self._rebuild_segments_from(ctx, position)
+
+    def range(
+        self, start: bytes, end: bytes, ctx: Optional[ExecContext] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Yield (key, value) for start <= key < end, verified.
+
+        Every segment overlapping the range is verified before its
+        entries are released, so a malicious host cannot drop, reorder,
+        or substitute results.
+        """
+        ctx = ctx if ctx is not None else self._ctx
+        ctx.charge(self.machine.cost.op_dispatch_cycles)
+        start, end = bytes(start), bytes(end)
+        verified = set()
+        position = self._position_of(start)
+        for key, addr in self._index.range(start, end):
+            segment = self._segment_of(position)
+            if segment not in verified:
+                self._verify_segment(ctx, segment)
+                verified.add(segment)
+            header, enc_kv, mac = self._read_record(ctx, addr)
+            ctx.charge_cmac(len(enc_kv) + 25)
+            if self.suite.mac(mac_message(header, enc_kv)) != mac:
+                raise IntegrityError(f"entry MAC mismatch for {key!r}")
+            plain_key, plain_val = self._decrypt(ctx, header, enc_kv)
+            if plain_key != key:
+                raise IntegrityError("index points at a substituted entry")
+            yield plain_key, plain_val
+            position += 1
+
+    def __len__(self) -> int:
+        return self.count
+
+    def contains(self, key: bytes) -> bool:
+        """Membership test (verified)."""
+        try:
+            self.get(key)
+            return True
+        except KeyNotFoundError:
+            return False

@@ -1,0 +1,119 @@
+"""Deterministic skiplist — ordered-index substrate for range queries.
+
+Section 7 of the paper names a skiplist as the natural index structure
+for the range-query support ShieldStore lacks.  This is a classic
+Pugh-style skiplist with a seeded RNG so structures are reproducible;
+:mod:`repro.ext.rangestore` builds the secure ordered store on top.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Optional, Tuple
+
+_MAX_LEVEL = 16
+_P = 0.5
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Optional[bytes], value, level: int):
+        self.key = key
+        self.value = value
+        self.forward: List[Optional["_Node"]] = [None] * level
+
+
+class SkipList:
+    """Ordered map from bytes keys to arbitrary values."""
+
+    def __init__(self, seed: int = 2019):
+        self._rng = random.Random(seed)
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key: bytes) -> List[_Node]:
+        update = [self._head] * _MAX_LEVEL
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            while node.forward[level] is not None and node.forward[level].key < key:
+                node = node.forward[level]
+            update[level] = node
+        return update
+
+    def insert(self, key: bytes, value) -> bool:
+        """Insert or update; returns True when the key was new."""
+        key = bytes(key)
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is not None and node.key == key:
+            node.value = value
+            return False
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        new = _Node(key, value, level)
+        for i in range(level):
+            new.forward[i] = update[i].forward[i]
+            update[i].forward[i] = new
+        self._size += 1
+        return True
+
+    def search(self, key: bytes):
+        """Return the value for ``key`` or None."""
+        key = bytes(key)
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            while node.forward[level] is not None and node.forward[level].key < key:
+                node = node.forward[level]
+        node = node.forward[0]
+        if node is not None and node.key == key:
+            return node.value
+        return None
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key``; returns True when it existed."""
+        key = bytes(key)
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is None or node.key != key:
+            return False
+        for i in range(len(node.forward)):
+            if update[i].forward[i] is node:
+                update[i].forward[i] = node.forward[i]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._size -= 1
+        return True
+
+    def range(self, start: bytes, end: bytes) -> Iterator[Tuple[bytes, object]]:
+        """Yield (key, value) for start <= key < end, in order."""
+        start, end = bytes(start), bytes(end)
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            while node.forward[level] is not None and node.forward[level].key < start:
+                node = node.forward[level]
+        node = node.forward[0]
+        while node is not None and node.key < end:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def items(self) -> Iterator[Tuple[bytes, object]]:
+        """All items in key order."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.search(key) is not None

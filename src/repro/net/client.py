@@ -1,0 +1,50 @@
+"""Client-side helper for driving a simulated networked server."""
+
+from __future__ import annotations
+
+from repro.errors import KeyNotFoundError, StoreError
+from repro.net.message import STATUS_MISS, STATUS_OK, Request
+from repro.net.server import NetworkedServer
+
+
+class SimClient:
+    """Synchronous client over a :class:`NetworkedServer`.
+
+    The paper's load generator keeps 256 concurrent connections busy;
+    with the server fully cost-accounted, a synchronous drive measures
+    the same server-side saturation throughput.
+    """
+
+    def __init__(self, server: NetworkedServer):
+        self.server = server
+
+    def _call(self, op: str, key: bytes, value: bytes = b"") -> bytes:
+        response = self.server.handle(Request(op, bytes(key), bytes(value)))
+        if response.status == STATUS_MISS:
+            raise KeyNotFoundError(key)
+        if response.status != STATUS_OK:
+            raise StoreError(f"server error for {op} {key!r}")
+        return response.value
+
+    def get(self, key: bytes) -> bytes:
+        return self._call("get", key)
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self._call("set", key, value)
+
+    def append(self, key: bytes, suffix: bytes) -> bytes:
+        return self._call("append", key, suffix)
+
+    def delete(self, key: bytes) -> None:
+        self._call("delete", key)
+
+    def increment(self, key: bytes, delta: int = 1) -> int:
+        return int(self._call("increment", key, str(delta).encode()))
+
+    def compare_and_swap(self, key: bytes, expected: bytes, new_value: bytes) -> bool:
+        from repro.net.message import encode_cas_value
+
+        return self._call("cas", key, encode_cas_value(expected, new_value)) == b"1"
+
+    def __len__(self) -> int:
+        return len(self.server.store)

@@ -1,0 +1,158 @@
+"""Wire protocol between clients and the key-value server.
+
+Plaintext request/response records::
+
+    request:  op(1) | key_len(4) | val_len(4) | key | value
+    response: status(1) | val_len(4) | value
+
+When the session is secure (§3.2), the record is wrapped as::
+
+    seq(8) | ciphertext | mac(16)
+
+with the sequence number bound into the MAC, so replayed or reordered
+requests are rejected (:class:`~repro.errors.ProtocolError`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from repro.crypto.suite import CipherSuite
+from repro.errors import ProtocolError
+
+OP_CODES = {"get": 1, "set": 2, "append": 3, "delete": 4, "increment": 5, "cas": 6}
+OP_NAMES = {v: k for k, v in OP_CODES.items()}
+
+STATUS_OK = 0
+STATUS_MISS = 1
+STATUS_ERROR = 2
+
+MAC_SIZE = 16
+
+
+@dataclass
+class Request:
+    """One decoded client request."""
+
+    op: str
+    key: bytes
+    value: bytes = b""
+
+
+@dataclass
+class Response:
+    """One decoded server response."""
+
+    status: int
+    value: bytes = b""
+
+
+def encode_request(request: Request) -> bytes:
+    """Serialize a request record (plaintext form)."""
+    try:
+        code = OP_CODES[request.op]
+    except KeyError:
+        raise ProtocolError(f"unknown operation {request.op!r}") from None
+    return (
+        struct.pack("<BII", code, len(request.key), len(request.value))
+        + request.key
+        + request.value
+    )
+
+
+def decode_request(raw: bytes) -> Request:
+    """Parse a request record; raises :class:`ProtocolError` when bad."""
+    if len(raw) < 9:
+        raise ProtocolError("request record too short")
+    code, klen, vlen = struct.unpack_from("<BII", raw, 0)
+    if code not in OP_NAMES:
+        raise ProtocolError(f"unknown opcode {code}")
+    if len(raw) != 9 + klen + vlen:
+        raise ProtocolError("request length mismatch")
+    key = raw[9 : 9 + klen]
+    value = raw[9 + klen :]
+    return Request(OP_NAMES[code], key, value)
+
+
+def encode_response(response: Response) -> bytes:
+    """Serialize a response record (plaintext form)."""
+    return struct.pack("<BI", response.status, len(response.value)) + response.value
+
+
+def decode_response(raw: bytes) -> Response:
+    """Parse a response record."""
+    if len(raw) < 5:
+        raise ProtocolError("response record too short")
+    status, vlen = struct.unpack_from("<BI", raw, 0)
+    if len(raw) != 5 + vlen:
+        raise ProtocolError("response length mismatch")
+    return Response(status, raw[5:])
+
+
+def encode_cas_value(expected: bytes, new_value: bytes) -> bytes:
+    """Pack a CAS request's (expected, new) pair into the value field."""
+    return struct.pack("<I", len(expected)) + expected + new_value
+
+
+def decode_cas_value(value: bytes):
+    """Unpack a CAS value field; raises :class:`ProtocolError` when bad."""
+    if len(value) < 4:
+        raise ProtocolError("CAS value field too short")
+    (elen,) = struct.unpack_from("<I", value, 0)
+    if 4 + elen > len(value):
+        raise ProtocolError("CAS expected-length overruns the field")
+    return value[4 : 4 + elen], value[4 + elen :]
+
+
+class SecureChannel:
+    """One endpoint of an authenticated session.
+
+    ``role`` fixes the IV domain per direction so the client->server and
+    server->client streams never reuse a (key, IV) pair.  Each endpoint
+    keeps independent send/receive sequence counters; a mismatch
+    (replay, reorder, truncation) fails authentication.
+    """
+
+    _DIRECTIONS = {"client": (0xC25, 0x52C), "server": (0x52C, 0xC25)}
+
+    def __init__(self, suite: CipherSuite, role: str):
+        if role not in self._DIRECTIONS:
+            raise ProtocolError(f"unknown channel role {role!r}")
+        self.suite = suite
+        self.role = role
+        self._send_domain, self._recv_domain = self._DIRECTIONS[role]
+        self._send_seq = 0
+        self._recv_seq = 0
+
+    @staticmethod
+    def _iv_for(seq: int, domain: int) -> bytes:
+        return struct.pack("<QQ", seq, domain)
+
+    def seal(self, plaintext: bytes) -> bytes:
+        """Encrypt + MAC one record under the next send sequence."""
+        seq = self._send_seq
+        self._send_seq += 1
+        header = struct.pack("<Q", seq)
+        ciphertext = self.suite.encrypt(self._iv_for(seq, self._send_domain), plaintext)
+        tag = self.suite.mac(header + ciphertext)
+        return header + ciphertext + tag
+
+    def open(self, sealed: bytes) -> bytes:
+        """Verify + decrypt one record; enforces sequence monotonicity."""
+        if len(sealed) < 8 + MAC_SIZE:
+            raise ProtocolError("sealed record too short")
+        header, ciphertext, tag = (
+            sealed[:8],
+            sealed[8:-MAC_SIZE],
+            sealed[-MAC_SIZE:],
+        )
+        (seq,) = struct.unpack("<Q", header)
+        if seq != self._recv_seq:
+            raise ProtocolError(
+                f"sequence mismatch: expected {self._recv_seq}, got {seq} "
+                "(replayed or dropped record)"
+            )
+        if not self.suite.verify(header + ciphertext, tag):
+            raise ProtocolError("record failed authentication")
+        self._recv_seq += 1
+        return self.suite.decrypt(self._iv_for(seq, self._recv_domain), ciphertext)

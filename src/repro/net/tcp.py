@@ -1,0 +1,263 @@
+"""Real TCP transport for the ShieldStore wire protocol.
+
+This is a functional (not performance-modeled) networked deployment:
+a background thread serves length-prefixed protocol records over a
+localhost socket, with the full §3.2 session establishment — remote
+attestation of the server enclave, DH key exchange, then authenticated
+encryption on every record.  Used by the ``networked_cluster`` example
+and the integration tests; the performance experiments use the
+cost-modeled :class:`~repro.net.server.NetworkedServer` instead.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Optional
+
+from repro.errors import KeyNotFoundError, ProtocolError, StoreError
+from repro.net.message import (
+    STATUS_MISS,
+    STATUS_OK,
+    Request,
+    SecureChannel,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    Response,
+)
+from repro.sim.attestation import (
+    AttestationService,
+    DHKeyPair,
+    derive_session_suite,
+)
+from repro.sim.sdk import sgx_read_rand
+
+_LEN = struct.Struct("<I")
+
+
+def _send_frame(sock: socket.socket, payload: bytes) -> None:
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+def _recv_frame(sock: socket.socket) -> Optional[bytes]:
+    header = _recv_exact(sock, 4)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > 64 * 1024 * 1024:
+        raise ProtocolError("frame too large")
+    return _recv_exact(sock, length)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    data = b""
+    while len(data) < count:
+        chunk = sock.recv(count - len(data))
+        if not chunk:
+            return None
+        data += chunk
+    return data
+
+
+class TCPShieldServer:
+    """Threaded TCP server fronting one ShieldStore."""
+
+    def __init__(
+        self,
+        store,
+        attestation: AttestationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.store = store
+        self.attestation = attestation
+        self._sock = socket.create_server((host, port))
+        self.address = self._sock.getsockname()
+        self._threads = []
+        self._stop = threading.Event()
+        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+
+    def start(self) -> None:
+        """Begin accepting connections (returns immediately)."""
+        self._accept_thread.start()
+
+    def close(self) -> None:
+        """Stop accepting and close the listening socket."""
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- connection handling ----------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _handshake(self, conn: socket.socket) -> Optional[SecureChannel]:
+        """Server side of the §3.2 attested handshake."""
+        ctx = self.store.enclave.context()
+        server_dh = DHKeyPair(sgx_read_rand(ctx, 32))
+        pub_bytes = server_dh.public.to_bytes(256, "big")
+        import hashlib
+
+        quote = self.attestation.quote(
+            ctx, self.store.enclave, hashlib.sha256(pub_bytes).digest()
+        )
+        _send_frame(
+            conn,
+            quote.measurement + quote.signature + quote.report_data + pub_bytes,
+        )
+        client_pub_raw = _recv_frame(conn)
+        if client_pub_raw is None:
+            return None
+        client_pub = int.from_bytes(client_pub_raw, "big")
+        suite = derive_session_suite(server_dh.shared_secret(client_pub))
+        return SecureChannel(suite, "server")
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            try:
+                channel = self._handshake(conn)
+            except (ProtocolError, OSError):
+                return
+            if channel is None:
+                return
+            while not self._stop.is_set():
+                try:
+                    frame = _recv_frame(conn)
+                except (OSError, ProtocolError):
+                    return
+                if frame is None:
+                    return
+                try:
+                    raw = channel.open(frame)
+                    response = self._execute(decode_request(raw))
+                except ProtocolError:
+                    return  # tampered traffic: drop the session
+                try:
+                    _send_frame(conn, channel.seal(encode_response(response)))
+                except OSError:
+                    return
+
+    def _execute(self, request: Request) -> Response:
+        try:
+            if request.op == "get":
+                return Response(STATUS_OK, self.store.get(request.key))
+            if request.op == "set":
+                self.store.set(request.key, request.value)
+                return Response(STATUS_OK)
+            if request.op == "append":
+                return Response(
+                    STATUS_OK, self.store.append(request.key, request.value)
+                )
+            if request.op == "delete":
+                self.store.delete(request.key)
+                return Response(STATUS_OK)
+            if request.op == "increment":
+                new = self.store.increment(
+                    request.key, int(request.value or b"1")
+                )
+                return Response(STATUS_OK, str(new).encode())
+            if request.op == "cas":
+                from repro.net.message import decode_cas_value
+
+                expected, new_value = decode_cas_value(request.value)
+                swapped = self.store.compare_and_swap(
+                    request.key, expected, new_value
+                )
+                return Response(STATUS_OK, b"1" if swapped else b"0")
+        except KeyNotFoundError:
+            return Response(STATUS_MISS)
+        return Response(2)
+
+
+class TCPShieldClient:
+    """Client that attests the server before trusting the session."""
+
+    def __init__(
+        self,
+        address,
+        attestation: AttestationService,
+        expected_measurement: bytes,
+        entropy: bytes,
+    ):
+        self._sock = socket.create_connection(address)
+        self._channel = self._handshake(attestation, expected_measurement, entropy)
+
+    def _handshake(
+        self,
+        attestation: AttestationService,
+        expected_measurement: bytes,
+        entropy: bytes,
+    ) -> SecureChannel:
+        import hashlib
+
+        from repro.sim.attestation import Quote
+
+        frame = _recv_frame(self._sock)
+        if frame is None or len(frame) < 32 + 32 + 32 + 256:
+            raise ProtocolError("handshake frame truncated")
+        measurement = frame[:32]
+        signature = frame[32:64]
+        report_data = frame[64:96]
+        pub_bytes = frame[96:]
+        quote = Quote(measurement, report_data, signature)
+        attestation.verify(quote, expected_measurement)
+        if hashlib.sha256(pub_bytes).digest() != report_data:
+            raise ProtocolError("quote does not bind the server DH key")
+        client_dh = DHKeyPair(entropy)
+        _send_frame(self._sock, client_dh.public.to_bytes(256, "big"))
+        server_pub = int.from_bytes(pub_bytes, "big")
+        suite = derive_session_suite(client_dh.shared_secret(server_pub))
+        return SecureChannel(suite, "client")
+
+    def _call(self, op: str, key: bytes, value: bytes = b"") -> bytes:
+        frame = self._channel.seal(encode_request(Request(op, bytes(key), bytes(value))))
+        _send_frame(self._sock, frame)
+        reply = _recv_frame(self._sock)
+        if reply is None:
+            raise ProtocolError("server closed the connection")
+        response = decode_response(self._channel.open(reply))
+        if response.status == STATUS_MISS:
+            raise KeyNotFoundError(key)
+        if response.status != STATUS_OK:
+            raise StoreError(f"server error for {op}")
+        return response.value
+
+    def get(self, key: bytes) -> bytes:
+        return self._call("get", key)
+
+    def set(self, key: bytes, value: bytes) -> None:
+        self._call("set", key, value)
+
+    def append(self, key: bytes, suffix: bytes) -> bytes:
+        return self._call("append", key, suffix)
+
+    def delete(self, key: bytes) -> None:
+        self._call("delete", key)
+
+    def increment(self, key: bytes, delta: int = 1) -> int:
+        return int(self._call("increment", key, str(delta).encode()))
+
+    def compare_and_swap(self, key: bytes, expected: bytes, new_value: bytes) -> bool:
+        from repro.net.message import encode_cas_value
+
+        return self._call("cas", key, encode_cas_value(expected, new_value)) == b"1"
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass

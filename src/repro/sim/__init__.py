@@ -1,0 +1,73 @@
+"""Simulated SGX platform: memory regions, EPC paging, enclave runtime.
+
+This package is the substrate substitution documented in DESIGN.md §2:
+a discrete cycle-accounting model of the SGX behaviours the paper
+measures (EPC demand paging, MEE overheads, enclave crossings), plus
+functional equivalents of sealing, monotonic counters, and remote
+attestation.  The :class:`~repro.sim.attacker.Attacker` realizes the
+paper's threat model against untrusted memory.
+"""
+
+from repro.sim.attacker import Attacker
+from repro.sim.attestation import (
+    AttestationService,
+    DHKeyPair,
+    Quote,
+    attested_handshake,
+    derive_session_suite,
+)
+from repro.sim.clock import MachineClock, PagingSerializer, ThreadClock
+from repro.sim.counters import MonotonicCounterService
+from repro.sim.cycles import (
+    CACHELINE,
+    DEFAULT_COST_MODEL,
+    GB,
+    KB,
+    MB,
+    PAGE_SIZE,
+    CostModel,
+    CycleCounters,
+)
+from repro.sim.enclave import Enclave, ExecContext, Machine
+from repro.sim.epc import EPCDevice
+from repro.sim.memory import (
+    ENCLAVE_BASE,
+    REGION_ENCLAVE,
+    REGION_UNTRUSTED,
+    UNTRUSTED_BASE,
+    Allocation,
+    SimMemory,
+)
+from repro.sim.sealing import SealingService
+
+__all__ = [
+    "Allocation",
+    "Attacker",
+    "AttestationService",
+    "CACHELINE",
+    "CostModel",
+    "CycleCounters",
+    "DEFAULT_COST_MODEL",
+    "DHKeyPair",
+    "ENCLAVE_BASE",
+    "Enclave",
+    "EPCDevice",
+    "ExecContext",
+    "GB",
+    "KB",
+    "MB",
+    "Machine",
+    "MachineClock",
+    "MonotonicCounterService",
+    "PAGE_SIZE",
+    "PagingSerializer",
+    "Quote",
+    "REGION_ENCLAVE",
+    "REGION_UNTRUSTED",
+    "SealingService",
+    "SimMemory",
+    "ThreadClock",
+    "UNTRUSTED_BASE",
+    "attested_handshake",
+    "derive_session_suite",
+]

@@ -1,0 +1,68 @@
+"""SGX monotonic counter service (rollback defense for snapshots).
+
+Real SGX exposes monotonic counters through the platform services enclave
+backed by non-volatile flash; increments are notoriously slow (tens of
+milliseconds) and the flash wears out — which is exactly why the paper's
+persistence is snapshot-based rather than per-operation logged (§4.4,
+§7 "Weak persistency support").
+
+The simulated service keeps counters in a dict and optionally persists
+them to a JSON file so restart-and-rollback tests can exercise the
+defense.  Increments charge the (large) platform-service latency.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from repro.errors import RollbackError
+from repro.sim.enclave import ExecContext
+
+
+class MonotonicCounterService:
+    """Per-platform monotonic counters with optional file backing."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._counters: Dict[str, int] = {}
+        if path is not None and os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                self._counters = {k: int(v) for k, v in json.load(fh).items()}
+
+    def _persist(self) -> None:
+        if self.path is not None:
+            tmp = self.path + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(self._counters, fh)
+            os.replace(tmp, self.path)
+
+    def create(self, name: str) -> int:
+        """Create counter ``name`` at zero (idempotent); returns its value."""
+        if name not in self._counters:
+            self._counters[name] = 0
+            self._persist()
+        return self._counters[name]
+
+    def read(self, name: str) -> int:
+        """Current value of counter ``name`` (creating it if needed)."""
+        return self._counters.get(name, 0)
+
+    def increment(self, ctx: Optional[ExecContext], name: str) -> int:
+        """Increment and persist; charges the platform-service latency."""
+        if ctx is not None:
+            ctx.charge_us(ctx.machine.cost.monotonic_counter_us)
+        value = self._counters.get(name, 0) + 1
+        self._counters[name] = value
+        self._persist()
+        return value
+
+    def check_not_rolled_back(self, name: str, claimed: int) -> None:
+        """Raise :class:`RollbackError` when ``claimed`` is stale."""
+        current = self.read(name)
+        if claimed < current:
+            raise RollbackError(
+                f"snapshot counter {claimed} is older than platform counter "
+                f"{current} for {name!r}: rollback attack detected"
+            )

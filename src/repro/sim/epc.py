@@ -1,0 +1,103 @@
+"""Enclave Page Cache simulation: residency, eviction, demand paging.
+
+Real SGX backs enclave memory with a fixed reservation of encrypted DRAM
+(the EPC).  When an enclave touches a page that is not resident, the
+kernel driver evicts a victim (EWB: encrypt + MAC the page out to normal
+DRAM) and loads the target (ELDU: decrypt + verify), with an enclave exit
+along the way — the "significant performance penalty" of paper §2.1.
+
+The simulation keeps an LRU residency set of 4 KB page numbers.  Faults
+are charged through the machine's :class:`~repro.sim.clock.PagingSerializer`
+because the driver serializes them across threads, which is what breaks
+the baseline's multi-core scaling (Fig. 13).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.sim.clock import PagingSerializer, ThreadClock
+from repro.sim.cycles import PAGE_SIZE, CostModel, CycleCounters
+
+
+class EPCDevice:
+    """LRU model of the Enclave Page Cache.
+
+    Parameters
+    ----------
+    cost:
+        Platform cost model; supplies capacity and fault costs.
+    paging:
+        The machine-wide fault serializer.
+    counters:
+        Machine-wide event counters (faults/evictions recorded here).
+    """
+
+    def __init__(self, cost: CostModel, paging: PagingSerializer, counters: CycleCounters):
+        self.cost = cost
+        self.paging = paging
+        self.counters = counters
+        self.capacity_pages = max(1, cost.epc_effective_bytes // PAGE_SIZE)
+        # page -> [dirty, accessed].  Eviction is a clock sweep over the
+        # accessed bits, approximating the Linux SGX driver's reclaim:
+        # pages touched between hand visits survive, so frequently-reused
+        # structures stay resident once the system reaches its low-fault
+        # equilibrium.
+        self._resident: "OrderedDict[int, list]" = OrderedDict()
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def resident_pages(self) -> int:
+        """Number of pages currently resident."""
+        return len(self._resident)
+
+    def is_resident(self, page: int) -> bool:
+        """True when ``page`` would not fault on the next touch."""
+        return page in self._resident
+
+    # -- main entry point --------------------------------------------------
+    def touch(self, clock: ThreadClock, page: int, write: bool) -> bool:
+        """Record an access to ``page``; returns True when it faulted.
+
+        A resident touch refreshes LRU position (and dirtiness).  A miss
+        charges the serialized fault cost to ``clock`` and may evict the
+        least-recently-used page.
+        """
+        resident = self._resident
+        state = resident.get(page)
+        if state is not None:
+            if write:
+                state[0] = True
+            state[1] = True  # accessed since the last clock-hand visit
+            return False
+        # Demand paging: clock sweep with accessed bits for the victim.
+        # Pages touched between hand visits (e.g. the hot bucket array of
+        # an in-enclave hash table) are spared; cold pages are reclaimed.
+        while len(resident) >= self.capacity_pages:
+            victim, (v_dirty, v_accessed) = next(iter(resident.items()))
+            if v_accessed:
+                resident.move_to_end(victim)
+                resident[victim][1] = False
+            else:
+                del resident[victim]
+                self.counters.epc_evictions += 1
+                break
+        resident[page] = [write, True]
+        cost = (
+            self.cost.page_fault_write_cycles
+            if write
+            else self.cost.page_fault_read_cycles
+        )
+        # Only the kernel path of a fault (AEX, IPI/TLB shootdown, driver
+        # locks) serializes across cores; the EWB/ELDU page crypto runs on
+        # the faulting core.  Total cost is unchanged for one thread.
+        serialized = cost * self.cost.fault_serial_fraction
+        self.paging.service(clock, serialized)
+        clock.charge(cost - serialized)
+        self.counters.epc_faults += 1
+        self.counters.fault_cycles += cost
+        return True
+
+    def flush(self) -> None:
+        """Drop all residency state (e.g. after enclave teardown)."""
+        self._resident.clear()

@@ -1,0 +1,218 @@
+"""Byte-addressable simulated memory with enclave/untrusted regions.
+
+Two address ranges exist, mirroring Figure 4 of the paper:
+
+* the **enclave region** — accessible only from code running with an
+  in-enclave execution context; every touch goes through the EPC model
+  and pays MEE overheads or demand-paging faults;
+* the **untrusted region** — accessible from anywhere (including the
+  :class:`~repro.sim.attacker.Attacker`), at plain DRAM cost.
+
+Allocations are bump-allocated and tracked so that arbitrary addresses
+(pointer chases, attacker pokes) resolve to the owning allocation via
+binary search.  Allocations may be *materialized* (a real ``bytearray``
+holds the contents — used for everything security-relevant) or
+*unmaterialized* (address space + cost accounting only — used by
+baselines whose contents don't matter, to keep big sweeps cheap).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional
+
+from repro.errors import EnclaveError, EnclaveMemoryError
+from repro.sim.cycles import CACHELINE, PAGE_SIZE, CostModel, CycleCounters
+from repro.sim.epc import EPCDevice
+from repro.sim.llc import LLCache
+
+ENCLAVE_BASE = 0x2000_0000_0000
+ENCLAVE_SPAN = 0x1000_0000_0000  # contiguous enclave virtual range (§7 check)
+UNTRUSTED_BASE = 0x7000_0000_0000
+_ALIGN = 16
+
+REGION_ENCLAVE = "enclave"
+REGION_UNTRUSTED = "untrusted"
+
+
+class Allocation:
+    """One live allocation: base address, size, region, optional bytes."""
+
+    __slots__ = ("base", "size", "region", "data")
+
+    def __init__(self, base: int, size: int, region: str, data: Optional[bytearray]):
+        self.base = base
+        self.size = size
+        self.region = region
+        self.data = data
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def __repr__(self) -> str:
+        kind = "materialized" if self.data is not None else "virtual"
+        return f"Allocation(base=0x{self.base:x}, size={self.size}, {self.region}, {kind})"
+
+
+class SimMemory:
+    """The machine's memory: allocator, access charging, page accounting."""
+
+    def __init__(
+        self,
+        cost: CostModel,
+        epc: EPCDevice,
+        counters: CycleCounters,
+        llc: Optional[LLCache] = None,
+    ):
+        self.cost = cost
+        self.epc = epc
+        self.counters = counters
+        self.llc = llc if llc is not None else LLCache(cost)
+        self._allocs: Dict[int, Allocation] = {}
+        self._bases: List[int] = []
+        self._next = {REGION_ENCLAVE: ENCLAVE_BASE, REGION_UNTRUSTED: UNTRUSTED_BASE}
+        self.bytes_allocated = {REGION_ENCLAVE: 0, REGION_UNTRUSTED: 0}
+
+    # -- region predicates -------------------------------------------------
+    @staticmethod
+    def in_enclave_range(addr: int) -> bool:
+        """§7 pointer-safety predicate: does ``addr`` fall in the enclave?"""
+        return ENCLAVE_BASE <= addr < ENCLAVE_BASE + ENCLAVE_SPAN
+
+    def region_of(self, addr: int) -> str:
+        return REGION_ENCLAVE if self.in_enclave_range(addr) else REGION_UNTRUSTED
+
+    # -- allocation ---------------------------------------------------------
+    def alloc(self, size: int, region: str = REGION_UNTRUSTED, materialize: bool = True) -> int:
+        """Reserve ``size`` bytes in ``region``; returns the base address."""
+        if size <= 0:
+            raise EnclaveMemoryError(f"allocation size must be positive, got {size}")
+        if region not in self._next:
+            raise EnclaveMemoryError(f"unknown region {region!r}")
+        base = self._next[region]
+        aligned = (size + _ALIGN - 1) & ~(_ALIGN - 1)
+        self._next[region] = base + aligned
+        data = bytearray(size) if materialize else None
+        alloc = Allocation(base, size, region, data)
+        self._allocs[base] = alloc
+        bisect.insort(self._bases, base)
+        self.bytes_allocated[region] += size
+        return base
+
+    def free(self, base: int) -> None:
+        """Release the allocation starting at ``base``."""
+        alloc = self._allocs.pop(base, None)
+        if alloc is None:
+            raise EnclaveMemoryError(f"free of unknown base 0x{base:x}")
+        idx = bisect.bisect_left(self._bases, base)
+        del self._bases[idx]
+        self.bytes_allocated[alloc.region] -= alloc.size
+
+    def find(self, addr: int) -> Allocation:
+        """Resolve any address to the allocation containing it."""
+        idx = bisect.bisect_right(self._bases, addr) - 1
+        if idx >= 0:
+            alloc = self._allocs[self._bases[idx]]
+            if alloc.base <= addr < alloc.end:
+                return alloc
+        raise EnclaveMemoryError(f"address 0x{addr:x} is not inside any allocation")
+
+    # -- charged accesses ---------------------------------------------------
+    def _charge(self, ctx, addr: int, size: int, write: bool) -> None:
+        region = self.region_of(addr)
+        in_epc = region == REGION_ENCLAVE
+        if in_epc and (ctx is None or not ctx.in_enclave):
+            raise EnclaveError(
+                f"access to enclave address 0x{addr:x} from outside the enclave"
+            )
+        if ctx is not None:
+            # LLC filter: lines already on-chip cost a cache hit and never
+            # reach DRAM, the MEE, or the EPC pager.
+            llc = self.llc
+            first_line = addr // CACHELINE
+            last_line = (addr + max(size, 1) - 1) // CACHELINE
+            missed_lines = []
+            hit_count = 0
+            for line in range(first_line, last_line + 1):
+                if llc.access(line):
+                    hit_count += 1
+                else:
+                    missed_lines.append(line)
+            cost = self.cost
+            cycles = hit_count * cost.cache_hit_cycles
+            if missed_lines:
+                base = cost.dram_access_cycles * (
+                    1.0 + (len(missed_lines) - 1) * cost.stream_factor
+                )
+                if in_epc:
+                    factor = (
+                        cost.mee_write_factor if write else cost.mee_read_factor
+                    )
+                    base *= factor
+                    # Only lines that actually go to memory can fault.
+                    pages = {
+                        (line * CACHELINE) // PAGE_SIZE for line in missed_lines
+                    }
+                    for page in sorted(pages):
+                        self.epc.touch(ctx.clock, page, write)
+                cycles += base
+            ctx.clock.charge(cycles)
+            self.counters.mem_cycles += cycles
+        if write:
+            self.counters.mem_writes += 1
+        else:
+            self.counters.mem_reads += 1
+
+    def read(self, ctx, addr: int, size: int) -> bytes:
+        """Charged read of ``size`` bytes at ``addr``."""
+        alloc = self.find(addr)
+        if addr + size > alloc.end:
+            raise EnclaveMemoryError(
+                f"read of {size} bytes at 0x{addr:x} overruns allocation {alloc!r}"
+            )
+        self._charge(ctx, addr, size, write=False)
+        if alloc.data is None:
+            return bytes(size)
+        off = addr - alloc.base
+        return bytes(alloc.data[off : off + size])
+
+    def write(self, ctx, addr: int, data: bytes) -> None:
+        """Charged write of ``data`` at ``addr``."""
+        alloc = self.find(addr)
+        if addr + len(data) > alloc.end:
+            raise EnclaveMemoryError(
+                f"write of {len(data)} bytes at 0x{addr:x} overruns allocation {alloc!r}"
+            )
+        self._charge(ctx, addr, len(data), write=True)
+        if alloc.data is not None:
+            off = addr - alloc.base
+            alloc.data[off : off + len(data)] = data
+
+    def touch(self, ctx, addr: int, size: int, write: bool) -> None:
+        """Charge for an access without moving any bytes (baselines)."""
+        self._charge(ctx, addr, size, write)
+
+    # -- uncharged accesses (attacker, bootstrap, assertions) ---------------
+    def raw_read(self, addr: int, size: int) -> bytes:
+        """Read without charging cycles; enclave region still refuses."""
+        alloc = self.find(addr)
+        if addr + size > alloc.end:
+            raise EnclaveMemoryError(
+                f"raw read of {size} bytes at 0x{addr:x} overruns {alloc!r}"
+            )
+        if alloc.data is None:
+            return bytes(size)
+        off = addr - alloc.base
+        return bytes(alloc.data[off : off + size])
+
+    def raw_write(self, addr: int, data: bytes) -> None:
+        """Write without charging cycles (simulation bookkeeping only)."""
+        alloc = self.find(addr)
+        if addr + len(data) > alloc.end:
+            raise EnclaveMemoryError(
+                f"raw write of {len(data)} bytes at 0x{addr:x} overruns {alloc!r}"
+            )
+        if alloc.data is not None:
+            off = addr - alloc.base
+            alloc.data[off : off + len(data)] = data

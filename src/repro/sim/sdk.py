@@ -1,0 +1,52 @@
+"""Facade mirroring the Intel SGX SDK calls the paper names.
+
+ShieldStore's enclave code calls ``sgx_aes_ctr_encrypt``,
+``sgx_rijndael128_cmac`` and ``sgx_read_rand`` (paper §4.2).  This module
+provides functions of the same shape: they perform the real cryptographic
+work via a :class:`~repro.crypto.suite.CipherSuite` and charge the
+corresponding cycle costs to the calling execution context.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.suite import CipherSuite
+from repro.errors import EnclaveError
+from repro.sim.enclave import ExecContext
+
+
+def _require_enclave(ctx: ExecContext, fn: str) -> None:
+    if not ctx.in_enclave:
+        raise EnclaveError(f"{fn} may only be called from inside an enclave")
+
+
+def sgx_read_rand(ctx: ExecContext, nbytes: int) -> bytes:
+    """Random bytes from the (deterministic, seeded) platform RNG."""
+    _require_enclave(ctx, "sgx_read_rand")
+    ctx.charge_rand(nbytes)
+    return bytes(ctx.machine.rng.getrandbits(8) for _ in range(nbytes))
+
+
+def sgx_aes_ctr_encrypt(
+    ctx: ExecContext, suite: CipherSuite, iv_ctr: bytes, plaintext: bytes
+) -> bytes:
+    """Counter-mode encryption with combined IV/counter handling."""
+    _require_enclave(ctx, "sgx_aes_ctr_encrypt")
+    ctx.charge_aes(len(plaintext))
+    return suite.encrypt(iv_ctr, plaintext)
+
+
+def sgx_aes_ctr_decrypt(
+    ctx: ExecContext, suite: CipherSuite, iv_ctr: bytes, ciphertext: bytes
+) -> bytes:
+    """Counter-mode decryption (CTR is symmetric; kept for API parity)."""
+    _require_enclave(ctx, "sgx_aes_ctr_decrypt")
+    ctx.charge_aes(len(ciphertext))
+    ctx.machine.counters.decryptions += 1
+    return suite.decrypt(iv_ctr, ciphertext)
+
+
+def sgx_rijndael128_cmac(ctx: ExecContext, suite: CipherSuite, message: bytes) -> bytes:
+    """128-bit keyed MAC over ``message``."""
+    _require_enclave(ctx, "sgx_rijndael128_cmac")
+    ctx.charge_cmac(len(message))
+    return suite.mac(message)

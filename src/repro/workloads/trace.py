@@ -1,0 +1,123 @@
+"""Operation-trace recording and replay.
+
+The evaluation's comparability rests on every system seeing identical
+request sequences.  Streams are already deterministic from seeds, but a
+trace file makes the guarantee portable: record a workload once, replay
+it against any store (here or elsewhere), and diff the results.
+
+Format (one line per op, text, diff-friendly)::
+
+    # shieldstore-trace v1 workload=RD95_Z pairs=1000
+    set <hexkey> <hexvalue>
+    get <hexkey>
+    ...
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, Iterator, List, Optional, TextIO, Union
+
+from repro.errors import ReproError
+from repro.workloads.ycsb import OP_APPEND, OP_GET, OP_RMW, OP_SET, Operation
+
+_HEADER_PREFIX = "# shieldstore-trace v1"
+_OPS_WITH_VALUE = {OP_SET, OP_APPEND, OP_RMW}
+
+
+class TraceError(ReproError):
+    """Malformed trace file."""
+
+
+def record_trace(
+    operations: Iterable[Operation],
+    sink: Union[str, TextIO],
+    metadata: Optional[dict] = None,
+) -> int:
+    """Write operations to ``sink`` (path or file object); returns count."""
+    own = isinstance(sink, str)
+    fh = open(sink, "w", encoding="ascii") if own else sink
+    try:
+        meta = " ".join(f"{k}={v}" for k, v in (metadata or {}).items())
+        fh.write(f"{_HEADER_PREFIX} {meta}".rstrip() + "\n")
+        count = 0
+        for op in operations:
+            if op.op in _OPS_WITH_VALUE:
+                fh.write(f"{op.op} {op.key.hex()} {(op.value or b'').hex()}\n")
+            else:
+                fh.write(f"{op.op} {op.key.hex()}\n")
+            count += 1
+        return count
+    finally:
+        if own:
+            fh.close()
+
+
+def read_trace(source: Union[str, TextIO]) -> Iterator[Operation]:
+    """Parse a trace back into operations (validates as it goes)."""
+    own = isinstance(source, str)
+    fh = open(source, "r", encoding="ascii") if own else source
+    try:
+        header = fh.readline()
+        if not header.startswith(_HEADER_PREFIX):
+            raise TraceError("missing trace header")
+        for line_no, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(" ")
+            op = parts[0]
+            try:
+                if op in _OPS_WITH_VALUE:
+                    if len(parts) != 3:
+                        raise ValueError("expected op key value")
+                    yield Operation(op, bytes.fromhex(parts[1]), bytes.fromhex(parts[2]))
+                elif op == OP_GET:
+                    if len(parts) != 2:
+                        raise ValueError("expected op key")
+                    yield Operation(op, bytes.fromhex(parts[1]))
+                else:
+                    raise ValueError(f"unknown op {op!r}")
+            except ValueError as exc:
+                raise TraceError(f"line {line_no}: {exc}") from None
+    finally:
+        if own:
+            fh.close()
+
+
+def replay_trace(
+    operations: Iterable[Operation], system
+) -> List[Optional[bytes]]:
+    """Drive a store with a trace; returns the per-op observable results.
+
+    Two systems replaying the same trace must produce identical result
+    lists — the cross-system equivalence check the test suite uses.
+    """
+    from repro.errors import KeyNotFoundError
+
+    results: List[Optional[bytes]] = []
+    for op in operations:
+        try:
+            if op.op == OP_GET:
+                results.append(system.get(op.key))
+            elif op.op == OP_SET:
+                system.set(op.key, op.value)
+                results.append(b"")
+            elif op.op == OP_APPEND:
+                results.append(system.append(op.key, op.value))
+            elif op.op == OP_RMW:
+                value = system.get(op.key)
+                system.set(op.key, op.value)
+                results.append(value)
+            else:
+                raise TraceError(f"unknown op {op.op!r}")
+        except KeyNotFoundError:
+            results.append(None)
+    return results
+
+
+def trace_to_string(operations: Iterable[Operation], metadata=None) -> str:
+    """Convenience: record into a string."""
+    buffer = io.StringIO()
+    record_trace(operations, buffer, metadata)
+    return buffer.getvalue()

@@ -1,0 +1,156 @@
+"""YCSB-style workload mixes (paper Table 2) and operation streams.
+
+Each :class:`WorkloadSpec` is one Table 2 row: an operation mix over a
+key-popularity distribution.  :class:`OperationStream` turns a spec plus
+a :class:`~repro.workloads.datasets.DataSpec` into a deterministic
+sequence of ``Operation`` records that any store implementation can
+replay — that is how every system in the evaluation sees identical
+request sequences.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.util import stable_seed
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.workloads.datasets import DataSpec
+from repro.workloads.distributions import make_distribution
+
+OP_GET = "get"
+OP_SET = "set"
+OP_APPEND = "append"
+OP_RMW = "rmw"  # read-modify-write: get followed by set of the same key
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload mix (a row of Table 2 or the Fig. 12 append mixes)."""
+
+    name: str
+    description: str
+    read_ratio: float
+    write_ratio: float = 0.0
+    append_ratio: float = 0.0
+    rmw_ratio: float = 0.0
+    distribution: str = "uniform"
+    theta: float = 0.99
+
+    def __post_init__(self):
+        total = self.read_ratio + self.write_ratio + self.append_ratio + self.rmw_ratio
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"ratios of {self.name} must sum to 1, got {total}")
+
+
+# -- Table 2 -----------------------------------------------------------------
+RD50_U = WorkloadSpec("RD50_U", "Update heavy (50:50)", 0.5, 0.5, distribution="uniform")
+RD95_U = WorkloadSpec("RD95_U", "Read mostly (95:5)", 0.95, 0.05, distribution="uniform")
+RD100_U = WorkloadSpec("RD100_U", "Read only (100:0)", 1.0, distribution="uniform")
+RD50_Z = WorkloadSpec("RD50_Z", "Update heavy (50:50)", 0.5, 0.5, distribution="zipfian")
+RD95_Z = WorkloadSpec("RD95_Z", "Read mostly (95:5)", 0.95, 0.05, distribution="zipfian")
+RD100_Z = WorkloadSpec("RD100_Z", "Read only (100:0)", 1.0, distribution="zipfian")
+RD95_L = WorkloadSpec("RD95_L", "Read latest (95:5)", 0.95, 0.05, distribution="latest")
+RMW50_Z = WorkloadSpec(
+    "RMW50_Z", "Read-modify-write (50:50)", 0.5, rmw_ratio=0.5, distribution="zipfian"
+)
+
+TABLE2_WORKLOADS = (
+    RD50_U, RD95_U, RD100_U, RD50_Z, RD95_Z, RD100_Z, RD95_L, RMW50_Z,
+)
+
+# -- Fig. 12 append mixes ------------------------------------------------------
+AP5_Z99 = WorkloadSpec(
+    "AP5_Z99", "95% read / 5% append, zipf 0.99", 0.95, append_ratio=0.05,
+    distribution="zipfian", theta=0.99,
+)
+AP5_Z50 = WorkloadSpec(
+    "AP5_Z50", "95% read / 5% append, zipf 0.5", 0.95, append_ratio=0.05,
+    distribution="zipfian", theta=0.5,
+)
+AP5_U = WorkloadSpec(
+    "AP5_U", "95% read / 5% append, uniform", 0.95, append_ratio=0.05,
+    distribution="uniform",
+)
+AP50_U = WorkloadSpec(
+    "AP50_U", "50% read / 50% append, uniform", 0.5, append_ratio=0.5,
+    distribution="uniform",
+)
+APPEND_WORKLOADS = (AP5_Z99, AP5_Z50, AP5_U, AP50_U)
+
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    w.name: w for w in TABLE2_WORKLOADS + APPEND_WORKLOADS
+}
+
+
+def workload(name: str) -> WorkloadSpec:
+    """Look up a workload spec by Table 2 / Fig. 12 name."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOADS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One replayable request."""
+
+    op: str
+    key: bytes
+    value: Optional[bytes] = None
+
+
+class OperationStream:
+    """Deterministic request sequence for one (workload, data set) pair."""
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        data: DataSpec,
+        num_pairs: int,
+        seed: int = 2019,
+        append_chunk: int = 16,
+    ):
+        self.spec = spec
+        self.data = data
+        self.num_pairs = num_pairs
+        self.append_chunk = append_chunk
+        self._rng = random.Random(stable_seed(seed, spec.name, "mix"))
+        self._dist = make_distribution(
+            spec.distribution,
+            num_pairs,
+            seed=stable_seed(seed, spec.name, "dist"),
+            theta=spec.theta,
+        )
+        self._versions: Dict[int, int] = {}
+
+    def load_operations(self) -> Iterator[Operation]:
+        """The preload phase: insert every pair once."""
+        for index in range(self.num_pairs):
+            yield Operation(
+                OP_SET, self.data.key_bytes(index), self.data.value_bytes(index)
+            )
+
+    def _next_value(self, index: int) -> bytes:
+        version = self._versions.get(index, 0) + 1
+        self._versions[index] = version
+        return self.data.value_bytes(index, version)
+
+    def operations(self, count: int) -> Iterator[Operation]:
+        """``count`` requests drawn from the workload mix."""
+        spec = self.spec
+        for _ in range(count):
+            index = self._dist.next()
+            key = self.data.key_bytes(index)
+            r = self._rng.random()
+            if r < spec.read_ratio:
+                yield Operation(OP_GET, key)
+            elif r < spec.read_ratio + spec.write_ratio:
+                yield Operation(OP_SET, key, self._next_value(index))
+            elif r < spec.read_ratio + spec.write_ratio + spec.append_ratio:
+                yield Operation(OP_APPEND, key, b"A" * self.append_chunk)
+            else:
+                yield Operation(OP_RMW, key, self._next_value(index))

@@ -1,0 +1,80 @@
+"""AES-CMAC: RFC 4493 test vectors, subkeys, verification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES128
+from repro.crypto.cmac import cmac, cmac_with_cipher, generate_subkeys, verify_cmac
+from repro.errors import CryptoError
+
+_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+_MSG = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+
+
+class TestRfc4493Vectors:
+    def test_subkeys(self):
+        k1, k2 = generate_subkeys(AES128(_KEY))
+        assert k1.hex() == "fbeed618357133667c85e08f7236a8de"
+        assert k2.hex() == "f7ddac306ae266ccf90bc11ee46d513b"
+
+    def test_empty_message(self):
+        assert cmac(_KEY, b"").hex() == "bb1d6929e95937287fa37d129b756746"
+
+    def test_16_bytes(self):
+        assert cmac(_KEY, _MSG[:16]).hex() == "070a16b46b4d4144f79bdd9dd04a287c"
+
+    def test_40_bytes(self):
+        assert cmac(_KEY, _MSG[:40]).hex() == "dfa66747de9ae63030ca32611497c827"
+
+    def test_64_bytes(self):
+        assert cmac(_KEY, _MSG).hex() == "51f0bebf7e3b9d92fc49741779363cfe"
+
+
+class TestVerification:
+    def test_verify_accepts_valid(self):
+        tag = cmac(_KEY, b"hello world")
+        assert verify_cmac(_KEY, b"hello world", tag)
+
+    def test_verify_rejects_tampered_message(self):
+        tag = cmac(_KEY, b"hello world")
+        assert not verify_cmac(_KEY, b"hello w0rld", tag)
+
+    def test_verify_rejects_tampered_tag(self):
+        tag = bytearray(cmac(_KEY, b"hello"))
+        tag[0] ^= 1
+        assert not verify_cmac(_KEY, b"hello", bytes(tag))
+
+    def test_verify_rejects_wrong_tag_size(self):
+        with pytest.raises(CryptoError):
+            verify_cmac(_KEY, b"hello", b"short")
+
+
+class TestProperties:
+    @given(key=st.binary(min_size=16, max_size=16), msg=st.binary(max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_deterministic(self, key, msg):
+        assert cmac(key, msg) == cmac(key, msg)
+        assert len(cmac(key, msg)) == 16
+
+    @given(key=st.binary(min_size=16, max_size=16), msg=st.binary(min_size=1, max_size=100))
+    @settings(max_examples=25, deadline=None)
+    def test_key_separation(self, key, msg):
+        other = bytes([key[0] ^ 0xFF]) + key[1:]
+        assert cmac(key, msg) != cmac(other, msg)
+
+    @given(msg=st.binary(max_size=100))
+    @settings(max_examples=25, deadline=None)
+    def test_cached_cipher_matches(self, msg):
+        assert cmac_with_cipher(AES128(_KEY), msg) == cmac(_KEY, msg)
+
+    @given(msg=st.binary(min_size=1, max_size=100), bit=st.integers(0, 7))
+    @settings(max_examples=25, deadline=None)
+    def test_single_bit_flip_changes_tag(self, msg, bit):
+        flipped = bytes([msg[0] ^ (1 << bit)]) + msg[1:]
+        assert cmac(_KEY, msg) != cmac(_KEY, flipped)

@@ -1,0 +1,102 @@
+"""AES-CTR mode: NIST SP 800-38A vectors, counter handling, properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import ctr_transform, increment_iv_ctr, keystream
+from repro.errors import CryptoError
+
+# NIST SP 800-38A F.5.1 (CTR-AES128.Encrypt)
+_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+_CTR = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+_PT = bytes.fromhex(
+    "6bc1bee22e409f96e93d7e117393172a"
+    "ae2d8a571e03ac9c9eb76fac45af8e51"
+    "30c81c46a35ce411e5fbc1191a0a52ef"
+    "f69f2445df4f9b17ad2b417be66c3710"
+)
+_CT = bytes.fromhex(
+    "874d6191b620e3261bef6864990db6ce"
+    "9806f66b7970fdff8617187bb9fffdff"
+    "5ae4df3edbd5d35e5b4f09020db03eab"
+    "1e031dda2fbe03d1792170a0f3009cee"
+)
+
+
+class TestNistVectors:
+    def test_encrypt(self):
+        assert ctr_transform(AES128(_KEY), _CTR, _PT) == _CT
+
+    def test_decrypt_is_encrypt(self):
+        assert ctr_transform(AES128(_KEY), _CTR, _CT) == _PT
+
+    def test_partial_block(self):
+        assert ctr_transform(AES128(_KEY), _CTR, _PT[:20]) == _CT[:20]
+
+
+class TestCounterHandling:
+    def test_increment(self):
+        assert increment_iv_ctr(bytes(16)) == bytes(15) + b"\x01"
+
+    def test_increment_carry(self):
+        start = bytes(15) + b"\xff"
+        assert increment_iv_ctr(start) == bytes(14) + b"\x01\x00"
+
+    def test_increment_wraps(self):
+        assert increment_iv_ctr(b"\xff" * 16) == bytes(16)
+
+    def test_increment_amount(self):
+        assert increment_iv_ctr(bytes(16), 256) == bytes(14) + b"\x01\x00"
+
+    def test_increment_rejects_bad_size(self):
+        with pytest.raises(CryptoError):
+            increment_iv_ctr(bytes(8))
+
+    def test_contiguity(self):
+        """Encrypting two halves with the counter advanced by the first
+        half's block count must equal encrypting the whole."""
+        cipher = AES128(_KEY)
+        whole = ctr_transform(cipher, _CTR, _PT)
+        first = ctr_transform(cipher, _CTR, _PT[:32])
+        second = ctr_transform(cipher, increment_iv_ctr(_CTR, 2), _PT[32:])
+        assert first + second == whole
+
+
+class TestKeystream:
+    def test_length(self):
+        cipher = AES128(_KEY)
+        for n in (0, 1, 15, 16, 17, 100):
+            assert len(keystream(cipher, _CTR, n)) == n
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(CryptoError):
+            keystream(AES128(_KEY), _CTR, -1)
+
+    def test_bad_iv_rejected(self):
+        with pytest.raises(CryptoError):
+            keystream(AES128(_KEY), bytes(8), 16)
+
+
+class TestProperties:
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        iv=st.binary(min_size=16, max_size=16),
+        data=st.binary(max_size=200),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, key, iv, data):
+        cipher = AES128(key)
+        assert ctr_transform(cipher, iv, ctr_transform(cipher, iv, data)) == data
+
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        iv=st.binary(min_size=16, max_size=16),
+        data=st.binary(min_size=16, max_size=64),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_distinct_ivs_give_distinct_ciphertexts(self, key, iv, data):
+        cipher = AES128(key)
+        other_iv = increment_iv_ctr(iv, 1 << 64)
+        assert ctr_transform(cipher, iv, data) != ctr_transform(cipher, other_iv, data)

@@ -1,0 +1,31 @@
+"""Every example script must run cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", _EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    # No defense may report a miss.
+    assert "bug!" not in result.stdout
+    assert "MISSED!" not in result.stdout
+
+
+def test_example_inventory():
+    names = {p.stem for p in _EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3, "the paper reproduction ships >= 3 examples"

@@ -1,0 +1,102 @@
+"""Smoke tests: every experiment module runs at tiny scale and keeps its
+key qualitative property.  (Full-shape assertions live in benchmarks/.)"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, fig02, fig03, fig09, fig15, fig16, table1
+from repro.experiments.common import (
+    EcallFrontend,
+    TableResult,
+    build_system,
+    make_machine,
+    serving_thread,
+)
+
+TINY = 0.0015
+
+
+class TestHarness:
+    def test_build_every_system(self):
+        for name in (
+            "insecure",
+            "baseline",
+            "memcached+graphene",
+            "shieldbase",
+            "shieldopt",
+            "shieldopt+cache",
+            "eleos",
+        ):
+            machine = make_machine(1, TINY)
+            system = build_system(name, machine, TINY)
+            system.set(b"k", b"v")
+            assert system.get(b"k") == b"v"
+
+    def test_unknown_system(self):
+        with pytest.raises(ValueError):
+            build_system("redis", make_machine(1, TINY), TINY)
+
+    def test_ecall_frontend_charges_crossing(self):
+        machine = make_machine(1, TINY)
+        system = build_system("shieldopt", machine, TINY, standalone=True)
+        assert isinstance(system, EcallFrontend)
+        machine.reset_measurement()
+        system.set(b"k", b"v")
+        assert machine.counters.ecalls == 1
+
+    def test_serving_thread_routing(self):
+        machine = make_machine(4, TINY)
+        system = build_system("shieldopt", machine, TINY)
+        threads = {serving_thread(system, f"key-{i}".encode()) for i in range(64)}
+        assert threads == {0, 1, 2, 3}
+
+    def test_table_result_format_and_column(self):
+        table = TableResult("T", "title", ["a", "b"], [[1, 2.5], [3, None]])
+        text = table.format()
+        assert "T: title" in text and "2.5" in text and "-" in text
+        assert table.column("a") == [1, 3]
+
+
+class TestExperimentCatalog:
+    def test_catalog_is_complete(self):
+        expected = {
+            "table1", "breakdown", "fig02", "fig03", "fig06", "fig09", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+            "fig19",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+        for module in ALL_EXPERIMENTS.values():
+            assert callable(module.run)
+
+
+class TestTinyRuns:
+    """A fast subset executed end-to-end (others are bench-only)."""
+
+    def test_fig02_shape(self):
+        result = fig02.run(scale=TINY, accesses=300)
+        rows = {row[0]: row for row in result.rows}
+        assert rows[4096][2] > rows[16][2] * 20  # paging cliff exists
+
+    def test_fig03_shape(self):
+        result = fig03.run(scale=TINY, ops=300)
+        rows = {row[0]: row for row in result.rows}
+        assert rows[4096][3] > rows[16][3] * 3  # slowdown grows with WSS
+
+    def test_fig09_shape(self):
+        result = fig09.run(scale=TINY, ops=300)
+        one_m = result.rows[0]
+        assert one_m[1] > one_m[2]  # hints reduce decryptions
+
+    def test_fig15_shape(self):
+        result = fig15.run(scale=0.003, ops=300)
+        for row in result.rows:
+            assert row[4] < row[3]  # 8M hashes overflow the EPC
+
+    def test_fig16_runs(self):
+        result = fig16.run(scale=TINY, ops=200)
+        assert len(result.rows) == 4
+        assert all(row[1] and row[2] for row in result.rows)
+
+    def test_table1_parity(self):
+        result = table1.run(scale=TINY, ops=400)
+        for row in result.rows:
+            assert 0.8 < row[3] < 1.25

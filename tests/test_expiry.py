@@ -1,0 +1,113 @@
+"""TTL/expiration wrapper (memcached semantics)."""
+
+import pytest
+
+from repro.core import ShieldStore, shield_opt
+from repro.errors import KeyNotFoundError, StoreError
+from repro.ext.expiry import ExpiringStore
+from repro.sim import Attacker
+
+
+@pytest.fixture
+def store():
+    return ExpiringStore(ShieldStore(shield_opt(num_buckets=32, num_mac_hashes=16)))
+
+
+def advance(store, us):
+    store.machine.clock.threads[0].charge(store.machine.cost.us_to_cycles(us))
+
+
+class TestTtl:
+    def test_immortal_by_default(self, store):
+        store.set(b"k", b"v")
+        advance(store, 10_000_000)
+        assert store.get(b"k") == b"v"
+        assert store.ttl_remaining_us(b"k") is None
+
+    def test_expires(self, store):
+        store.set(b"k", b"v", ttl_us=1_000.0)
+        assert store.get(b"k") == b"v"
+        advance(store, 2_000)
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"k")
+        assert store.lazy_reclaims == 1
+        assert len(store) == 0  # lazily reclaimed
+
+    def test_ttl_remaining_shrinks(self, store):
+        store.set(b"k", b"v", ttl_us=10_000.0)
+        first = store.ttl_remaining_us(b"k")
+        advance(store, 3_000)
+        second = store.ttl_remaining_us(b"k")
+        assert second < first
+
+    def test_touch_extends(self, store):
+        store.set(b"k", b"v", ttl_us=1_000.0)
+        advance(store, 800)
+        store.touch(b"k", ttl_us=10_000.0)
+        advance(store, 2_000)
+        assert store.get(b"k") == b"v"
+
+    def test_append_preserves_deadline(self, store):
+        store.set(b"k", b"a", ttl_us=5_000.0)
+        assert store.append(b"k", b"b") == b"ab"
+        advance(store, 6_000)
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"k")
+
+    def test_overwrite_resets_ttl(self, store):
+        store.set(b"k", b"v1", ttl_us=1_000.0)
+        store.set(b"k", b"v2")  # immortal now
+        advance(store, 5_000)
+        assert store.get(b"k") == b"v2"
+
+    def test_purge_expired(self, store):
+        for i in range(10):
+            store.set(f"short-{i}".encode(), b"v", ttl_us=100.0)
+        for i in range(5):
+            store.set(f"long-{i}".encode(), b"v", ttl_us=1e9)
+        advance(store, 1_000)
+        assert store.purge_expired() == 10
+        assert len(store) == 5
+
+    def test_bad_ttl(self, store):
+        with pytest.raises(StoreError):
+            store.set(b"k", b"v", ttl_us=-1.0)
+
+    def test_contains(self, store):
+        store.set(b"k", b"v", ttl_us=500.0)
+        assert store.contains(b"k")
+        advance(store, 600)
+        assert not store.contains(b"k")
+
+
+class TestSecurityOfDeadlines:
+    def test_deadline_is_confidential(self, store):
+        """The host cannot read when items expire — the deadline lives
+        inside the encrypted value."""
+        store.set(b"session", b"data", ttl_us=123_456.0)
+        attacker = Attacker(store.machine.memory)
+        import struct
+
+        deadline_bytes = struct.pack("<d", store.machine.elapsed_us())
+        for base, size in attacker.untrusted_allocations():
+            dump = attacker.read(base, size)
+            assert b"data" not in dump  # value hidden, envelope included
+
+    def test_host_cannot_extend_lifetime(self, store):
+        """Flipping bytes where the deadline sits breaks the MAC instead
+        of extending the session."""
+        from repro.errors import IntegrityError, ReplayError
+
+        store.set(b"session", b"data", ttl_us=1_000.0)
+        attacker = Attacker(store.machine.memory)
+        inner = store.store
+        bucket = inner.keyring.keyed_bucket_hash(b"session", inner.config.num_buckets)
+        addr = int.from_bytes(
+            inner.machine.memory.raw_read(inner.buckets.slot_addr(bucket), 8),
+            "little",
+        )
+        # The expiry header is the first 12 plaintext bytes of the value,
+        # i.e. right after the encrypted key in the ciphertext region.
+        attacker.flip_bit(addr + 33 + len(b"session") + 2, 6)
+        with pytest.raises((IntegrityError, ReplayError)):
+            store.get(b"session")

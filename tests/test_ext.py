@@ -1,0 +1,217 @@
+"""Extensions: skiplist, verified range store, logged persistence."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ShieldStore, Snapshotter, shield_opt
+from repro.errors import (
+    IntegrityError,
+    KeyNotFoundError,
+    ReplayError,
+    RollbackError,
+)
+from repro.ext import OperationLog, RangeShieldStore, RecoveringStore, SkipList
+from repro.sim import Attacker, MonotonicCounterService, SealingService
+
+
+class TestSkipList:
+    def test_insert_search_delete(self):
+        sl = SkipList()
+        assert sl.insert(b"b", 2)
+        assert sl.insert(b"a", 1)
+        assert not sl.insert(b"a", 10)  # update
+        assert sl.search(b"a") == 10
+        assert sl.search(b"zz") is None
+        assert sl.delete(b"a")
+        assert not sl.delete(b"a")
+        assert len(sl) == 1
+
+    def test_items_ordered(self):
+        sl = SkipList()
+        for i in (5, 1, 9, 3, 7):
+            sl.insert(f"k{i}".encode(), i)
+        assert [k for k, _ in sl.items()] == [b"k1", b"k3", b"k5", b"k7", b"k9"]
+
+    def test_range_bounds(self):
+        sl = SkipList()
+        for i in range(10):
+            sl.insert(f"k{i}".encode(), i)
+        assert [v for _, v in sl.range(b"k3", b"k7")] == [3, 4, 5, 6]
+        assert list(sl.range(b"x", b"z")) == []
+
+    @given(
+        keys=st.lists(st.binary(min_size=1, max_size=8), min_size=0, max_size=40)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_sorted_dict(self, keys):
+        sl = SkipList()
+        model = {}
+        for i, key in enumerate(keys):
+            sl.insert(key, i)
+            model[key] = i
+        assert [k for k, _ in sl.items()] == sorted(model)
+        assert len(sl) == len(model)
+
+
+class TestRangeStore:
+    @pytest.fixture
+    def store(self):
+        store = RangeShieldStore(segment_size=4)
+        for i in range(20):
+            store.set(f"user:{i:03d}".encode(), f"data-{i}".encode())
+        return store
+
+    def test_point_ops(self, store):
+        assert store.get(b"user:007") == b"data-7"
+        store.set(b"user:007", b"updated")
+        assert store.get(b"user:007") == b"updated"
+        store.delete(b"user:007")
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"user:007")
+        assert len(store) == 19
+
+    def test_range_query(self, store):
+        results = list(store.range(b"user:005", b"user:010"))
+        assert [k for k, _ in results] == [
+            f"user:{i:03d}".encode() for i in range(5, 10)
+        ]
+        assert results[0][1] == b"data-5"
+
+    def test_range_is_ordered_across_segments(self, store):
+        keys = [k for k, _ in store.range(b"user:000", b"user:999")]
+        assert keys == sorted(keys)
+        assert len(keys) == 20
+
+    def test_values_encrypted_in_untrusted_memory(self, store):
+        atk = Attacker(store.machine.memory)
+        for base, size in atk.untrusted_allocations():
+            assert b"data-7" not in atk.read(base, size)
+
+    def test_tampered_entry_detected(self, store):
+        atk = Attacker(store.machine.memory)
+        addr = store._index.search(b"user:003")
+        atk.flip_bit(addr + 40, 2)
+        with pytest.raises((IntegrityError, ReplayError)):
+            store.get(b"user:003")
+        with pytest.raises((IntegrityError, ReplayError)):
+            list(store.range(b"user:000", b"user:009"))
+
+    def test_replayed_entry_detected(self, store):
+        atk = Attacker(store.machine.memory)
+        addr_v1 = store._index.search(b"user:004")
+        from repro.core.entry import entry_total_size
+
+        size = entry_total_size(8, 6)
+        recorded = atk.snapshot(addr_v1, size)
+        store.set(b"user:004", b"newer!")
+        new_addr = store._index.search(b"user:004")
+        if new_addr == addr_v1:
+            atk.replay(recorded)
+        else:
+            atk.write(new_addr, recorded[1][: size])
+        with pytest.raises((IntegrityError, ReplayError)):
+            store.get(b"user:004")
+
+    def test_range_charges_simulated_time(self, store):
+        before = store.machine.elapsed_us()
+        list(store.range(b"user:000", b"user:020"))
+        assert store.machine.elapsed_us() > before
+
+
+class TestOperationLog:
+    def _fresh(self):
+        store = ShieldStore(shield_opt(num_buckets=32, num_mac_hashes=16))
+        counters = MonotonicCounterService()
+        log = OperationLog(store, counters, counter_batch=8)
+        return RecoveringStore(store, log), log, counters
+
+    def test_logged_mutations_replayable(self):
+        wrapped, log, counters = self._fresh()
+        wrapped.set(b"a", b"1")
+        wrapped.set(b"b", b"2")
+        wrapped.append(b"a", b"!")
+        wrapped.increment(b"n", 4)
+        wrapped.delete(b"b")
+        blob = log.dump()
+
+        target = ShieldStore(
+            shield_opt(num_buckets=32, num_mac_hashes=16),
+            master_secret=wrapped.store.keyring.master,
+        )
+        replayed = log.replay(target.enclave.context(), blob, target)
+        assert replayed == 5
+        assert target.get(b"a") == b"1!"
+        assert target.get(b"n") == b"4"
+        assert not target.contains(b"b")
+
+    def test_chain_tamper_detected(self):
+        wrapped, log, _ = self._fresh()
+        for i in range(5):
+            wrapped.set(f"k{i}".encode(), b"v")
+        blob = bytearray(log.dump())
+        blob[20] ^= 1
+        target = ShieldStore(
+            shield_opt(num_buckets=32, num_mac_hashes=16),
+            master_secret=wrapped.store.keyring.master,
+        )
+        with pytest.raises(IntegrityError):
+            log.replay(target.enclave.context(), bytes(blob), target)
+
+    def test_truncation_beyond_batch_detected(self):
+        wrapped, log, counters = self._fresh()
+        for i in range(20):  # 20 records, batch 8 -> counter = 2
+            wrapped.set(f"k{i}".encode(), b"v")
+        assert counters.read("shieldstore-log") == 2
+        # Keep only the first 8 records: below the 16-record watermark.
+        truncated = OperationLog(
+            wrapped.store, counters, counter_batch=8
+        )  # fresh chain state for re-verification
+        blob_full = log.dump()
+        # Reconstruct a truncated blob record by record.
+        offset = 8
+        records = []
+        import struct as _struct
+
+        rest = blob_full[offset:]
+        while rest:
+            (clen,) = _struct.unpack_from("<I", rest, 0)
+            record, rest = rest[: 4 + clen + 16], rest[4 + clen + 16 :]
+            records.append(record)
+        short_blob = blob_full[:8] + b"".join(records[:8])
+        target = ShieldStore(
+            shield_opt(num_buckets=32, num_mac_hashes=16),
+            master_secret=wrapped.store.keyring.master,
+        )
+        with pytest.raises(RollbackError):
+            log.replay(target.enclave.context(), short_blob, target)
+
+    def test_counter_amortization(self):
+        wrapped, log, counters = self._fresh()
+        for i in range(64):
+            wrapped.set(f"k{i}".encode(), b"v")
+        # 64 mutations, batch 8: exactly 8 counter bumps, not 64.
+        assert log.counter_bumps == 8
+
+    def test_snapshot_plus_log_recovery(self):
+        """Full recovery pipeline: snapshot, more writes, crash, replay."""
+        store = ShieldStore(shield_opt(num_buckets=32, num_mac_hashes=16))
+        counters = MonotonicCounterService()
+        sealing = SealingService(b"platform-secret-9")
+        snapshotter = Snapshotter(sealing, counters)
+        for i in range(10):
+            store.set(f"base-{i}".encode(), b"v0")
+        snapshot_blob = snapshotter.snapshot_bytes(store.enclave.context(), store)
+        log = OperationLog(store, counters, counter_batch=4)
+        wrapped = RecoveringStore(store, log)
+        for i in range(6):
+            wrapped.set(f"post-{i}".encode(), b"v1")
+        log_blob = log.dump()
+
+        # "Crash": rebuild from snapshot + log.
+        recovered = ShieldStore(shield_opt(num_buckets=32, num_mac_hashes=16))
+        snapshotter.restore(recovered.enclave.context(), snapshot_blob, recovered)
+        log.replay(recovered.enclave.context(), log_blob, recovered)
+        assert len(recovered) == 16
+        assert recovered.get(b"base-3") == b"v0"
+        assert recovered.get(b"post-5") == b"v1"

@@ -1,0 +1,328 @@
+"""Design-space extensions: client-side model, ROTE counters,
+dynamic repartitioning, and the SPEICHER-style LSM store."""
+
+import pytest
+
+from repro.core import Snapshotter, shield_opt
+from repro.errors import (
+    IntegrityError,
+    KeyNotFoundError,
+    ReplayError,
+    RollbackError,
+    StoreError,
+)
+from repro.ext import (
+    BloomFilter,
+    ClientKeyDirectory,
+    ClientSideClient,
+    DynamicShieldStore,
+    PassiveStore,
+    RoteCounterService,
+    ShieldLSM,
+)
+from repro.sim import Machine, SealingService
+
+
+# ---------------------------------------------------------------------------
+# client-side encryption (§3.2's rejected design)
+# ---------------------------------------------------------------------------
+class TestClientSide:
+    @pytest.fixture
+    def deployment(self):
+        store = PassiveStore()
+        directory = ClientKeyDirectory(b"shared-master-secret-32-bytes!!!")
+        return store, directory
+
+    def test_roundtrip_and_multi_client(self, deployment):
+        store, directory = deployment
+        alice = ClientSideClient(store, directory)
+        bob = ClientSideClient(store, directory)
+        alice.set(b"k", b"value")
+        assert bob.get(b"k") == b"value"
+
+    def test_server_never_sees_plaintext(self, deployment):
+        store, directory = deployment
+        client = ClientSideClient(store, directory)
+        client.set(b"account", b"balance=12345")
+        blob = store._blobs[b"account"]
+        assert b"balance" not in blob and b"12345" not in blob
+
+    def test_namespace_isolation(self, deployment):
+        store, directory = deployment
+        a = ClientSideClient(store, directory, namespace="tenant-a")
+        b = ClientSideClient(store, directory, namespace="tenant-b")
+        a.set(b"k", b"secret-a")
+        with pytest.raises(IntegrityError):
+            b.get(b"k")  # wrong namespace keys fail authentication
+
+    def test_rollback_detected_only_with_watermark(self, deployment):
+        store, directory = deployment
+        writer = ClientSideClient(store, directory)
+        reader = ClientSideClient(store, directory)
+        writer.set(b"k", b"v1")
+        reader.get(b"k")
+        writer.set(b"k", b"v2")
+        store.rollback(b"k")
+        # The writer knows version 2 exists -> detects the replay.
+        with pytest.raises(ReplayError):
+            writer.get(b"k")
+        # The reader only ever saw v1 -> silently accepts stale data:
+        # the §3.2 coordination problem, demonstrated.
+        assert reader.get(b"k") == b"v1"
+        # After syncing watermarks the reader detects it too.
+        reader.sync_watermarks_from(writer)
+        with pytest.raises(ReplayError):
+            reader.get(b"k")
+
+    def test_append_needs_round_trips(self, deployment):
+        """Client-side append costs a fetch + a store network round trip
+        (vs the server-side model's single request)."""
+        store, directory = deployment
+        client = ClientSideClient(store, directory)
+        client.set(b"log", b"a")
+        store.machine.reset_measurement()
+        client.append(b"log", b"b")
+        two_round_trips = 2 * store.machine.cost.net_rtt_us
+        assert store.machine.elapsed_us() >= two_round_trips
+        assert client.get(b"log") == b"ab"
+
+    def test_increment(self, deployment):
+        store, directory = deployment
+        client = ClientSideClient(store, directory)
+        assert client.increment(b"n", 5) == 5
+        assert client.increment(b"n", 1) == 6
+
+    def test_tampered_blob_detected(self, deployment):
+        store, directory = deployment
+        client = ClientSideClient(store, directory)
+        client.set(b"k", b"v")
+        blob = bytearray(store._blobs[b"k"])
+        blob[9] ^= 1
+        store._blobs[b"k"] = bytes(blob)
+        with pytest.raises(IntegrityError):
+            client.get(b"k")
+
+
+# ---------------------------------------------------------------------------
+# ROTE-style distributed counters
+# ---------------------------------------------------------------------------
+class TestRoteCounters:
+    def test_increments_and_reads(self):
+        svc = RoteCounterService(num_replicas=4)
+        assert svc.create("c") == 0
+        assert svc.increment(None, "c") == 1
+        assert svc.increment(None, "c") == 2
+        assert svc.read("c") == 2
+
+    def test_rollback_detection_via_quorum(self):
+        svc = RoteCounterService(num_replicas=5)
+        for _ in range(3):
+            svc.increment(None, "c")
+        svc.check_not_rolled_back("c", 3)
+        with pytest.raises(RollbackError):
+            svc.check_not_rolled_back("c", 2)
+
+    def test_minority_replica_rollback_is_outvoted(self):
+        svc = RoteCounterService(num_replicas=5)
+        for _ in range(4):
+            svc.increment(None, "c")
+        # Two replicas (a minority) are rolled back by the adversary.
+        svc.replicas[0].rollback("c", 1)
+        svc.replicas[1].rollback("c", 1)
+        svc.crash_local_state()
+        assert svc.recover_from_quorum("c") == 4
+        with pytest.raises(RollbackError):
+            svc.check_not_rolled_back("c", 3)
+
+    def test_much_cheaper_than_sgx_counter(self):
+        machine = Machine()
+        from repro.sim import Enclave
+
+        ctx = Enclave(machine, bytes(32)).context()
+        svc = RoteCounterService()
+        svc.increment(ctx, "c")
+        rote_us = machine.elapsed_us()
+        assert rote_us < machine.cost.monotonic_counter_us / 100
+
+    def test_works_as_snapshotter_backend(self):
+        from repro.core import ShieldStore
+
+        store = ShieldStore(shield_opt(num_buckets=32, num_mac_hashes=16))
+        snapshotter = Snapshotter(
+            SealingService(b"platform-secret-7"), RoteCounterService()
+        )
+        store.set(b"k", b"v")
+        ctx = store.enclave.context()
+        old = snapshotter.snapshot_bytes(ctx, store)
+        snapshotter.snapshot_bytes(ctx, store)
+        target = ShieldStore(shield_opt(num_buckets=32, num_mac_hashes=16))
+        with pytest.raises(RollbackError):
+            snapshotter.restore(target.enclave.context(), old, target)
+
+    def test_needs_three_replicas(self):
+        with pytest.raises(ValueError):
+            RoteCounterService(num_replicas=2)
+
+
+# ---------------------------------------------------------------------------
+# dynamic repartitioning
+# ---------------------------------------------------------------------------
+class TestDynamicStore:
+    def test_resize_preserves_data(self):
+        store = DynamicShieldStore(shield_opt(256, 128), initial_threads=1)
+        for i in range(120):
+            store.set(f"key-{i:03d}".encode(), f"value-{i}".encode())
+        migrated = store.resize(4)
+        assert migrated == 120
+        assert store.num_threads == 4
+        for i in range(120):
+            assert store.get(f"key-{i:03d}".encode()) == f"value-{i}".encode()
+
+    def test_shrink(self):
+        store = DynamicShieldStore(shield_opt(256, 128), initial_threads=4)
+        for i in range(60):
+            store.set(f"key-{i}".encode(), b"v")
+        store.resize(2)
+        assert store.num_threads == 2
+        assert len(store) == 60
+
+    def test_resize_is_charged(self):
+        store = DynamicShieldStore(shield_opt(256, 128), initial_threads=1)
+        for i in range(80):
+            store.set(f"key-{i}".encode(), b"v" * 32)
+        before = store.elapsed_us()
+        store.resize(4)
+        assert store.elapsed_us() > before  # migration is not free
+
+    def test_noop_resize(self):
+        store = DynamicShieldStore(shield_opt(64, 32), initial_threads=2)
+        assert store.resize(2) == 0
+
+    def test_bounds(self):
+        store = DynamicShieldStore(shield_opt(64, 32), initial_threads=1)
+        with pytest.raises(StoreError):
+            store.resize(0)
+        with pytest.raises(StoreError):
+            store.resize(10_000)
+
+    def test_post_resize_parallelism(self):
+        store = DynamicShieldStore(shield_opt(256, 128), initial_threads=1)
+        for i in range(100):
+            store.set(f"key-{i}".encode(), b"v")
+        store.resize(4)
+        store.machine.reset_measurement()
+        for i in range(100):
+            store.get(f"key-{i}".encode())
+        busy = [t.cycles for t in store.machine.clock.threads[:4]]
+        assert sum(1 for c in busy if c > 0) == 4
+
+
+# ---------------------------------------------------------------------------
+# SPEICHER-style LSM
+# ---------------------------------------------------------------------------
+class TestShieldLSM:
+    def test_basic_semantics(self):
+        lsm = ShieldLSM(memtable_bytes=100_000)
+        lsm.set(b"k", b"v1")
+        assert lsm.get(b"k") == b"v1"
+        lsm.set(b"k", b"v2")
+        assert lsm.get(b"k") == b"v2"
+        lsm.delete(b"k")
+        with pytest.raises(KeyNotFoundError):
+            lsm.get(b"k")
+        with pytest.raises(KeyNotFoundError):
+            lsm.delete(b"k")
+
+    def test_survives_flushes_and_compactions(self):
+        lsm = ShieldLSM(memtable_bytes=1500, fanout=3)
+        for i in range(200):
+            lsm.set(f"key-{i:04d}".encode(), f"value-{i}".encode())
+        assert lsm.flushes > 0 and lsm.compactions > 0
+        for i in range(200):
+            assert lsm.get(f"key-{i:04d}".encode()) == f"value-{i}".encode()
+        assert len(lsm) == 200
+
+    def test_newest_version_wins_across_runs(self):
+        lsm = ShieldLSM(memtable_bytes=800)
+        for round_no in range(4):
+            for i in range(30):
+                lsm.set(f"key-{i:02d}".encode(), f"round-{round_no}".encode())
+        assert lsm.get(b"key-07") == b"round-3"
+
+    def test_deletes_survive_compaction(self):
+        lsm = ShieldLSM(memtable_bytes=600, fanout=2)
+        for i in range(60):
+            lsm.set(f"key-{i:02d}".encode(), b"v")
+        lsm.delete(b"key-30")
+        for i in range(60, 120):
+            lsm.set(f"key-{i:03d}".encode(), b"v")  # force more merges
+        with pytest.raises(KeyNotFoundError):
+            lsm.get(b"key-30")
+
+    def test_range_scan_merged(self):
+        lsm = ShieldLSM(memtable_bytes=900)
+        for i in range(50):
+            lsm.set(f"key-{i:02d}".encode(), str(i).encode())
+        lsm.delete(b"key-12")
+        results = dict(lsm.range(b"key-10", b"key-15"))
+        assert set(results) == {b"key-10", b"key-11", b"key-13", b"key-14"}
+
+    def test_sstables_hold_ciphertext_only(self):
+        lsm = ShieldLSM(memtable_bytes=400)
+        for i in range(40):
+            lsm.set(f"key-{i:02d}".encode(), b"confidential-payload")
+        assert lsm.num_tables > 0
+        for tables in lsm._levels:
+            for table in tables:
+                for record in table.records.values():
+                    assert b"confidential" not in record
+
+    def test_tampered_record_detected(self):
+        lsm = ShieldLSM(memtable_bytes=400)
+        for i in range(40):
+            lsm.set(f"key-{i:02d}".encode(), b"value")
+        table = next(t for tables in lsm._levels for t in tables)
+        victim = next(iter(table.records))
+        record = bytearray(table.records[victim])
+        record[len(record) // 2] ^= 1
+        table.records[victim] = bytes(record)
+        with pytest.raises(IntegrityError):
+            lsm.get(victim)
+
+    def test_swapped_run_detected_on_range(self):
+        lsm = ShieldLSM(memtable_bytes=400)
+        for i in range(40):
+            lsm.set(f"key-{i:02d}".encode(), b"v1")
+        table = next(t for tables in lsm._levels for t in tables)
+        stale = dict(table.records)
+        for i in range(40):
+            lsm.set(f"key-{i:02d}".encode(), b"v2")
+        table.records = stale  # the host swaps the run back... and forgot
+        table.root_mac = bytes(16)  # ...the enclave-held root cannot match
+        with pytest.raises(IntegrityError):
+            list(lsm.range(b"key-00", b"key-99"))
+
+    def test_wal_written_per_mutation(self):
+        lsm = ShieldLSM()
+        for i in range(25):
+            lsm.set(f"key-{i}".encode(), b"v")
+        lsm.delete(b"key-3")
+        assert lsm.wal_records == 26
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(expected=200)
+        keys = [f"key-{i}".encode() for i in range(200)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_low_false_positive_rate(self):
+        bloom = BloomFilter(expected=500)
+        for i in range(500):
+            bloom.add(f"present-{i}".encode())
+        false_positives = sum(
+            1 for i in range(2000) if f"absent-{i}".encode() in bloom
+        )
+        assert false_positives / 2000 < 0.08

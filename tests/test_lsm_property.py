@@ -1,0 +1,83 @@
+"""Model-based testing of the shielded LSM across flush/compaction."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KeyNotFoundError
+from repro.ext import ShieldLSM
+
+_KEYS = st.sampled_from([f"k{i:02d}".encode() for i in range(14)])
+_VALUES = st.binary(min_size=0, max_size=32)
+
+_OPERATIONS = st.lists(
+    st.one_of(
+        st.tuples(st.just("set"), _KEYS, _VALUES),
+        st.tuples(st.just("get"), _KEYS, st.just(b"")),
+        st.tuples(st.just("delete"), _KEYS, st.just(b"")),
+        st.tuples(st.just("range"), _KEYS, st.just(b"")),
+        st.tuples(st.just("flush"), _KEYS, st.just(b"")),
+    ),
+    max_size=40,
+)
+
+_SETTINGS = settings(
+    max_examples=35,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestLsmModel:
+    @given(ops=_OPERATIONS, memtable=st.sampled_from([256, 1024, 64 * 1024]))
+    @_SETTINGS
+    def test_matches_dict(self, ops, memtable):
+        """Tiny memtables force flushes and compactions mid-sequence;
+        the observable behaviour must stay identical to a dict."""
+        lsm = ShieldLSM(memtable_bytes=memtable, fanout=2)
+        model = {}
+        for op, key, value in ops:
+            if op == "set":
+                lsm.set(key, value)
+                model[key] = value
+            elif op == "get":
+                if key in model:
+                    assert lsm.get(key) == model[key]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        lsm.get(key)
+            elif op == "delete":
+                if key in model:
+                    lsm.delete(key)
+                    del model[key]
+                else:
+                    with pytest.raises(KeyNotFoundError):
+                        lsm.delete(key)
+            elif op == "range":
+                end = key + b"~"
+                got = dict(lsm.range(key, end))
+                expected = {k: v for k, v in model.items() if key <= k < end}
+                assert got == expected
+            elif op == "flush":
+                lsm.flush()
+        assert len(lsm) == len(model)
+        assert dict(lsm.range(b"", b"\xff")) == model
+
+    @given(ops=_OPERATIONS)
+    @_SETTINGS
+    def test_wal_covers_every_mutation(self, ops):
+        lsm = ShieldLSM(memtable_bytes=512, fanout=2)
+        mutations = 0
+        for op, key, value in ops:
+            try:
+                if op == "set":
+                    lsm.set(key, value)
+                    mutations += 1
+                elif op == "delete":
+                    lsm.delete(key)
+                    mutations += 1
+                elif op == "flush":
+                    lsm.flush()
+            except KeyNotFoundError:
+                pass
+        assert lsm.wal_records == mutations

@@ -1,0 +1,108 @@
+"""Batched multi_get: semantics, amortization, partition fan-out."""
+
+import pytest
+
+from repro.core import PartitionedShieldStore, ShieldStore, shield_opt
+from repro.sim import Attacker, Machine
+from repro.errors import IntegrityError, ReplayError
+
+
+@pytest.fixture
+def store():
+    s = ShieldStore(shield_opt(num_buckets=8, num_mac_hashes=4))
+    for i in range(40):
+        s.set(f"key-{i:02d}".encode(), f"value-{i}".encode())
+    return s
+
+
+class TestSemantics:
+    def test_mixed_hits_and_misses(self, store):
+        results = store.multi_get([b"key-03", b"absent", b"key-07"])
+        assert results == {
+            b"key-03": b"value-3",
+            b"absent": None,
+            b"key-07": b"value-7",
+        }
+
+    def test_empty_batch(self, store):
+        assert store.multi_get([]) == {}
+
+    def test_duplicate_keys(self, store):
+        results = store.multi_get([b"key-01", b"key-01"])
+        assert results == {b"key-01": b"value-1"}
+
+    def test_matches_single_gets(self, store):
+        keys = [f"key-{i:02d}".encode() for i in range(40)]
+        batched = store.multi_get(keys)
+        for key in keys:
+            assert batched[key] == store.get(key)
+
+    def test_tamper_detected_in_batch(self, store):
+        attacker = Attacker(store.machine.memory)
+        # Find some entry and corrupt its ciphertext.
+        bucket = store.keyring.keyed_bucket_hash(b"key-05", store.config.num_buckets)
+        addr = int.from_bytes(
+            store.machine.memory.raw_read(store.buckets.slot_addr(bucket), 8),
+            "little",
+        )
+        attacker.flip_bit(addr + 40, 1)
+        with pytest.raises((IntegrityError, ReplayError)):
+            store.multi_get([f"key-{i:02d}".encode() for i in range(40)])
+
+
+class TestAmortization:
+    def test_batch_cheaper_than_singles(self):
+        """Keys sharing bucket sets amortize the set verification."""
+
+        def run(batched):
+            s = ShieldStore(shield_opt(num_buckets=8, num_mac_hashes=2))
+            keys = [f"key-{i:02d}".encode() for i in range(48)]
+            for key in keys:
+                s.set(key, b"v" * 32)
+            s.machine.reset_measurement()
+            if batched:
+                s.multi_get(keys)
+            else:
+                for key in keys:
+                    s.get(key)
+            return s.machine.elapsed_us()
+
+        assert run(batched=True) < run(batched=False) * 0.8
+
+    def test_cache_interplay(self):
+        s = ShieldStore(
+            shield_opt(num_buckets=8, num_mac_hashes=4, cache_bytes=32 * 1024)
+        )
+        s.set(b"hot", b"value")
+        s.multi_get([b"hot"])  # populates / hits the cache
+        hits_before = s.stats.cache_hits
+        s.multi_get([b"hot"])
+        assert s.stats.cache_hits > hits_before
+
+
+class TestPartitionedFanOut:
+    def test_routing_and_results(self):
+        machine = Machine(num_threads=4)
+        store = PartitionedShieldStore(
+            shield_opt(num_buckets=256, num_mac_hashes=128), machine=machine
+        )
+        keys = [f"key-{i:03d}".encode() for i in range(120)]
+        for key in keys:
+            store.set(key, b"v-" + key)
+        results = store.multi_get(keys + [b"absent"])
+        assert results[b"absent"] is None
+        for key in keys:
+            assert results[key] == b"v-" + key
+
+    def test_batch_work_spreads_across_threads(self):
+        machine = Machine(num_threads=4)
+        store = PartitionedShieldStore(
+            shield_opt(num_buckets=256, num_mac_hashes=128), machine=machine
+        )
+        keys = [f"key-{i:03d}".encode() for i in range(200)]
+        for key in keys:
+            store.set(key, b"v")
+        machine.reset_measurement()
+        store.multi_get(keys)
+        busy = sum(1 for t in machine.clock.threads if t.cycles > 0)
+        assert busy == 4

@@ -1,0 +1,88 @@
+"""Adversarial input fuzzing of the wire protocol and secure channel."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.suite import make_suite
+from repro.errors import ProtocolError, ReproError
+from repro.net.message import (
+    Request,
+    SecureChannel,
+    decode_request,
+    decode_response,
+    encode_request,
+)
+
+_FUZZ_SETTINGS = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def channel_pair():
+    a = make_suite("fast-hashlib", bytes(16), bytes(range(16)))
+    b = make_suite("fast-hashlib", bytes(16), bytes(range(16)))
+    return SecureChannel(a, "client"), SecureChannel(b, "server")
+
+
+class TestCodecFuzz:
+    @given(raw=st.binary(max_size=256))
+    @_FUZZ_SETTINGS
+    def test_decode_request_never_crashes_unexpectedly(self, raw):
+        """Arbitrary bytes either parse or raise ProtocolError — never
+        anything else."""
+        try:
+            request = decode_request(raw)
+            # Whatever parsed must re-encode to the same bytes.
+            assert encode_request(request) == raw
+        except ProtocolError:
+            pass
+
+    @given(raw=st.binary(max_size=256))
+    @_FUZZ_SETTINGS
+    def test_decode_response_never_crashes_unexpectedly(self, raw):
+        try:
+            decode_response(raw)
+        except ProtocolError:
+            pass
+
+    @given(
+        op=st.sampled_from(["get", "set", "append", "delete", "increment"]),
+        key=st.binary(max_size=64),
+        value=st.binary(max_size=128),
+    )
+    @_FUZZ_SETTINGS
+    def test_request_roundtrip_property(self, op, key, value):
+        request = Request(op, key, value)
+        assert decode_request(encode_request(request)) == request
+
+
+class TestChannelFuzz:
+    @given(garbage=st.binary(max_size=200))
+    @_FUZZ_SETTINGS
+    def test_open_rejects_garbage(self, garbage):
+        _client, server = channel_pair()
+        with pytest.raises(ProtocolError):
+            server.open(garbage)
+
+    @given(
+        payload=st.binary(min_size=1, max_size=64),
+        position=st.integers(min_value=0, max_value=10_000),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    @_FUZZ_SETTINGS
+    def test_any_single_byte_corruption_detected(self, payload, position, flip):
+        client, server = channel_pair()
+        sealed = bytearray(client.seal(payload))
+        sealed[position % len(sealed)] ^= flip
+        with pytest.raises(ProtocolError):
+            server.open(bytes(sealed))
+
+    @given(payloads=st.lists(st.binary(max_size=32), min_size=1, max_size=10))
+    @_FUZZ_SETTINGS
+    def test_in_order_stream_always_accepted(self, payloads):
+        client, server = channel_pair()
+        for payload in payloads:
+            assert server.open(client.seal(payload)) == payload

@@ -1,0 +1,94 @@
+"""Real TCP deployment: attestation handshake, secure session, attacks."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.core import ShieldStore, shield_opt
+from repro.errors import AttestationError, KeyNotFoundError, ProtocolError
+from repro.net import TCPShieldClient, TCPShieldServer
+from repro.sim import AttestationService
+
+
+@pytest.fixture
+def service():
+    return AttestationService(b"ias-secret-for-tests")
+
+
+@pytest.fixture
+def server(service):
+    store = ShieldStore(shield_opt(num_buckets=64, num_mac_hashes=32))
+    srv = TCPShieldServer(store, service)
+    srv.start()
+    yield srv
+    srv.close()
+
+
+def connect(server, service, entropy=bytes(range(32))):
+    return TCPShieldClient(
+        server.address, service, server.store.enclave.measurement, entropy
+    )
+
+
+class TestEndToEnd:
+    def test_operations(self, server, service):
+        client = connect(server, service)
+        try:
+            client.set(b"k", b"v")
+            assert client.get(b"k") == b"v"
+            assert client.append(b"k", b"!") == b"v!"
+            assert client.increment(b"ctr", 3) == 3
+            client.delete(b"k")
+            with pytest.raises(KeyNotFoundError):
+                client.get(b"k")
+        finally:
+            client.close()
+
+    def test_two_clients(self, server, service):
+        a = connect(server, service, bytes(range(32)))
+        b = connect(server, service, bytes(range(32, 64)))
+        try:
+            a.set(b"shared", b"from-a")
+            assert b.get(b"shared") == b"from-a"
+        finally:
+            a.close()
+            b.close()
+
+
+class TestAttestationGate:
+    def test_wrong_measurement_rejected(self, server, service):
+        with pytest.raises(AttestationError):
+            TCPShieldClient(
+                server.address, service, bytes(32), bytes(range(32))
+            )
+
+    def test_wrong_service_secret_rejected(self, server):
+        rogue = AttestationService(b"not-the-real-service")
+        with pytest.raises(AttestationError):
+            TCPShieldClient(
+                server.address,
+                rogue,
+                server.store.enclave.measurement,
+                bytes(range(32)),
+            )
+
+
+class TestWireTamper:
+    def test_tampered_frame_drops_session(self, server, service):
+        client = connect(server, service)
+        try:
+            client.set(b"k", b"v")
+            # Hand-craft a corrupted frame on the raw socket.
+            from repro.net.message import Request, encode_request
+
+            frame = bytearray(
+                client._channel.seal(encode_request(Request("get", b"k")))
+            )
+            frame[12] ^= 0xFF
+            client._sock.sendall(struct.pack("<I", len(frame)) + bytes(frame))
+            # The server drops the session; subsequent reads fail.
+            with pytest.raises((ProtocolError, OSError, ConnectionError)):
+                client.get(b"k")
+        finally:
+            client.close()

@@ -1,0 +1,187 @@
+"""Snapshot persistence: functional roundtrips and the Fig. 19 model."""
+
+import pytest
+
+from repro.core import (
+    MODE_NAIVE,
+    MODE_NONE,
+    MODE_OPTIMIZED,
+    ShieldStore,
+    SnapshotPolicy,
+    SnapshotScheduler,
+    Snapshotter,
+    shield_opt,
+)
+from repro.errors import (
+    IntegrityError,
+    ReplayError,
+    RollbackError,
+    SealingError,
+    SnapshotError,
+)
+from repro.sim import MonotonicCounterService, SealingService
+
+
+@pytest.fixture
+def sealing():
+    return SealingService(b"platform-secret-1")
+
+
+@pytest.fixture
+def counters():
+    return MonotonicCounterService()
+
+
+@pytest.fixture
+def snapshotter(sealing, counters):
+    return Snapshotter(sealing, counters)
+
+
+def fresh_store(**overrides):
+    return ShieldStore(shield_opt(num_buckets=32, num_mac_hashes=16, **overrides))
+
+
+def populate(store, count=60):
+    for i in range(count):
+        store.set(f"key-{i}".encode(), f"value-{i}".encode() * (1 + i % 3))
+
+
+class TestFunctionalSnapshots:
+    def test_roundtrip(self, snapshotter):
+        store = fresh_store()
+        populate(store)
+        blob = snapshotter.snapshot_bytes(store.enclave.context(), store)
+        restored = fresh_store()
+        snapshotter.restore(restored.enclave.context(), blob, restored)
+        assert len(restored) == len(store)
+        for i in range(60):
+            key = f"key-{i}".encode()
+            assert restored.get(key) == store.get(key)
+
+    def test_restored_store_is_writable(self, snapshotter):
+        store = fresh_store()
+        populate(store, 20)
+        blob = snapshotter.snapshot_bytes(store.enclave.context(), store)
+        restored = fresh_store()
+        snapshotter.restore(restored.enclave.context(), blob, restored)
+        restored.set(b"new-key", b"new-value")
+        restored.delete(b"key-3")
+        assert restored.get(b"new-key") == b"new-value"
+        assert not restored.contains(b"key-3")
+
+    def test_snapshot_keeps_values_encrypted(self, snapshotter):
+        store = fresh_store()
+        store.set(b"secret-key-material", b"super-secret-value")
+        blob = snapshotter.snapshot_bytes(store.enclave.context(), store)
+        assert b"secret-key-material" not in blob
+        assert b"super-secret-value" not in blob
+
+    def test_restore_requires_empty_store(self, snapshotter):
+        store = fresh_store()
+        populate(store, 5)
+        blob = snapshotter.snapshot_bytes(store.enclave.context(), store)
+        non_empty = fresh_store()
+        non_empty.set(b"x", b"y")
+        with pytest.raises(SnapshotError):
+            snapshotter.restore(non_empty.enclave.context(), blob, non_empty)
+
+    def test_bad_magic_rejected(self, snapshotter):
+        store = fresh_store()
+        with pytest.raises(SnapshotError):
+            snapshotter.restore(store.enclave.context(), b"NOTASNAP" + bytes(64), store)
+
+    def test_rollback_detected(self, snapshotter):
+        store = fresh_store()
+        populate(store, 10)
+        ctx = store.enclave.context()
+        old_blob = snapshotter.snapshot_bytes(ctx, store)
+        store.set(b"newer", b"data")
+        snapshotter.snapshot_bytes(ctx, store)  # bumps the counter
+        target = fresh_store()
+        with pytest.raises(RollbackError):
+            snapshotter.restore(target.enclave.context(), old_blob, target)
+
+    def test_sealed_metadata_bound_to_enclave(self, sealing, counters, snapshotter):
+        store = fresh_store()
+        populate(store, 5)
+        blob = snapshotter.snapshot_bytes(store.enclave.context(), store)
+        # A different platform cannot unseal the metadata.
+        other = Snapshotter(SealingService(b"other-platform!!!"), counters)
+        target = fresh_store()
+        with pytest.raises(SealingError):
+            other.restore(target.enclave.context(), blob, target)
+
+    def test_tampered_entry_mac_detected_at_restore(self, snapshotter):
+        store = fresh_store()
+        populate(store, 20)
+        blob = bytearray(snapshotter.snapshot_bytes(store.enclave.context(), store))
+        blob[-3] ^= 0x10  # inside the last record's MAC
+        target = fresh_store()
+        with pytest.raises((ReplayError, IntegrityError, SnapshotError)):
+            snapshotter.restore(target.enclave.context(), bytes(blob), target)
+
+    def test_tampered_ciphertext_detected_at_get(self, snapshotter):
+        store = fresh_store()
+        populate(store, 20)
+        blob = bytearray(snapshotter.snapshot_bytes(store.enclave.context(), store))
+        blob[-25] ^= 0x10  # inside the last record's ciphertext
+        target = fresh_store()
+        snapshotter.restore(target.enclave.context(), bytes(blob), target)
+        detected = 0
+        for i in range(20):
+            try:
+                target.get(f"key-{i}".encode())
+            except (IntegrityError, ReplayError):
+                detected += 1
+        assert detected == 1
+
+
+class TestSnapshotScheduler:
+    def _run(self, mode, writes=True, ops=4000, interval_us=3000.0):
+        store = fresh_store()
+        populate(store, 30)
+        store.machine.reset_measurement()
+        policy = SnapshotPolicy(mode=mode, interval_us=interval_us)
+        scheduler = SnapshotScheduler(store, policy)
+        for i in range(ops):
+            if writes and i % 2 == 0:
+                store.set(f"key-{i % 30}".encode(), b"x" * 10)
+            else:
+                store.get(f"key-{i % 30}".encode())
+            scheduler.tick(is_write=writes and i % 2 == 0)
+        return scheduler, store.machine.elapsed_us(), ops
+
+    def test_modes_are_ordered(self):
+        _s_none, t_none, n = self._run(MODE_NONE)
+        sched_naive, t_naive, _ = self._run(MODE_NAIVE)
+        sched_opt, t_opt, _ = self._run(MODE_OPTIMIZED)
+        assert sched_naive.snapshots_taken > 0
+        assert sched_opt.snapshots_taken > 0
+        assert t_none < t_opt < t_naive
+
+    def test_read_only_optimized_is_nearly_free(self):
+        _sched, t_none, _ = self._run(MODE_NONE, writes=False)
+        sched_opt, t_opt, _ = self._run(MODE_OPTIMIZED, writes=False)
+        assert sched_opt.snapshots_taken > 0
+        assert t_opt < t_none * 1.10
+
+    def test_naive_stall_recorded(self):
+        scheduler, _t, _n = self._run(MODE_NAIVE)
+        assert scheduler.total_stall_us > 0
+
+    def test_temp_table_used_during_window(self):
+        store = fresh_store()
+        populate(store, 30)
+        store.machine.reset_measurement()
+        policy = SnapshotPolicy(mode=MODE_OPTIMIZED, interval_us=500.0)
+        scheduler = SnapshotScheduler(store, policy)
+        temp_writes = 0
+        for i in range(3000):
+            store.set(f"key-{i % 30}".encode(), b"y" * 10)
+            scheduler.tick(is_write=True)
+            temp_writes = max(temp_writes, scheduler.temp_table_writes)
+        assert temp_writes > 0
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SnapshotError):
+            SnapshotPolicy(mode="sometimes")

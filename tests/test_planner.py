@@ -1,0 +1,83 @@
+"""Capacity planner: the §4.3 sizing arithmetic."""
+
+import pytest
+
+from repro.core.planner import plan
+from repro.sim.cycles import MB
+
+
+class TestAutoSizing:
+    def test_paper_defaults_reproduce(self):
+        """10M pairs should land near the paper's 8M buckets / 4M hashes
+        (the 4M cap comes from half the 93 MB EPC at 16 B per hash)."""
+        result = plan(10_000_000, val_size=512)
+        assert result.num_buckets == 8_000_000
+        assert 2_500_000 <= result.num_mac_hashes <= 4_000_000
+        assert result.fits_epc
+        assert 1.0 < result.avg_chain_length < 1.5
+
+    def test_small_population(self):
+        result = plan(1000, val_size=16)
+        assert result.num_mac_hashes <= result.num_buckets
+        assert result.fits_epc
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            plan(0)
+
+
+class TestPlacement:
+    def test_enclave_holds_only_hashes(self):
+        result = plan(1_000_000, num_mac_hashes=1_000_000, num_buckets=1_000_000)
+        assert result.enclave_bytes == 16_000_000
+        assert result.untrusted_entry_bytes > result.enclave_bytes
+
+    def test_overflow_flagged(self):
+        result = plan(
+            10_000_000, num_buckets=8_000_000, num_mac_hashes=8_000_000
+        )
+        assert not result.fits_epc  # 128 MB of hashes vs 93 MB EPC
+        assert result.epc_utilization > 1.0
+
+    def test_overflow_inflates_get_estimate(self):
+        fits = plan(10_000_000, num_buckets=8_000_000, num_mac_hashes=4_000_000)
+        overflow = plan(10_000_000, num_buckets=8_000_000, num_mac_hashes=8_000_000)
+        assert overflow.est_get_cycles > fits.est_get_cycles * 2
+
+
+class TestWorkEstimates:
+    def test_hints_cut_decryptions(self):
+        with_hints = plan(10_000_000, num_buckets=1_000_000, key_hints=True)
+        without = plan(10_000_000, num_buckets=1_000_000, key_hints=False)
+        assert with_hints.expected_decryptions_per_get < 1.1
+        assert without.expected_decryptions_per_get > 5
+
+    def test_fewer_hashes_mean_more_macs_per_get(self):
+        few = plan(10_000_000, num_buckets=8_000_000, num_mac_hashes=1_000_000)
+        many = plan(10_000_000, num_buckets=8_000_000, num_mac_hashes=4_000_000)
+        assert few.macs_read_per_get > many.macs_read_per_get
+
+    def test_estimate_tracks_simulation(self):
+        """The planner's get estimate should be the right order of
+        magnitude vs an actual simulated run."""
+        from repro.core import ShieldStore, shield_opt
+
+        pairs, buckets, hashes = 2000, 1600, 800
+        result = plan(pairs, val_size=64, num_buckets=buckets, num_mac_hashes=hashes)
+        store = ShieldStore(shield_opt(num_buckets=buckets, num_mac_hashes=hashes))
+        for i in range(pairs):
+            store.set(f"key-{i:05d}".encode(), b"v" * 64)
+        store.machine.reset_measurement()
+        gets = 500
+        for i in range(gets):
+            store.get(f"key-{i * 3 % pairs:05d}".encode())
+        measured = store.machine.clock.elapsed_cycles() / gets
+        assert measured / 4 < result.est_get_cycles < measured * 4
+
+    def test_summary_renders(self):
+        text = plan(10_000_000).summary()
+        assert "MAC hashes" in text and "EPC" in text
+        overflow = plan(
+            10_000_000, num_buckets=8_000_000, num_mac_hashes=8_000_000
+        ).summary()
+        assert "OVERFLOWS" in overflow

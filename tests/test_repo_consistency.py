@@ -1,0 +1,84 @@
+"""Meta-tests: the repository's own promises stay true."""
+
+import pathlib
+import re
+
+from repro.experiments import ALL_EXPERIMENTS
+
+_ROOT = pathlib.Path(__file__).parent.parent
+
+
+class TestDeliverables:
+    def test_every_figure_experiment_has_a_bench(self):
+        bench_names = {p.name for p in (_ROOT / "benchmarks").glob("bench_*.py")}
+        for name in ALL_EXPERIMENTS:
+            if name == "table1":
+                expected_prefix = "bench_table1"
+            else:
+                expected_prefix = f"bench_{name}"
+            assert any(
+                b.startswith(expected_prefix) for b in bench_names
+            ), f"no benchmark regenerates {name}"
+
+    def test_documents_exist(self):
+        for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "SECURITY.md"):
+            path = _ROOT / doc
+            assert path.exists(), doc
+            assert len(path.read_text()) > 500, f"{doc} looks stubbed"
+
+    def test_examples_in_readme_exist(self):
+        readme = (_ROOT / "README.md").read_text()
+        for match in re.finditer(r"`(\w+\.py)`", readme):
+            name = match.group(1)
+            if (_ROOT / "examples" / name).exists() or name in (
+                "setup.py",
+            ):
+                continue
+            raise AssertionError(f"README references missing example {name}")
+
+    def test_design_lists_every_experiment(self):
+        design = (_ROOT / "DESIGN.md").read_text()
+        for table in ("Table 1", "Fig. 2", "Fig. 10", "Fig. 19"):
+            assert table in design
+
+    def test_experiments_md_covers_every_figure(self):
+        text = (_ROOT / "EXPERIMENTS.md").read_text()
+        for figure in (2, 3, 6, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19):
+            assert f"Figure {figure}" in text, f"Figure {figure} unrecorded"
+        assert "Table 1" in text
+
+
+class TestCodeHygiene:
+    def test_no_builtin_hash_in_library(self):
+        """Python's hash() is process-salted; the library must not use it
+        for anything that affects simulated behaviour."""
+        offenders = []
+        for path in (_ROOT / "src").rglob("*.py"):
+            text = path.read_text()
+            for lineno, line in enumerate(text.splitlines(), 1):
+                stripped = line.split("#")[0]
+                if re.search(r"(?<![.\w])hash\(", stripped):
+                    offenders.append(f"{path.name}:{lineno}")
+        assert not offenders, offenders
+
+    def test_no_wall_clock_in_simulation(self):
+        """Simulated time must come from cycle clocks, not time.time()."""
+        allowed = {"tcp.py", "cli.py"}  # real I/O surfaces only
+        offenders = []
+        for path in (_ROOT / "src").rglob("*.py"):
+            if path.name in allowed:
+                continue
+            text = path.read_text()
+            if re.search(r"\btime\.(time|monotonic|perf_counter)\(", text):
+                offenders.append(path.name)
+        assert not offenders, offenders
+
+    def test_public_modules_have_docstrings(self):
+        undocumented = []
+        for path in (_ROOT / "src").rglob("*.py"):
+            text = path.read_text().lstrip()
+            if path.name == "__main__.py":
+                continue
+            if not text.startswith(('"""', "'''")):
+                undocumented.append(str(path))
+        assert not undocumented, undocumented

@@ -1,0 +1,145 @@
+"""Machine, execution contexts, boundary crossings, the SDK facade."""
+
+import pytest
+
+from repro.crypto.suite import make_suite
+from repro.errors import EnclaveError
+from repro.sim import Enclave, Machine
+from repro.sim.llc import LLCache
+from repro.sim.sdk import (
+    sgx_aes_ctr_decrypt,
+    sgx_aes_ctr_encrypt,
+    sgx_read_rand,
+    sgx_rijndael128_cmac,
+)
+
+
+@pytest.fixture
+def machine():
+    return Machine(num_threads=2)
+
+
+@pytest.fixture
+def enclave(machine):
+    return Enclave(machine, bytes(32))
+
+
+@pytest.fixture
+def suite():
+    return make_suite("fast-hashlib", bytes(16), bytes(range(16)))
+
+
+class TestMachine:
+    def test_contexts_bound_to_threads(self, machine):
+        c0 = machine.context(0)
+        c1 = machine.context(1)
+        c0.charge(100)
+        assert machine.clock.threads[0].cycles == 100
+        assert machine.clock.threads[1].cycles == 0
+        c1.charge(50)
+        assert machine.elapsed_us() == pytest.approx(100 / 3600)
+
+    def test_reset_measurement_keeps_epc_warm(self, machine, enclave):
+        ctx = enclave.context()
+        base = enclave.alloc(8192, materialize=False)
+        machine.memory.touch(ctx, base, 8, write=False)
+        assert machine.counters.epc_faults == 1
+        machine.reset_measurement()
+        assert machine.counters.epc_faults == 0
+        assert machine.clock.elapsed_cycles() == 0
+        machine.memory.llc.flush()  # force the memory path to reach the EPC
+        machine.memory.touch(ctx, base, 8, write=False)
+        assert machine.counters.epc_faults == 0  # still resident
+
+    def test_rng_deterministic_per_seed(self):
+        a = Machine(seed=7).rng.random()
+        b = Machine(seed=7).rng.random()
+        assert a == b
+
+
+class TestCrossings:
+    def test_ecall_charges(self, machine, enclave):
+        ctx = enclave.enter(0)
+        assert ctx.in_enclave
+        assert machine.clock.threads[0].cycles == machine.cost.ecall_cycles
+        assert machine.counters.ecalls == 1
+
+    def test_hot_entry_is_cheaper(self, machine, enclave):
+        enclave.enter(0, hot=True)
+        enclave.enter(1, hot=False)
+        assert machine.clock.threads[0].cycles < machine.clock.threads[1].cycles
+
+    def test_ocall_requires_enclave(self, machine, enclave):
+        with pytest.raises(EnclaveError):
+            machine.context(0, in_enclave=False).ocall()
+        ctx = enclave.context()
+        ctx.ocall(syscall=True)
+        assert machine.counters.ocalls == 1
+        assert ctx.clock.cycles == machine.cost.ocall_cycles + machine.cost.syscall_cycles
+
+    def test_syscall_forbidden_inside_enclave(self, machine, enclave):
+        with pytest.raises(EnclaveError):
+            enclave.context().syscall()
+        machine.context(0, in_enclave=False).syscall()
+
+    def test_enclave_measurement_size(self, machine):
+        with pytest.raises(EnclaveError):
+            Enclave(machine, b"too-short")
+
+
+class TestSdkFacade:
+    def test_sgx_read_rand_deterministic(self, machine, enclave):
+        ctx = enclave.context()
+        a = sgx_read_rand(ctx, 16)
+        machine2 = Machine(num_threads=2)
+        b = sgx_read_rand(Enclave(machine2, bytes(32)).context(), 16)
+        assert a == b  # same machine seed
+        assert len(a) == 16
+
+    def test_sdk_requires_enclave(self, machine, suite):
+        outside = machine.context(0, in_enclave=False)
+        with pytest.raises(EnclaveError):
+            sgx_read_rand(outside, 16)
+        with pytest.raises(EnclaveError):
+            sgx_aes_ctr_encrypt(outside, suite, bytes(16), b"data")
+
+    def test_encrypt_decrypt_roundtrip(self, machine, enclave, suite):
+        ctx = enclave.context()
+        ct = sgx_aes_ctr_encrypt(ctx, suite, bytes(16), b"hello enclave")
+        assert sgx_aes_ctr_decrypt(ctx, suite, bytes(16), ct) == b"hello enclave"
+        assert machine.counters.aes_calls == 2
+        assert machine.counters.decryptions == 1
+
+    def test_cmac_charges(self, machine, enclave, suite):
+        ctx = enclave.context()
+        tag = sgx_rijndael128_cmac(ctx, suite, b"message")
+        assert len(tag) == 16
+        assert machine.counters.cmac_calls == 1
+
+
+class TestLLC:
+    def test_hit_miss_accounting(self):
+        from repro.sim.cycles import CostModel
+
+        llc = LLCache(CostModel())
+        assert llc.access(1) is False
+        assert llc.access(1) is True
+        assert llc.hits == 1 and llc.misses == 1
+
+    def test_eviction_order(self):
+        from dataclasses import replace
+
+        from repro.sim.cycles import CostModel
+
+        llc = LLCache(replace(CostModel(), llc_bytes=0))  # min capacity
+        for line in range(llc.capacity_lines + 1):
+            llc.access(line)
+        assert llc.access(0) is False  # evicted (LRU)
+
+    def test_flush(self):
+        from repro.sim.cycles import CostModel
+
+        llc = LLCache(CostModel())
+        llc.access(1)
+        llc.flush()
+        assert llc.access(1) is False

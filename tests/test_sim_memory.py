@@ -1,0 +1,130 @@
+"""Simulated memory: regions, allocation, charged access, protection."""
+
+import pytest
+
+from repro.errors import EnclaveError, EnclaveMemoryError
+from repro.sim import Enclave, Machine
+from repro.sim.memory import (
+    ENCLAVE_BASE,
+    REGION_ENCLAVE,
+    REGION_UNTRUSTED,
+    UNTRUSTED_BASE,
+)
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+@pytest.fixture
+def enclave(machine):
+    return Enclave(machine, bytes(32))
+
+
+class TestAllocation:
+    def test_alloc_regions(self, machine):
+        e = machine.memory.alloc(64, REGION_ENCLAVE)
+        u = machine.memory.alloc(64, REGION_UNTRUSTED)
+        assert machine.memory.in_enclave_range(e)
+        assert not machine.memory.in_enclave_range(u)
+        assert e >= ENCLAVE_BASE
+        assert u >= UNTRUSTED_BASE
+
+    def test_alloc_rejects_bad_size(self, machine):
+        with pytest.raises(EnclaveMemoryError):
+            machine.memory.alloc(0, REGION_UNTRUSTED)
+
+    def test_alloc_rejects_bad_region(self, machine):
+        with pytest.raises(EnclaveMemoryError):
+            machine.memory.alloc(64, "nowhere")
+
+    def test_free_and_refree(self, machine):
+        base = machine.memory.alloc(64, REGION_UNTRUSTED)
+        machine.memory.free(base)
+        with pytest.raises(EnclaveMemoryError):
+            machine.memory.free(base)
+
+    def test_find_interior_address(self, machine):
+        base = machine.memory.alloc(100, REGION_UNTRUSTED)
+        alloc = machine.memory.find(base + 50)
+        assert alloc.base == base
+
+    def test_find_unknown_address(self, machine):
+        with pytest.raises(EnclaveMemoryError):
+            machine.memory.find(UNTRUSTED_BASE + 10**9)
+
+    def test_bytes_allocated_tracking(self, machine):
+        before = machine.memory.bytes_allocated[REGION_UNTRUSTED]
+        base = machine.memory.alloc(1000, REGION_UNTRUSTED)
+        assert machine.memory.bytes_allocated[REGION_UNTRUSTED] == before + 1000
+        machine.memory.free(base)
+        assert machine.memory.bytes_allocated[REGION_UNTRUSTED] == before
+
+
+class TestChargedAccess:
+    def test_write_read_roundtrip(self, machine):
+        ctx = machine.context(0)
+        base = machine.memory.alloc(64, REGION_UNTRUSTED)
+        machine.memory.write(ctx, base, b"payload")
+        assert machine.memory.read(ctx, base, 7) == b"payload"
+
+    def test_access_charges_cycles(self, machine):
+        ctx = machine.context(0)
+        base = machine.memory.alloc(4096, REGION_UNTRUSTED)
+        before = ctx.clock.cycles
+        machine.memory.read(ctx, base, 64)
+        assert ctx.clock.cycles > before
+
+    def test_overrun_rejected(self, machine):
+        ctx = machine.context(0)
+        base = machine.memory.alloc(16, REGION_UNTRUSTED)
+        with pytest.raises(EnclaveMemoryError):
+            machine.memory.read(ctx, base, 32)
+        with pytest.raises(EnclaveMemoryError):
+            machine.memory.write(ctx, base + 8, bytes(16))
+
+    def test_enclave_access_requires_enclave_context(self, machine, enclave):
+        base = enclave.alloc(64)
+        outside = machine.context(0, in_enclave=False)
+        with pytest.raises(EnclaveError):
+            machine.memory.read(outside, base, 8)
+        inside = enclave.context()
+        machine.memory.write(inside, base, b"secret")
+        assert machine.memory.read(inside, base, 6) == b"secret"
+
+    def test_untrusted_access_from_enclave_allowed(self, machine, enclave):
+        base = enclave.alloc_untrusted(64)
+        ctx = enclave.context()
+        machine.memory.write(ctx, base, b"shared")
+        assert machine.memory.read(ctx, base, 6) == b"shared"
+
+    def test_unmaterialized_reads_zeros(self, machine):
+        ctx = machine.context(0)
+        base = machine.memory.alloc(64, REGION_UNTRUSTED, materialize=False)
+        machine.memory.write(ctx, base, b"ignored")
+        assert machine.memory.read(ctx, base, 7) == bytes(7)
+
+    def test_llc_makes_second_access_cheaper(self, machine):
+        ctx = machine.context(0)
+        base = machine.memory.alloc(64, REGION_UNTRUSTED)
+        machine.memory.read(ctx, base, 64)
+        first = ctx.clock.cycles
+        machine.memory.read(ctx, base, 64)
+        second = ctx.clock.cycles - first
+        assert second < first
+
+
+class TestRawAccess:
+    def test_raw_roundtrip_uncharged(self, machine):
+        ctx = machine.context(0)
+        base = machine.memory.alloc(32, REGION_UNTRUSTED)
+        machine.memory.raw_write(base, b"raw")
+        before = ctx.clock.cycles
+        assert machine.memory.raw_read(base, 3) == b"raw"
+        assert ctx.clock.cycles == before
+
+    def test_raw_overrun_rejected(self, machine):
+        base = machine.memory.alloc(8, REGION_UNTRUSTED)
+        with pytest.raises(EnclaveMemoryError):
+            machine.memory.raw_read(base, 16)

@@ -1,0 +1,184 @@
+"""ShieldStore functional behaviour across configurations."""
+
+import pytest
+
+from repro.core import ShieldStore, StoreConfig, shield_base, shield_opt
+from repro.errors import KeyNotFoundError, StoreError
+
+
+def make_store(**overrides) -> ShieldStore:
+    defaults = dict(num_buckets=64, num_mac_hashes=32)
+    factory = overrides.pop("factory", shield_opt)
+    return ShieldStore(factory(**{**defaults, **overrides}))
+
+
+CONFIG_VARIANTS = {
+    "opt": {},
+    "base": {"factory": shield_base},
+    "no-hints": {"key_hint_enabled": False, "two_step_search": False},
+    "no-macbucket": {"mac_bucketing": False},
+    "multi-bucket-sets": {"num_mac_hashes": 8},
+    "ocall-alloc": {"use_extra_heap": False},
+    "with-cache": {"cache_bytes": 64 * 1024},
+    "reference-aes": {"suite_name": "aes-reference"},
+}
+
+
+@pytest.fixture(params=sorted(CONFIG_VARIANTS))
+def store(request):
+    return make_store(**CONFIG_VARIANTS[request.param])
+
+
+class TestBasicOperations:
+    def test_set_get(self, store):
+        store.set(b"key", b"value")
+        assert store.get(b"key") == b"value"
+
+    def test_missing_key_raises(self, store):
+        with pytest.raises(KeyNotFoundError):
+            store.get(b"missing")
+
+    def test_overwrite_same_size(self, store):
+        store.set(b"key", b"aaaa")
+        store.set(b"key", b"bbbb")
+        assert store.get(b"key") == b"bbbb"
+        assert len(store) == 1
+
+    def test_overwrite_different_size(self, store):
+        store.set(b"key", b"short")
+        store.set(b"key", b"much longer value than before")
+        assert store.get(b"key") == b"much longer value than before"
+        store.set(b"key", b"s")
+        assert store.get(b"key") == b"s"
+        assert len(store) == 1
+
+    def test_delete(self, store):
+        store.set(b"key", b"value")
+        store.delete(b"key")
+        assert not store.contains(b"key")
+        with pytest.raises(KeyNotFoundError):
+            store.delete(b"key")
+
+    def test_delete_middle_of_chain(self, store):
+        # Force collisions by inserting many keys into few buckets.
+        keys = [f"k{i}".encode() for i in range(30)]
+        for key in keys:
+            store.set(key, b"v-" + key)
+        store.delete(keys[13])
+        for key in keys:
+            if key == keys[13]:
+                assert not store.contains(key)
+            else:
+                assert store.get(key) == b"v-" + key
+
+    def test_append_existing(self, store):
+        store.set(b"log", b"hello")
+        assert store.append(b"log", b" world") == b"hello world"
+        assert store.get(b"log") == b"hello world"
+
+    def test_append_missing_creates(self, store):
+        assert store.append(b"log", b"first") == b"first"
+        assert store.get(b"log") == b"first"
+
+    def test_increment(self, store):
+        assert store.increment(b"ctr", 5) == 5
+        assert store.increment(b"ctr", -2) == 3
+        assert store.get(b"ctr") == b"3"
+
+    def test_increment_non_integer_rejected(self, store):
+        store.set(b"blob", b"not-a-number")
+        with pytest.raises(StoreError):
+            store.increment(b"blob")
+
+    def test_empty_value(self, store):
+        store.set(b"empty", b"")
+        assert store.get(b"empty") == b""
+
+    def test_binary_keys_and_values(self, store):
+        key = bytes(range(32))
+        value = bytes(reversed(range(256)))
+        store.set(key, value)
+        assert store.get(key) == value
+
+    def test_len_tracks_population(self, store):
+        for i in range(20):
+            store.set(f"k{i}".encode(), b"v")
+        assert len(store) == 20
+        store.delete(b"k7")
+        assert len(store) == 19
+
+    def test_iter_items(self, store):
+        expected = {}
+        for i in range(25):
+            key, value = f"k{i}".encode(), f"v{i}".encode()
+            store.set(key, value)
+            expected[key] = value
+        assert dict(store.iter_items()) == expected
+
+
+class TestChainBehaviour:
+    def test_many_collisions(self):
+        store = ShieldStore(shield_opt(num_buckets=2, num_mac_hashes=1))
+        for i in range(40):
+            store.set(f"key-{i}".encode(), f"value-{i}".encode() * 3)
+        for i in range(40):
+            assert store.get(f"key-{i}".encode()) == f"value-{i}".encode() * 3
+
+    def test_update_in_long_chain(self):
+        store = ShieldStore(shield_opt(num_buckets=2, num_mac_hashes=2))
+        for i in range(20):
+            store.set(f"key-{i}".encode(), b"old")
+        store.set(b"key-10", b"new")
+        assert store.get(b"key-10") == b"new"
+        assert store.get(b"key-0") == b"old"
+
+    def test_hint_skips_counted(self):
+        store = make_store()
+        for i in range(50):
+            store.set(f"key-{i}".encode(), b"v")
+        store.stats.hint_skips = 0
+        for i in range(50):
+            store.get(f"key-{i}".encode())
+        # With 64 buckets and 50 keys some chains collide; most collisions
+        # should be skipped by hint, not decrypted.
+        assert store.stats.hint_skips > 0
+
+
+class TestConfigValidation:
+    def test_more_hashes_than_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            StoreConfig(num_buckets=4, num_mac_hashes=8)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            StoreConfig(num_buckets=0, num_mac_hashes=0)
+        with pytest.raises(ValueError):
+            StoreConfig(num_buckets=4, num_mac_hashes=2, mac_bucket_capacity=0)
+        with pytest.raises(ValueError):
+            StoreConfig(num_buckets=4, num_mac_hashes=2, heap_chunk_bytes=128)
+
+    def test_with_updates(self):
+        config = shield_opt(64, 32)
+        assert config.with_(cache_bytes=1024).cache_bytes == 1024
+        assert config.cache_bytes == 0  # original untouched
+
+    def test_variant_factories(self):
+        base = shield_base(64, 32)
+        assert not base.key_hint_enabled
+        assert not base.mac_bucketing
+        assert not base.use_extra_heap
+        opt = shield_opt(64, 32)
+        assert opt.key_hint_enabled and opt.mac_bucketing and opt.use_extra_heap
+
+
+class TestDeterminism:
+    def test_same_seed_same_simulated_time(self):
+        def run():
+            store = make_store()
+            for i in range(30):
+                store.set(f"k{i}".encode(), f"v{i}".encode())
+            for i in range(30):
+                store.get(f"k{i}".encode())
+            return store.machine.clock.elapsed_cycles()
+
+        assert run() == run()

@@ -1,0 +1,47 @@
+"""The experiment suite runner itself."""
+
+import pytest
+
+from repro.experiments.suite import average_kops, run_suite
+from repro.workloads import RD50_Z, RD95_Z, SMALL
+
+_SCALE = 0.0015
+
+
+class TestRunSuite:
+    def test_grid_shape(self):
+        results = run_suite(
+            ["baseline", "shieldopt"], [SMALL], [1, 2], [RD50_Z, RD95_Z],
+            scale=_SCALE, ops=150,
+        )
+        assert len(results) == 2 * 1 * 2 * 2
+        for key, result in results.items():
+            system, data, threads, workload = key
+            assert result.system == system
+            assert result.threads == threads
+            assert result.ops == 150
+            assert result.kops > 0
+
+    def test_unsupported_system_yields_none_cells(self):
+        # Eleos with a pool limit too small for the preload.
+        results = run_suite(
+            ["eleos"], [SMALL], [1], [RD50_Z],
+            scale=_SCALE, ops=50,
+            system_kwargs={"eleos": {"pool_limit_bytes": 1024}},
+        )
+        assert results[("eleos", "small", 1, "RD50_Z")] is None
+
+    def test_average_skips_missing(self):
+        results = {
+            ("s", "small", 1, "RD50_Z"): None,
+        }
+        assert average_kops(results, "s", "small", 1, [RD50_Z]) == 0.0
+
+    def test_deterministic(self):
+        def once():
+            results = run_suite(
+                ["shieldopt"], [SMALL], [1], [RD50_Z], scale=_SCALE, ops=120
+            )
+            return results[("shieldopt", "small", 1, "RD50_Z")].elapsed_us
+
+        assert once() == once()

@@ -1,0 +1,82 @@
+"""Trace record/replay: portability of workload sequences."""
+
+import io
+
+import pytest
+
+from repro.core import ShieldStore, shield_base, shield_opt
+from repro.workloads import SMALL, OperationStream, RD50_Z, Operation
+from repro.workloads.trace import (
+    TraceError,
+    read_trace,
+    record_trace,
+    replay_trace,
+    trace_to_string,
+)
+
+
+def sample_ops():
+    stream = OperationStream(RD50_Z, SMALL, 40, seed=11)
+    return list(stream.load_operations()) + list(stream.operations(120))
+
+
+class TestRoundtrip:
+    def test_record_read_identity(self, tmp_path):
+        ops = sample_ops()
+        path = str(tmp_path / "trace.txt")
+        count = record_trace(ops, path, metadata={"workload": "RD50_Z"})
+        assert count == len(ops)
+        assert list(read_trace(path)) == ops
+
+    def test_string_form(self):
+        ops = sample_ops()[:10]
+        text = trace_to_string(ops)
+        assert text.startswith("# shieldstore-trace v1")
+        assert list(read_trace(io.StringIO(text))) == ops
+
+    def test_binary_keys_survive(self):
+        ops = [Operation("set", bytes(range(16)), bytes(range(255, 0, -5)))]
+        assert list(read_trace(io.StringIO(trace_to_string(ops)))) == ops
+
+
+class TestValidation:
+    def test_missing_header(self):
+        with pytest.raises(TraceError):
+            list(read_trace(io.StringIO("set aa bb\n")))
+
+    def test_bad_op(self):
+        text = "# shieldstore-trace v1\nfrobnicate aa\n"
+        with pytest.raises(TraceError):
+            list(read_trace(io.StringIO(text)))
+
+    def test_bad_hex(self):
+        text = "# shieldstore-trace v1\nget zz\n"
+        with pytest.raises(TraceError):
+            list(read_trace(io.StringIO(text)))
+
+    def test_arity(self):
+        text = "# shieldstore-trace v1\nset aa\n"
+        with pytest.raises(TraceError):
+            list(read_trace(io.StringIO(text)))
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# shieldstore-trace v1\n\n# note\nget aa\n"
+        assert len(list(read_trace(io.StringIO(text)))) == 1
+
+
+class TestCrossSystemReplay:
+    def test_two_configs_agree_on_results(self):
+        """ShieldOpt and ShieldBase replaying one trace must observe
+        identical values at every step."""
+        ops = sample_ops()
+        opt = ShieldStore(shield_opt(num_buckets=16, num_mac_hashes=8))
+        base = ShieldStore(shield_base(num_buckets=64, num_mac_hashes=32))
+        results_opt = replay_trace(ops, opt)
+        results_base = replay_trace(ops, base)
+        assert results_opt == results_base
+        assert dict(opt.iter_items()) == dict(base.iter_items())
+
+    def test_replay_reports_misses_as_none(self):
+        store = ShieldStore(shield_opt(num_buckets=16, num_mac_hashes=8))
+        results = replay_trace([Operation("get", b"absent")], store)
+        assert results == [None]

@@ -8,6 +8,8 @@ Commands:
 * ``demo``                      — one-minute guided tour of the store
   and its defenses
 * ``serve --port N``            — start a real TCP ShieldStore server
+* ``stats``                     — run a seeded batched workload and print
+  the store's operation counters, including batch amortization
 * ``info``                      — cost-model constants and version
 
 Examples::
@@ -160,6 +162,43 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    from repro.core import PartitionedShieldStore, shield_opt
+    from repro.sim.enclave import Machine
+
+    machine = Machine(num_threads=args.threads)
+    store = PartitionedShieldStore(
+        shield_opt(num_buckets=64 * args.threads, num_mac_hashes=16 * args.threads),
+        machine=machine,
+        parallel=args.parallel,
+    )
+    keys = [f"key-{i:05d}".encode() for i in range(args.pairs)]
+    batch = max(1, args.batch)
+    for start in range(0, len(keys), batch):
+        chunk = keys[start : start + batch]
+        store.multi_set([(key, b"value-" + key) for key in chunk])
+        store.multi_get(chunk)
+    store.multi_delete(keys[: args.pairs // 4])
+    stats = store.stats()
+    print(f"workload: {args.pairs} pairs, batch={batch}, "
+          f"{args.threads} partition(s), parallel={args.parallel}")
+    print(f"simulated time: {machine.elapsed_us():.1f} us")
+    print("operation counters:")
+    for name, value in stats.snapshot_dict().items():
+        print(f"  {name:28s} {value}")
+    ops = stats.batch_ops or 1
+    print("batch amortization:")
+    print(f"  avg batch size               "
+          f"{stats.batch_ops / max(1, stats.batches):.1f}")
+    print(f"  set verifications / batch op "
+          f"{stats.batch_sets_verified / ops:.3f} "
+          f"(1.000 without batching)")
+    print(f"  verifications saved          {stats.batch_verifications_saved}")
+    print(f"  set-hash updates saved       {stats.batch_set_updates_saved}")
+    store.close()
+    return 0
+
+
 def _cmd_info(_args) -> int:
     import repro
     from repro.sim.cycles import DEFAULT_COST_MODEL as cost
@@ -196,6 +235,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--port", type=int, default=0)
     serve.add_argument("--attestation-secret", default="dev-attestation-secret")
     serve.set_defaults(func=_cmd_serve)
+
+    stats = sub.add_parser(
+        "stats", help="batched-workload operation counters (incl. amortization)"
+    )
+    stats.add_argument("--pairs", type=int, default=2000)
+    stats.add_argument("--batch", type=int, default=256)
+    stats.add_argument("--threads", type=int, default=4)
+    stats.add_argument("--parallel", action="store_true",
+                       help="fan batches out to real worker threads")
+    stats.set_defaults(func=_cmd_stats)
 
     sub.add_parser("info", help="cost-model constants").set_defaults(func=_cmd_info)
 

@@ -10,11 +10,24 @@ run wall-time is the slowest thread's clock.
 
 SGX cannot grow an enclave's thread pool at runtime (§5.3), so the
 partition count is fixed at construction.
+
+``parallel=True`` additionally backs the batched operations
+(:meth:`PartitionedShieldStore.multi_get` / ``multi_set`` /
+``multi_delete``) with a real :class:`~concurrent.futures.ThreadPoolExecutor`:
+the router groups a batch's keys by owning partition and fans the
+per-partition slices out to OS worker threads.  This is safe precisely
+because of the §5.3 design — partitions never touch each other's
+buckets, MAC trees or caches, so the only shared structures are the
+machine-level ones (allocator bump pointers, guarded by a lock, and
+event counters).  Each partition charges its own simulated
+:class:`~repro.sim.clock.ThreadClock`, and the machine clock merges them
+afterwards as ``max`` over threads, exactly as in sequential routing.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import StoreConfig
 from repro.core.stats import StoreStats
@@ -32,8 +45,13 @@ class PartitionedShieldStore:
         config: StoreConfig,
         machine: Optional[Machine] = None,
         master_secret: Optional[bytes] = None,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
     ):
         self.config = config
+        self.parallel = parallel
+        self._max_workers = max_workers
+        self._executor: Optional[ThreadPoolExecutor] = None
         self.machine = machine if machine is not None else Machine(seed=config.seed)
         num_threads = self.machine.clock.num_threads
         if config.num_buckets < num_threads:
@@ -93,6 +111,53 @@ class PartitionedShieldStore:
     def contains(self, key: bytes) -> bool:
         return self.partition_of(key).contains(key)
 
+    # -- batched operations: group by partition, then fan out ---------------
+    def _group_by_partition(self, keyed_items) -> List[Tuple[ShieldStore, list]]:
+        """Split ``(key, payload)`` pairs into per-partition slices.
+
+        Order within a slice is preserved (later writes to a repeated
+        key must win), and slices are returned in thread-id order so
+        sequential routing is deterministic.
+        """
+        grouped: Dict[int, Tuple[ShieldStore, list]] = {}
+        for key, payload in keyed_items:
+            partition = self.partition_of(key)
+            grouped.setdefault(partition.thread_id, (partition, []))[1].append(
+                (key, payload)
+            )
+        return [grouped[tid] for tid in sorted(grouped)]
+
+    def _fan_out(self, slices, method, project):
+        """Run ``method`` over every partition slice, threaded or not.
+
+        ``project`` turns a slice's ``(key, payload)`` pairs into the
+        store-level argument.  With ``parallel=True`` the slices run on
+        a real thread pool — each worker charges only its own
+        partition's simulated thread clock, so merged wall time is
+        ``max`` over partitions either way; with ``parallel=False``
+        they run inline on the calling thread.
+        """
+        if self._executor is None and self.parallel and len(slices) > 1:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_workers or self.num_threads,
+                thread_name_prefix="shieldstore-partition",
+            )
+        if self._executor is None or len(slices) <= 1:
+            return [
+                method(partition)(project(items)) for partition, items in slices
+            ]
+        futures = [
+            self._executor.submit(method(partition), project(items))
+            for partition, items in slices
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Release the parallel router's worker threads (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
     def multi_get(self, keys):
         """Batched lookup, fanned out to the owning partitions.
 
@@ -100,19 +165,58 @@ class PartitionedShieldStore:
         clock, so the batch completes in max-partition time — the
         multi-key analogue of Fig. 8's partitioning.
         """
-        by_partition = {}
-        for key in keys:
-            partition = self.partition_of(bytes(key))
-            by_partition.setdefault(partition.thread_id, (partition, []))[1].append(
-                bytes(key)
-            )
+        slices = self._group_by_partition((bytes(key), None) for key in keys)
         results = {}
-        for partition, partition_keys in by_partition.values():
-            results.update(partition.multi_get(partition_keys))
+        for partial in self._fan_out(
+            slices,
+            lambda partition: partition.multi_get,
+            lambda items: [key for key, _ in items],
+        ):
+            results.update(partial)
+        return results
+
+    def multi_set(self, items) -> None:
+        """Batched insert/update, fanned out to the owning partitions.
+
+        ``items`` is a dict or iterable of ``(key, value)`` pairs.  Each
+        partition runs its slice through the store-level batched write
+        pipeline (per-set verify-once + dirty-tracked set-hash flush).
+        """
+        if isinstance(items, dict):
+            items = items.items()
+        slices = self._group_by_partition(
+            (bytes(key), bytes(value)) for key, value in items
+        )
+        self._fan_out(
+            slices,
+            lambda partition: partition.multi_set,
+            lambda pairs: pairs,
+        )
+
+    def multi_delete(self, keys):
+        """Batched removal; returns ``{key: was_present}`` like the
+        store-level :meth:`~repro.core.store.ShieldStore.multi_delete`."""
+        slices = self._group_by_partition((bytes(key), None) for key in keys)
+        results = {}
+        for partial in self._fan_out(
+            slices,
+            lambda partition: partition.multi_delete,
+            lambda items: [key for key, _ in items],
+        ):
+            results.update(partial)
         return results
 
     def __len__(self) -> int:
         return sum(len(p) for p in self.partitions)
+
+    def iter_items(self):
+        """All (key, value) pairs across partitions (thread-id order)."""
+        for partition in self.partitions:
+            yield from partition.iter_items()
+
+    def audit(self) -> int:
+        """Full-table integrity audit over every partition."""
+        return sum(p.audit() for p in self.partitions)
 
     # -- aggregates -----------------------------------------------------
     def stats(self) -> StoreStats:

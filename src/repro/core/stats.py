@@ -36,6 +36,12 @@ class StoreStats:
     snapshots: int = 0
     snapshot_stall_us: float = 0.0
     temp_table_merges: int = 0
+    # Batch amortization (multi_get / multi_set / multi_delete):
+    batches: int = 0                    # batch calls served
+    batch_ops: int = 0                  # operations carried by batches
+    batch_sets_verified: int = 0        # set hashes verified inside batches
+    batch_verifications_saved: int = 0  # ops that reused an already-verified set
+    batch_set_updates_saved: int = 0    # set-hash recomputes avoided by dirty tracking
 
     def merge(self, other: "StoreStats") -> "StoreStats":
         """Sum counters across partitions; returns a new object."""

@@ -482,26 +482,7 @@ class ShieldStore:
             self.stats.misses += 1
             raise KeyNotFoundError(key)
         self._verify_found(ctx, found, by_bucket[bucket])
-        # Unlink from the chain.
-        if found.prev_addr:
-            self._mem().write(
-                ctx, found.prev_addr, found.header.next_ptr.to_bytes(8, "little")
-            )
-        else:
-            self.buckets.write_head(ctx, bucket, found.header.next_ptr)
-        self.allocator.free(ctx, found.addr, found.header.total_size)
-        if self.macbuckets is not None:
-            head = self.buckets.read_mac_ptr(ctx, bucket, self.config.pointer_check)
-            new_head = self.macbuckets.remove(ctx, head, found.index)
-            if new_head != head:
-                self.buckets.write_mac_ptr(ctx, bucket, new_head)
-        macs = by_bucket[bucket]
-        del macs[found.index]
-        self._update_set(ctx, set_id, by_bucket)
-        if self.cache is not None:
-            self.cache.invalidate(key)
-        self.count -= 1
-        self._sync_alloc_stats()
+        self._remove_entry(ctx, bucket, set_id, by_bucket, found)
 
     def append(self, key: bytes, suffix: bytes, ctx: Optional[ExecContext] = None) -> bytes:
         """Append ``suffix`` to the value (server-side op, §6.2).
@@ -627,6 +608,38 @@ class ShieldStore:
         except KeyNotFoundError:
             return False
 
+    def _batch_step(
+        self,
+        ctx: ExecContext,
+        key: bytes,
+        verified_sets: Dict[int, Dict[int, List[bytes]]],
+    ) -> Tuple[int, int, Dict[int, List[bytes]], WalkResult]:
+        """One batched operation's search plus amortized set verification.
+
+        The first operation of a batch touching a set gathers and
+        verifies it; later operations reuse the authenticated (and
+        batch-locally maintained) MAC lists from ``verified_sets``.
+        Dirty sets must NOT be re-verified mid-batch — their stored
+        hashes are stale until the batch flushes — which the cache
+        guarantees structurally: a set stays cached from first touch.
+        """
+        bucket = self._bucket_of(ctx, key)
+        hint = self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
+        walk = self._search(ctx, bucket, key, hint)
+        set_id = self.mactree.set_of(bucket)
+        by_bucket = verified_sets.get(set_id)
+        if by_bucket is None:
+            _sid, by_bucket = self._gather_set_macs(
+                ctx, bucket, walk.macs if self.macbuckets is None else None
+            )
+            self._verify_set(ctx, set_id, by_bucket)
+            self.stats.batch_sets_verified += 1
+            verified_sets[set_id] = by_bucket
+        else:
+            self.stats.batch_verifications_saved += 1
+        self._verify_walk(ctx, walk, by_bucket[bucket])
+        return bucket, set_id, by_bucket, walk
+
     def multi_get(
         self, keys, ctx: Optional[ExecContext] = None
     ) -> Dict[bytes, Optional[bytes]]:
@@ -638,12 +651,14 @@ class ShieldStore:
         once per set instead of once per key.
         """
         ctx = self._context(ctx)
+        self.stats.batches += 1
         results: Dict[bytes, Optional[bytes]] = {}
         verified_sets: Dict[int, Dict[int, List[bytes]]] = {}
         for key in keys:
             key = bytes(key)
             ctx.charge(self.machine.cost.op_dispatch_cycles // 2)
             self.stats.gets += 1
+            self.stats.batch_ops += 1
             if self.cache is not None:
                 cached = self.cache.lookup(ctx, key)
                 if cached is not None:
@@ -652,20 +667,9 @@ class ShieldStore:
                     results[key] = cached
                     continue
                 self.stats.cache_misses += 1
-            bucket = self._bucket_of(ctx, key)
-            hint = (
-                self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
+            bucket, _set_id, by_bucket, walk = self._batch_step(
+                ctx, key, verified_sets
             )
-            walk = self._search(ctx, bucket, key, hint)
-            set_id = self.mactree.set_of(bucket)
-            by_bucket = verified_sets.get(set_id)
-            if by_bucket is None:
-                _sid, by_bucket = self._gather_set_macs(
-                    ctx, bucket, walk.macs if self.macbuckets is None else None
-                )
-                self._verify_set(ctx, set_id, by_bucket)
-                verified_sets[set_id] = by_bucket
-            self._verify_walk(ctx, walk, by_bucket[bucket])
             if walk.found is None:
                 self.stats.misses += 1
                 results[key] = None
@@ -676,6 +680,113 @@ class ShieldStore:
                 self.cache.insert(ctx, key, walk.found.value)
             self.stats.hits += 1
             results[key] = walk.found.value
+        return results
+
+    def multi_set(self, items, ctx: Optional[ExecContext] = None) -> None:
+        """Batched insert/update (memcached ``set_multi`` semantics).
+
+        ``items`` is a dict or an iterable of ``(key, value)`` pairs;
+        later pairs for a repeated key win.  Batching amortizes the
+        per-set integrity work twice over:
+
+        * like :meth:`multi_get`, each touched bucket set is gathered
+          and verified once per batch instead of once per operation;
+        * per-set **dirty tracking** — mutations update the untrusted
+          bytes and the batch-local authenticated MAC lists immediately,
+          but the in-enclave set hash is recomputed and stored once per
+          dirty set when the batch completes, not once per write.
+
+        Untrusted state is momentarily ahead of the enclave set hashes
+        mid-batch; the flush in the ``finally`` block restores the
+        invariant even when verification fails part-way, so every
+        operation the batch did apply remains readable afterwards.
+        """
+        ctx = self._context(ctx)
+        if isinstance(items, dict):
+            items = items.items()
+        pairs = [(bytes(key), bytes(value)) for key, value in items]
+        self.stats.batches += 1
+        verified_sets: Dict[int, Dict[int, List[bytes]]] = {}
+        dirty_sets: set = set()
+        mutations = 0
+        try:
+            for key, value in pairs:
+                ctx.charge(self.machine.cost.op_dispatch_cycles // 2)
+                self.stats.sets += 1
+                self.stats.batch_ops += 1
+                self._charge_copy(ctx, len(key) + len(value), write=False)
+                bucket, set_id, by_bucket, walk = self._batch_step(
+                    ctx, key, verified_sets
+                )
+                if walk.found is not None:
+                    self._update_entry(
+                        ctx, bucket, set_id, by_bucket, walk.found, value,
+                        update_set=False,
+                    )
+                    self.stats.updates += 1
+                else:
+                    self._insert_entry(
+                        ctx, bucket, set_id, by_bucket, key, value,
+                        update_set=False,
+                    )
+                    self.stats.inserts += 1
+                dirty_sets.add(set_id)
+                mutations += 1
+                if self.cache is not None:
+                    self.cache.insert(ctx, key, value)
+        finally:
+            for set_id in sorted(dirty_sets):
+                self._update_set(ctx, set_id, verified_sets[set_id])
+            self.stats.batch_set_updates_saved += max(
+                0, mutations - len(dirty_sets)
+            )
+
+    def multi_delete(
+        self, keys, ctx: Optional[ExecContext] = None
+    ) -> Dict[bytes, bool]:
+        """Batched removal; returns ``{key: was_present}``.
+
+        Unlike single-key :meth:`delete`, absent keys do not raise —
+        they report ``False`` — so one cold key cannot abort the rest of
+        the batch.  Integrity failures still raise immediately.  Set
+        hashes are flushed once per dirty set (same dirty-tracking
+        discipline as :meth:`multi_set`).
+        """
+        ctx = self._context(ctx)
+        keys = [bytes(key) for key in keys]
+        self.stats.batches += 1
+        results: Dict[bytes, bool] = {}
+        verified_sets: Dict[int, Dict[int, List[bytes]]] = {}
+        dirty_sets: set = set()
+        mutations = 0
+        try:
+            for key in keys:
+                ctx.charge(self.machine.cost.op_dispatch_cycles // 2)
+                self.stats.deletes += 1
+                self.stats.batch_ops += 1
+                bucket, set_id, by_bucket, walk = self._batch_step(
+                    ctx, key, verified_sets
+                )
+                if walk.found is None:
+                    self.stats.misses += 1
+                    # A duplicate of a key already deleted earlier in the
+                    # batch keeps its True outcome.
+                    results.setdefault(key, False)
+                    continue
+                self._verify_found(ctx, walk.found, by_bucket[bucket])
+                self._remove_entry(
+                    ctx, bucket, set_id, by_bucket, walk.found,
+                    update_set=False,
+                )
+                dirty_sets.add(set_id)
+                mutations += 1
+                results[key] = True
+        finally:
+            for set_id in sorted(dirty_sets):
+                self._update_set(ctx, set_id, verified_sets[set_id])
+            self.stats.batch_set_updates_saved += max(
+                0, mutations - len(dirty_sets)
+            )
         return results
 
     def __len__(self) -> int:
@@ -735,6 +846,7 @@ class ShieldStore:
         by_bucket: Dict[int, List[bytes]],
         found: FoundEntry,
         new_value: bytes,
+        update_set: bool = True,
     ) -> None:
         self._verify_found(ctx, found, by_bucket[bucket])
         new_iv = increment_iv_ctr(found.header.iv_ctr)
@@ -759,7 +871,8 @@ class ShieldStore:
             head = self.buckets.read_mac_ptr(ctx, bucket, self.config.pointer_check)
             self.macbuckets.replace(ctx, head, found.index, mac)
         by_bucket[bucket][found.index] = mac
-        self._update_set(ctx, set_id, by_bucket)
+        if update_set:
+            self._update_set(ctx, set_id, by_bucket)
         self._sync_alloc_stats()
 
     def _insert_entry(
@@ -770,6 +883,7 @@ class ShieldStore:
         by_bucket: Dict[int, List[bytes]],
         key: bytes,
         value: bytes,
+        update_set: bool = True,
     ) -> None:
         iv_ctr = sgx_read_rand(ctx, 16)
         old_head = self.buckets.read_head(ctx, bucket, self.config.pointer_check)
@@ -783,8 +897,40 @@ class ShieldStore:
             if new_head != head:
                 self.buckets.write_mac_ptr(ctx, bucket, new_head)
         by_bucket[bucket].insert(0, mac)
-        self._update_set(ctx, set_id, by_bucket)
+        if update_set:
+            self._update_set(ctx, set_id, by_bucket)
         self.count += 1
+        self._sync_alloc_stats()
+
+    def _remove_entry(
+        self,
+        ctx: ExecContext,
+        bucket: int,
+        set_id: int,
+        by_bucket: Dict[int, List[bytes]],
+        found: FoundEntry,
+        update_set: bool = True,
+    ) -> None:
+        """Unlink a verified entry and retire its MAC (shared by
+        ``delete`` and ``multi_delete``)."""
+        if found.prev_addr:
+            self._mem().write(
+                ctx, found.prev_addr, found.header.next_ptr.to_bytes(8, "little")
+            )
+        else:
+            self.buckets.write_head(ctx, bucket, found.header.next_ptr)
+        self.allocator.free(ctx, found.addr, found.header.total_size)
+        if self.macbuckets is not None:
+            head = self.buckets.read_mac_ptr(ctx, bucket, self.config.pointer_check)
+            new_head = self.macbuckets.remove(ctx, head, found.index)
+            if new_head != head:
+                self.buckets.write_mac_ptr(ctx, bucket, new_head)
+        del by_bucket[bucket][found.index]
+        if update_set:
+            self._update_set(ctx, set_id, by_bucket)
+        if self.cache is not None:
+            self.cache.invalidate(found.key)
+        self.count -= 1
         self._sync_alloc_stats()
 
     def _sync_alloc_stats(self) -> None:
@@ -817,13 +963,30 @@ class ShieldStore:
     def iter_items(
         self, ctx: Optional[ExecContext] = None
     ) -> Iterator[Tuple[bytes, bytes]]:
-        """Decrypt-iterate all (key, value) pairs (charged enclave work)."""
+        """Decrypt-iterate all (key, value) pairs (charged enclave work).
+
+        Entries are decrypted through the suite's batched keystream path
+        in fixed-size chunks; the per-entry AES cycle charges are
+        unchanged (batching saves Python overhead, not modeled work).
+        """
         ctx = self._context(ctx)
+        chunk: List[Tuple[EntryHeader, bytes]] = []
         for _bucket, record in self.iter_raw_entries():
             header = unpack_header(record[:HEADER_SIZE])
             enc_kv = record[HEADER_SIZE : HEADER_SIZE + header.kv_size]
             ctx.charge_aes(len(enc_kv))
-            plain = self.suite.decrypt(header.iv_ctr, enc_kv)
+            chunk.append((header, enc_kv))
+            if len(chunk) >= 64:
+                yield from self._decrypt_chunk(chunk)
+                chunk = []
+        if chunk:
+            yield from self._decrypt_chunk(chunk)
+
+    def _decrypt_chunk(self, chunk) -> Iterator[Tuple[bytes, bytes]]:
+        plains = self.suite.decrypt_many(
+            [(header.iv_ctr, enc_kv) for header, enc_kv in chunk]
+        )
+        for (header, _enc_kv), plain in zip(chunk, plains):
             yield plain[: header.key_size], plain[header.key_size :]
 
     # ------------------------------------------------------------------

@@ -11,6 +11,7 @@ CTR is symmetric, so :func:`ctr_transform` both encrypts and decrypts.
 from __future__ import annotations
 
 from repro.crypto.aes import AES128, BLOCK_SIZE
+from repro.crypto.fast import xor_bytes
 from repro.errors import CryptoError
 
 IV_SIZE = 16
@@ -41,5 +42,4 @@ def keystream(cipher: AES128, iv_ctr: bytes, length: int) -> bytes:
 
 def ctr_transform(cipher: AES128, iv_ctr: bytes, data: bytes) -> bytes:
     """Encrypt or decrypt ``data`` under CTR mode (the two are identical)."""
-    stream = keystream(cipher, iv_ctr, len(data))
-    return bytes(a ^ b for a, b in zip(data, stream))
+    return xor_bytes(data, keystream(cipher, iv_ctr, len(data)))

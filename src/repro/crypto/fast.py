@@ -39,17 +39,55 @@ def prf_keystream(key: bytes, iv_ctr: bytes, length: int) -> bytes:
     if length < 0:
         raise CryptoError("keystream length must be non-negative")
     counter = int.from_bytes(iv_ctr, "big")
-    out = bytearray()
-    while len(out) < length:
-        out += hashlib.sha256(key + counter.to_bytes(16, "big")).digest()
+    blocks = []
+    for _ in range((length + _CHUNK - 1) // _CHUNK):
+        blocks.append(hashlib.sha256(key + counter.to_bytes(16, "big")).digest())
         counter = (counter + 1) & _CTR_MASK
-    return bytes(out[:length])
+    return b"".join(blocks)[:length]
+
+
+def xor_bytes(data: bytes, stream: bytes) -> bytes:
+    """XOR two equal-length byte strings via one wide integer operation.
+
+    CPython evaluates ``int ^ int`` in C over 30-bit limbs, so this runs
+    orders of magnitude faster than a per-byte generator for entry-sized
+    payloads.
+    """
+    if not data:
+        return b""
+    return (
+        int.from_bytes(data, "big") ^ int.from_bytes(stream, "big")
+    ).to_bytes(len(data), "big")
 
 
 def prf_transform(key: bytes, iv_ctr: bytes, data: bytes) -> bytes:
     """Encrypt/decrypt ``data`` by XOR with the PRF keystream."""
-    stream = prf_keystream(key, iv_ctr, len(data))
-    return bytes(a ^ b for a, b in zip(data, stream))
+    return xor_bytes(data, prf_keystream(key, iv_ctr, len(data)))
+
+
+def prf_transform_many(key: bytes, items) -> list:
+    """Encrypt/decrypt a batch of ``(iv_ctr, data)`` pairs.
+
+    The keystreams of the whole batch are generated in one pass and the
+    XOR is performed as a single wide-integer operation over the
+    concatenated payloads, amortizing the per-call Python overhead that
+    dominates multi-entry encrypt/decrypt on the batched hot path.
+    Returns the transformed payloads in input order.
+    """
+    lengths = []
+    datas = []
+    streams = []
+    for iv_ctr, data in items:
+        lengths.append(len(data))
+        datas.append(data)
+        streams.append(prf_keystream(key, iv_ctr, len(data)))
+    joined = xor_bytes(b"".join(datas), b"".join(streams))
+    out = []
+    offset = 0
+    for length in lengths:
+        out.append(joined[offset : offset + length])
+        offset += length
+    return out
 
 
 def hmac_tag(key: bytes, message: bytes) -> bytes:

@@ -52,6 +52,18 @@ class CipherSuite:
     def mac(self, message: bytes) -> bytes:
         raise NotImplementedError
 
+    def encrypt_many(self, items) -> list:
+        """Encrypt a batch of ``(iv_ctr, plaintext)`` pairs in input order.
+
+        Suites with a batchable keystream override this to amortize the
+        per-call overhead; the default simply loops.
+        """
+        return [self.encrypt(iv_ctr, plaintext) for iv_ctr, plaintext in items]
+
+    def decrypt_many(self, items) -> list:
+        """Decrypt a batch of ``(iv_ctr, ciphertext)`` pairs in input order."""
+        return [self.decrypt(iv_ctr, ciphertext) for iv_ctr, ciphertext in items]
+
     def verify(self, message: bytes, tag: bytes) -> bool:
         """Return True when ``tag`` authenticates ``message``."""
         expected = self.mac(message)
@@ -91,6 +103,12 @@ class FastSuite(CipherSuite):
 
     def decrypt(self, iv_ctr: bytes, ciphertext: bytes) -> bytes:
         return _fast.prf_transform(self.enc_key, iv_ctr, ciphertext)
+
+    def encrypt_many(self, items) -> list:
+        return _fast.prf_transform_many(self.enc_key, items)
+
+    def decrypt_many(self, items) -> list:
+        return _fast.prf_transform_many(self.enc_key, items)
 
     def mac(self, message: bytes) -> bytes:
         return _fast.hmac_tag(self.mac_key, message)

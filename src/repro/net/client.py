@@ -3,7 +3,14 @@
 from __future__ import annotations
 
 from repro.errors import KeyNotFoundError, StoreError
-from repro.net.message import STATUS_MISS, STATUS_OK, Request
+from repro.net.message import (
+    STATUS_MISS,
+    STATUS_OK,
+    Request,
+    decode_multi_values,
+    encode_multi_items,
+    encode_multi_keys,
+)
 from repro.net.server import NetworkedServer
 
 
@@ -45,6 +52,26 @@ class SimClient:
         from repro.net.message import encode_cas_value
 
         return self._call("cas", key, encode_cas_value(expected, new_value)) == b"1"
+
+    # -- pipelined batch requests ---------------------------------------
+    def multi_get(self, keys) -> dict:
+        """One MGET record for many keys; absent keys map to ``None``."""
+        keys = [bytes(key) for key in keys]
+        raw = self._call("mget", b"", encode_multi_keys(keys))
+        return dict(zip(keys, decode_multi_values(raw)))
+
+    def multi_set(self, items) -> None:
+        """One MSET record carrying many ``(key, value)`` pairs."""
+        self._call("mset", b"", encode_multi_items(items))
+
+    def multi_delete(self, keys) -> dict:
+        """One MDELETE record; returns ``{key: was_present}``."""
+        keys = [bytes(key) for key in keys]
+        raw = self._call("mdelete", b"", encode_multi_keys(keys))
+        return {
+            key: flag is not None
+            for key, flag in zip(keys, decode_multi_values(raw))
+        }
 
     def __len__(self) -> int:
         return len(self.server.store)

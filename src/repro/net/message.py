@@ -20,8 +20,22 @@ from dataclasses import dataclass
 from repro.crypto.suite import CipherSuite
 from repro.errors import ProtocolError
 
-OP_CODES = {"get": 1, "set": 2, "append": 3, "delete": 4, "increment": 5, "cas": 6}
+OP_CODES = {
+    "get": 1,
+    "set": 2,
+    "append": 3,
+    "delete": 4,
+    "increment": 5,
+    "cas": 6,
+    # Pipelined batch operations: one wire record carries many keyed
+    # operations, so the per-request network, crossing, and session
+    # crypto costs are paid once per batch.
+    "mget": 7,
+    "mset": 8,
+    "mdelete": 9,
+}
 OP_NAMES = {v: k for k, v in OP_CODES.items()}
+BATCH_OPS = frozenset({"mget", "mset", "mdelete"})
 
 STATUS_OK = 0
 STATUS_MISS = 1
@@ -102,6 +116,120 @@ def decode_cas_value(value: bytes):
     if 4 + elen > len(value):
         raise ProtocolError("CAS expected-length overruns the field")
     return value[4 : 4 + elen], value[4 + elen :]
+
+
+# -- pipelined batch payloads (MGET / MSET / MDELETE) -------------------------
+#
+# A batch request/response travels in the ``value`` field of one protocol
+# record:
+#
+#     keys:   count(4) | ( key_len(4)  | key )*
+#     items:  count(4) | ( key_len(4)  | val_len(4) | key | value )*
+#     values: count(4) | ( flag(1)     | val_len(4) | value )*      flag 0=hit
+#
+_MAX_BATCH = 1 << 20  # sanity bound against hostile count fields
+
+
+def _check_count(count: int) -> None:
+    if count > _MAX_BATCH:
+        raise ProtocolError(f"batch of {count} exceeds the protocol limit")
+
+
+def encode_multi_keys(keys) -> bytes:
+    """Pack a key list into a batch request's value field."""
+    keys = [bytes(key) for key in keys]
+    parts = [struct.pack("<I", len(keys))]
+    for key in keys:
+        parts.append(struct.pack("<I", len(key)) + key)
+    return b"".join(parts)
+
+
+def decode_multi_keys(value: bytes) -> list:
+    """Unpack a batch key list; raises :class:`ProtocolError` when bad."""
+    if len(value) < 4:
+        raise ProtocolError("batch key field too short")
+    (count,) = struct.unpack_from("<I", value, 0)
+    _check_count(count)
+    keys, offset = [], 4
+    for _ in range(count):
+        if offset + 4 > len(value):
+            raise ProtocolError("batch key record truncated")
+        (klen,) = struct.unpack_from("<I", value, offset)
+        offset += 4
+        if offset + klen > len(value):
+            raise ProtocolError("batch key overruns the field")
+        keys.append(value[offset : offset + klen])
+        offset += klen
+    if offset != len(value):
+        raise ProtocolError("batch key field has trailing bytes")
+    return keys
+
+
+def encode_multi_items(items) -> bytes:
+    """Pack ``(key, value)`` pairs into an MSET request's value field."""
+    if isinstance(items, dict):
+        items = items.items()
+    pairs = [(bytes(key), bytes(value)) for key, value in items]
+    parts = [struct.pack("<I", len(pairs))]
+    for key, value in pairs:
+        parts.append(struct.pack("<II", len(key), len(value)) + key + value)
+    return b"".join(parts)
+
+
+def decode_multi_items(value: bytes) -> list:
+    """Unpack MSET pairs; raises :class:`ProtocolError` when bad."""
+    if len(value) < 4:
+        raise ProtocolError("batch item field too short")
+    (count,) = struct.unpack_from("<I", value, 0)
+    _check_count(count)
+    items, offset = [], 4
+    for _ in range(count):
+        if offset + 8 > len(value):
+            raise ProtocolError("batch item record truncated")
+        klen, vlen = struct.unpack_from("<II", value, offset)
+        offset += 8
+        if offset + klen + vlen > len(value):
+            raise ProtocolError("batch item overruns the field")
+        items.append(
+            (value[offset : offset + klen], value[offset + klen : offset + klen + vlen])
+        )
+        offset += klen + vlen
+    if offset != len(value):
+        raise ProtocolError("batch item field has trailing bytes")
+    return items
+
+
+def encode_multi_values(values) -> bytes:
+    """Pack per-key results (``None`` = miss) into a response value field."""
+    parts = [struct.pack("<I", len(values))]
+    for value in values:
+        if value is None:
+            parts.append(struct.pack("<BI", 1, 0))
+        else:
+            value = bytes(value)
+            parts.append(struct.pack("<BI", 0, len(value)) + value)
+    return b"".join(parts)
+
+
+def decode_multi_values(value: bytes) -> list:
+    """Unpack per-key results; misses come back as ``None``."""
+    if len(value) < 4:
+        raise ProtocolError("batch value field too short")
+    (count,) = struct.unpack_from("<I", value, 0)
+    _check_count(count)
+    values, offset = [], 4
+    for _ in range(count):
+        if offset + 5 > len(value):
+            raise ProtocolError("batch value record truncated")
+        flag, vlen = struct.unpack_from("<BI", value, offset)
+        offset += 5
+        if offset + vlen > len(value):
+            raise ProtocolError("batch value overruns the field")
+        values.append(None if flag else value[offset : offset + vlen])
+        offset += vlen
+    if offset != len(value):
+        raise ProtocolError("batch value field has trailing bytes")
+    return values
 
 
 class SecureChannel:

@@ -25,13 +25,17 @@ from typing import Optional
 
 from repro.errors import KeyNotFoundError, ProtocolError
 from repro.net.message import (
+    BATCH_OPS,
     STATUS_ERROR,
     STATUS_MISS,
     STATUS_OK,
     Request,
     Response,
     SecureChannel,
+    decode_multi_items,
+    decode_multi_keys,
     decode_request,
+    encode_multi_values,
     encode_request,
     encode_response,
 )
@@ -44,6 +48,53 @@ FRONTEND_HOTCALLS = "hotcalls"  # enclave server, switchless HotCalls
 # Serialized kernel network-stack section per request (softirq, socket
 # locks); calibrated against Table 1's 4-thread memcached scaling.
 NET_SERIAL_US = 0.25
+
+
+def execute_batch(store, request: Request) -> Response:
+    """Serve one pipelined MGET/MSET/MDELETE request against ``store``.
+
+    Stores exposing the batched pipeline (``multi_get`` and friends) get
+    the amortized path; anything else — baselines, plain dict-backed
+    test doubles — falls back to per-key single operations with the same
+    wire semantics.  Shared by the cost-modeled and the real TCP
+    front-ends.
+    """
+    if request.op == "mget":
+        keys = decode_multi_keys(request.value)
+        if hasattr(store, "multi_get"):
+            found = store.multi_get(keys)
+            values = [found[bytes(key)] for key in keys]
+        else:
+            values = []
+            for key in keys:
+                try:
+                    values.append(store.get(key))
+                except KeyNotFoundError:
+                    values.append(None)
+        return Response(STATUS_OK, encode_multi_values(values))
+    if request.op == "mset":
+        items = decode_multi_items(request.value)
+        if hasattr(store, "multi_set"):
+            store.multi_set(items)
+        else:
+            for key, value in items:
+                store.set(key, value)
+        return Response(STATUS_OK)
+    if request.op == "mdelete":
+        keys = decode_multi_keys(request.value)
+        if hasattr(store, "multi_delete"):
+            deleted = store.multi_delete(keys)
+            flags = [b"1" if deleted[bytes(key)] else None for key in keys]
+        else:
+            flags = []
+            for key in keys:
+                try:
+                    store.delete(key)
+                    flags.append(b"1")
+                except KeyNotFoundError:
+                    flags.append(None)
+        return Response(STATUS_OK, encode_multi_values(flags))
+    raise ProtocolError(f"{request.op!r} is not a batch operation")
 
 
 class NetworkedServer:
@@ -95,6 +146,8 @@ class NetworkedServer:
 
     def _execute(self, request: Request) -> Response:
         try:
+            if request.op in BATCH_OPS:
+                return execute_batch(self.store, request)
             if request.op == "get":
                 return Response(STATUS_OK, self.store.get(request.key))
             if request.op == "set":

@@ -152,7 +152,12 @@ class TCPShieldServer:
                     return
 
     def _execute(self, request: Request) -> Response:
+        from repro.net.message import BATCH_OPS
+        from repro.net.server import execute_batch
+
         try:
+            if request.op in BATCH_OPS:
+                return execute_batch(self.store, request)
             if request.op == "get":
                 return Response(STATUS_OK, self.store.get(request.key))
             if request.op == "set":
@@ -255,6 +260,31 @@ class TCPShieldClient:
         from repro.net.message import encode_cas_value
 
         return self._call("cas", key, encode_cas_value(expected, new_value)) == b"1"
+
+    def multi_get(self, keys) -> dict:
+        """Pipelined MGET: many keys, one wire round trip."""
+        from repro.net.message import decode_multi_values, encode_multi_keys
+
+        keys = [bytes(key) for key in keys]
+        raw = self._call("mget", b"", encode_multi_keys(keys))
+        return dict(zip(keys, decode_multi_values(raw)))
+
+    def multi_set(self, items) -> None:
+        """Pipelined MSET: many pairs, one wire round trip."""
+        from repro.net.message import encode_multi_items
+
+        self._call("mset", b"", encode_multi_items(items))
+
+    def multi_delete(self, keys) -> dict:
+        """Pipelined MDELETE; returns ``{key: was_present}``."""
+        from repro.net.message import decode_multi_values, encode_multi_keys
+
+        keys = [bytes(key) for key in keys]
+        raw = self._call("mdelete", b"", encode_multi_keys(keys))
+        return {
+            key: flag is not None
+            for key, flag in zip(keys, decode_multi_values(raw))
+        }
 
     def close(self) -> None:
         try:

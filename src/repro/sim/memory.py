@@ -19,6 +19,7 @@ baselines whose contents don't matter, to keep big sweeps cheap).
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Dict, List, Optional
 
 from repro.errors import EnclaveError, EnclaveMemoryError
@@ -73,6 +74,10 @@ class SimMemory:
         self._bases: List[int] = []
         self._next = {REGION_ENCLAVE: ENCLAVE_BASE, REGION_UNTRUSTED: UNTRUSTED_BASE}
         self.bytes_allocated = {REGION_ENCLAVE: 0, REGION_UNTRUSTED: 0}
+        # The parallel partition router fans batches out to OS threads;
+        # partitions are hash-disjoint, but they share this allocator's
+        # bump pointers and sorted base list.
+        self._alloc_lock = threading.Lock()
 
     # -- region predicates -------------------------------------------------
     @staticmethod
@@ -90,24 +95,26 @@ class SimMemory:
             raise EnclaveMemoryError(f"allocation size must be positive, got {size}")
         if region not in self._next:
             raise EnclaveMemoryError(f"unknown region {region!r}")
-        base = self._next[region]
-        aligned = (size + _ALIGN - 1) & ~(_ALIGN - 1)
-        self._next[region] = base + aligned
-        data = bytearray(size) if materialize else None
-        alloc = Allocation(base, size, region, data)
-        self._allocs[base] = alloc
-        bisect.insort(self._bases, base)
-        self.bytes_allocated[region] += size
+        with self._alloc_lock:
+            base = self._next[region]
+            aligned = (size + _ALIGN - 1) & ~(_ALIGN - 1)
+            self._next[region] = base + aligned
+            data = bytearray(size) if materialize else None
+            alloc = Allocation(base, size, region, data)
+            self._allocs[base] = alloc
+            bisect.insort(self._bases, base)
+            self.bytes_allocated[region] += size
         return base
 
     def free(self, base: int) -> None:
         """Release the allocation starting at ``base``."""
-        alloc = self._allocs.pop(base, None)
-        if alloc is None:
-            raise EnclaveMemoryError(f"free of unknown base 0x{base:x}")
-        idx = bisect.bisect_left(self._bases, base)
-        del self._bases[idx]
-        self.bytes_allocated[alloc.region] -= alloc.size
+        with self._alloc_lock:
+            alloc = self._allocs.pop(base, None)
+            if alloc is None:
+                raise EnclaveMemoryError(f"free of unknown base 0x{base:x}")
+            idx = bisect.bisect_left(self._bases, base)
+            del self._bases[idx]
+            self.bytes_allocated[alloc.region] -= alloc.size
 
     def find(self, addr: int) -> Allocation:
         """Resolve any address to the allocation containing it."""

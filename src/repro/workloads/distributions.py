@@ -67,8 +67,15 @@ class ZipfianGenerator:
         self._zetan = self._zeta(item_count, theta)
         self._zeta2 = self._zeta(2, theta)
         self._alpha = 1.0 / (1.0 - theta)
-        self._eta = (1 - (2.0 / item_count) ** (1 - theta)) / (
-            1 - self._zeta2 / self._zetan
+        # For item_count <= 2 the closed form for eta degenerates to 0/0
+        # (zeta(n) == zeta(2) when n == 2).  It is also never consulted:
+        # with n <= 2, u * zetan < 1 + 0.5**theta for every u in [0, 1),
+        # so the first two branches of _next_rank cover all ranks.
+        denom = 1 - self._zeta2 / self._zetan
+        self._eta = (
+            0.0
+            if denom == 0
+            else (1 - (2.0 / item_count) ** (1 - theta)) / denom
         )
 
     @staticmethod

@@ -1,0 +1,188 @@
+"""Wall-clock scaling curve for the process-parallel partition engine.
+
+Drives the same seeded YCSB-B mix as ``bench_batch_pipeline.py``
+(95% read / 5% update, zipfian 0.99 — the paper's RD95_Z) through:
+
+* ``single-process batched`` — the in-process batched pipeline on a
+  4-partition store (the ``batched`` row of BENCH_batch_pipeline.json);
+* ``N process workers`` for N in 1/2/4/8 — the shared-nothing
+  :class:`~repro.core.procpool.ProcessPartitionPool` engine, one
+  long-lived worker process per partition, batches shipped over pipes
+  as length-prefixed wire frames and executed via ``multi_get`` /
+  ``multi_set``.
+
+Total store geometry (buckets, MAC hashes) is held constant across the
+worker counts — partitions divide the structure, they don't grow it —
+so the curve isolates parallel speedup from capacity effects.
+
+Scaling is bounded by physical cores: the JSON records ``cpus`` and the
+per-point ``kops`` so a 1-core container (no real parallelism, IPC
+overhead only) and a 4-vCPU CI runner (near-linear to 4 workers) can be
+told apart.  The operation sequence is seeded and deterministic; only
+``wall_s`` / ``kops`` / speedups vary run to run.
+
+Results land in ``BENCH_mp_scaling.json`` (override with ``--out``).
+Run ``python benchmarks/bench_mp_scaling.py`` for the full measurement
+or ``--quick`` for the CI-sized variant.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import (
+    MODE_PROCESSES,
+    PartitionedShieldStore,
+    process_mode_supported,
+    shield_opt,
+)
+from repro.sim import Machine
+from repro.workloads import SMALL, OperationStream, workload
+
+_BASE_PARTITIONS = 4
+
+
+def _geometry(pairs: int):
+    # Same shape as bench_batch_pipeline: few MAC hashes -> wide MAC
+    # sets, the regime where batched once-per-set verification pays off.
+    return max(_BASE_PARTITIONS * 64, pairs // 2), _BASE_PARTITIONS * 4
+
+
+def _build_single(pairs: int) -> PartitionedShieldStore:
+    buckets, hashes = _geometry(pairs)
+    machine = Machine(num_threads=_BASE_PARTITIONS)
+    return PartitionedShieldStore(
+        shield_opt(num_buckets=buckets, num_mac_hashes=hashes),
+        machine=machine,
+        parallel=False,
+    )
+
+
+def _build_procs(workers: int, pairs: int) -> PartitionedShieldStore:
+    buckets, hashes = _geometry(pairs)
+    return PartitionedShieldStore(
+        shield_opt(num_buckets=buckets, num_mac_hashes=hashes),
+        num_partitions=workers,
+        mode=MODE_PROCESSES,
+    )
+
+
+def _ops_list(pairs: int, ops: int, seed: int):
+    stream = OperationStream(workload("RD95_Z"), SMALL, pairs, seed=seed)
+    return stream, list(stream.operations(ops))
+
+
+def _run_batched(store, ops, batch_size: int) -> float:
+    start = time.perf_counter()
+    for base in range(0, len(ops), batch_size):
+        batch = ops[base : base + batch_size]
+        writes = [(op.key, op.value) for op in batch if op.op != "get"]
+        reads = [op.key for op in batch if op.op == "get"]
+        if writes:
+            store.multi_set(writes)
+        if reads:
+            store.multi_get(reads)
+    return time.perf_counter() - start
+
+
+def _measure(store, label: str, pairs: int, ops: int, batch: int, seed: int) -> dict:
+    stream, op_list = _ops_list(pairs, ops, seed)
+    store.multi_set([(op.key, op.value) for op in stream.load_operations()])
+    wall = _run_batched(store, op_list, batch)
+    stats = store.stats()
+    result = {
+        "label": label,
+        "wall_s": round(wall, 4),
+        "kops": round(len(op_list) / wall / 1000.0, 1),
+        "batches": stats.batches,
+        "batch_ops": stats.batch_ops,
+        "set_verifications_saved": stats.batch_verifications_saved,
+    }
+    store.close()
+    return result
+
+
+def run(pairs: int, ops: int, batch_size: int, seed: int, worker_counts) -> dict:
+    cpus = os.cpu_count() or 1
+    baseline = _measure(
+        _build_single(pairs), "single-process batched", pairs, ops, batch_size, seed
+    )
+    print(f"{baseline['label']:24s} {baseline['wall_s']:8.3f} s  "
+          f"{baseline['kops']:8.1f} Kop/s")
+    points = []
+    for workers in worker_counts:
+        point = _measure(
+            _build_procs(workers, pairs),
+            f"{workers} process workers",
+            pairs, ops, batch_size, seed,
+        )
+        point["workers"] = workers
+        point["speedup_vs_single"] = round(
+            baseline["wall_s"] / point["wall_s"], 2
+        )
+        points.append(point)
+        print(f"{point['label']:24s} {point['wall_s']:8.3f} s  "
+              f"{point['kops']:8.1f} Kop/s  "
+              f"({point['speedup_vs_single']:.2f}x vs single)")
+    notes = []
+    if cpus < max(worker_counts):
+        notes.append(
+            f"host has {cpus} cpu(s); worker counts above that measure "
+            f"IPC overhead, not parallel speedup"
+        )
+    return {
+        "benchmark": "mp_scaling",
+        "workload": "RD95_Z (YCSB-B: 95% read / 5% update, zipfian 0.99)",
+        "config": {
+            "pairs": pairs,
+            "ops": ops,
+            "batch_size": batch_size,
+            "seed": seed,
+            "worker_counts": list(worker_counts),
+        },
+        "cpus": cpus,
+        "baseline": baseline,
+        "workers": points,
+        "notes": notes,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pairs", type=int, default=4000)
+    parser.add_argument("--ops", type=int, default=20000)
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4, 8])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (fewer pairs/ops, workers 1+2)")
+    parser.add_argument("--out", default=None,
+                        help="JSON output path (default: repo root)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.pairs, args.ops, args.workers = 1000, 4000, [1, 2]
+
+    if not process_mode_supported():
+        print("process mode unsupported on this platform; nothing to measure")
+        return 0
+
+    report = run(args.pairs, args.ops, args.batch_size, args.seed, args.workers)
+    out = pathlib.Path(
+        args.out
+        or pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_mp_scaling.json"
+    )
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    for note in report["notes"]:
+        print(f"note: {note}")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -127,9 +127,18 @@ def _cmd_demo(_args) -> int:
 
 def _cmd_serve(args) -> int:
     from repro import AttestationService, ShieldStore, shield_opt
+    from repro.core import PartitionedShieldStore
     from repro.net import TCPShieldServer
 
-    store = ShieldStore(shield_opt(num_buckets=8192, num_mac_hashes=4096))
+    config = shield_opt(num_buckets=8192, num_mac_hashes=4096)
+    if args.workers > 1:
+        # Shared-nothing partition engine: one worker process per
+        # partition, each with its own enclave sim (auto mode picks
+        # processes; falls back in-process on exotic platforms).
+        store = PartitionedShieldStore(config, num_partitions=args.workers)
+        print(f"partition engine: {args.workers} workers, mode={store.mode}")
+    else:
+        store = ShieldStore(config)
     service = AttestationService(args.attestation_secret.encode())
     server = TCPShieldServer(store, service, host=args.host, port=args.port)
     server.start()
@@ -144,6 +153,8 @@ def _cmd_serve(args) -> int:
             time.sleep(1)
     except KeyboardInterrupt:
         server.close()
+        if hasattr(store, "close"):
+            store.close()
         print("stopped")
     return 0
 
@@ -166,12 +177,20 @@ def _cmd_stats(args) -> int:
     from repro.core import PartitionedShieldStore, shield_opt
     from repro.sim.enclave import Machine
 
-    machine = Machine(num_threads=args.threads)
-    store = PartitionedShieldStore(
-        shield_opt(num_buckets=64 * args.threads, num_mac_hashes=16 * args.threads),
-        machine=machine,
-        parallel=args.parallel,
+    config = shield_opt(
+        num_buckets=64 * args.threads, num_mac_hashes=16 * args.threads
     )
+    if args.mode == "processes":
+        store = PartitionedShieldStore(
+            config, num_partitions=args.threads, mode="processes"
+        )
+    else:
+        store = PartitionedShieldStore(
+            config,
+            machine=Machine(num_threads=args.threads),
+            parallel=args.parallel or args.mode == "threads",
+            mode=args.mode,
+        )
     keys = [f"key-{i:05d}".encode() for i in range(args.pairs)]
     batch = max(1, args.batch)
     for start in range(0, len(keys), batch):
@@ -179,10 +198,12 @@ def _cmd_stats(args) -> int:
         store.multi_set([(key, b"value-" + key) for key in chunk])
         store.multi_get(chunk)
     store.multi_delete(keys[: args.pairs // 4])
+    # Cross-process aggregation: in processes mode each worker ships its
+    # counter snapshot over the pipe and the parent merges them here.
     stats = store.stats()
     print(f"workload: {args.pairs} pairs, batch={batch}, "
-          f"{args.threads} partition(s), parallel={args.parallel}")
-    print(f"simulated time: {machine.elapsed_us():.1f} us")
+          f"{args.threads} partition(s), mode={store.mode}")
+    print(f"simulated time: {store.elapsed_us():.1f} us")
     print("operation counters:")
     for name, value in stats.snapshot_dict().items():
         print(f"  {name:28s} {value}")
@@ -234,6 +255,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0)
     serve.add_argument("--attestation-secret", default="dev-attestation-secret")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="partition worker processes (>1 enables the "
+                            "process-parallel partition engine)")
     serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser(
@@ -244,6 +268,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     stats.add_argument("--threads", type=int, default=4)
     stats.add_argument("--parallel", action="store_true",
                        help="fan batches out to real worker threads")
+    stats.add_argument("--mode", default="auto",
+                       choices=["auto", "sequential", "threads", "processes"],
+                       help="partition execution engine (processes = one "
+                            "worker process per partition)")
     stats.set_defaults(func=_cmd_stats)
 
     sub.add_parser("info", help="cost-model constants").set_defaults(func=_cmd_info)

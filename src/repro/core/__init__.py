@@ -27,8 +27,14 @@ from repro.core.entry import (
 from repro.core.hashindex import BucketTable
 from repro.core.macbucket import MacBucketStore
 from repro.core.mactree import MacTree
-from repro.core.partition import PartitionedShieldStore
+from repro.core.partition import (
+    MODE_PROCESSES,
+    MODE_SEQUENTIAL,
+    MODE_THREADS,
+    PartitionedShieldStore,
+)
 from repro.core.planner import CapacityPlan, plan
+from repro.core.procpool import ProcessPartitionPool, process_mode_supported
 from repro.core.persistence import (
     MODE_NAIVE,
     MODE_NONE,
@@ -53,10 +59,15 @@ __all__ = [
     "MODE_NAIVE",
     "MODE_NONE",
     "MODE_OPTIMIZED",
+    "MODE_PROCESSES",
+    "MODE_SEQUENTIAL",
+    "MODE_THREADS",
     "MacBucketStore",
     "MacTree",
     "OcallAllocator",
     "PartitionedShieldStore",
+    "ProcessPartitionPool",
+    "process_mode_supported",
     "ShieldStore",
     "SnapshotPolicy",
     "SnapshotScheduler",

@@ -1,44 +1,94 @@
-"""Hash-partitioned multi-threading (paper §5.3, Figure 8).
+"""Hash-partitioned parallel routing (paper §5.3, Figure 8).
 
-Each simulated worker thread owns an exclusive slice of the hash-key
-space — ``Partition(KEY) = H(KEY) / total_threads`` — realized here as
-one independent :class:`~repro.core.store.ShieldStore` per thread, each
-with its own buckets, MAC tree and allocator, all sharing one machine
-(and therefore one EPC and one paging serializer).  Because partitions
-are disjoint, no locks exist and per-thread clocks advance independently;
-run wall-time is the slowest thread's clock.
+Each simulated worker owns an exclusive slice of the hash-key space —
+``Partition(KEY) = H(KEY) / total_threads`` — realized as one
+independent :class:`~repro.core.store.ShieldStore` per partition, each
+with its own buckets, MAC tree and allocator.  Because partitions are
+disjoint, no locks exist and per-partition clocks advance
+independently; run wall-time is the slowest partition's clock.
 
 SGX cannot grow an enclave's thread pool at runtime (§5.3), so the
 partition count is fixed at construction.
 
-``parallel=True`` additionally backs the batched operations
-(:meth:`PartitionedShieldStore.multi_get` / ``multi_set`` /
-``multi_delete``) with a real :class:`~concurrent.futures.ThreadPoolExecutor`:
-the router groups a batch's keys by owning partition and fans the
-per-partition slices out to OS worker threads.  This is safe precisely
-because of the §5.3 design — partitions never touch each other's
-buckets, MAC trees or caches, so the only shared structures are the
-machine-level ones (allocator bump pointers, guarded by a lock, and
-event counters).  Each partition charges its own simulated
-:class:`~repro.sim.clock.ThreadClock`, and the machine clock merges them
-afterwards as ``max`` over threads, exactly as in sequential routing.
+Execution modes
+---------------
+``mode`` selects how batched operations are driven:
+
+* ``"sequential"`` — partition slices run inline on the calling thread
+  (the default for simulation-focused callers that inject a shared
+  :class:`~repro.sim.enclave.Machine`; simulated clocks still merge as
+  ``max`` over partitions, so modeled parallelism is unaffected);
+* ``"threads"`` — slices fan out to a real
+  :class:`~concurrent.futures.ThreadPoolExecutor`.  Wall-clock gains are
+  GIL-bound, so this mostly helps when partition work releases the GIL;
+* ``"processes"`` — the shared-nothing multiprocess engine
+  (:mod:`repro.core.procpool`): one long-lived worker process per
+  partition, each owning a private enclave sim + store, fed with
+  batched frames over pipes.  This is the mode that makes wall-clock
+  throughput scale with cores;
+* ``"auto"`` — ``processes`` when the store owns its machine, has more
+  than one partition, and the platform supports worker processes;
+  otherwise ``threads``/``sequential`` following the ``parallel`` flag.
+  Callers that pass an explicit ``machine`` keep in-process partitions:
+  worker processes cannot share a simulated machine, and those callers
+  (experiments, cost-model tests) are reading its clocks and counters.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import StoreConfig
 from repro.core.stats import StoreStats
 from repro.core.store import DEFAULT_MEASUREMENT, ShieldStore
 from repro.crypto.keys import KeyRing
-from repro.errors import StoreError
+from repro.errors import KeyNotFoundError, ReproError, StoreError
 from repro.sim.enclave import Enclave, Machine
+
+MODE_AUTO = "auto"
+MODE_SEQUENTIAL = "sequential"
+MODE_THREADS = "threads"
+MODE_PROCESSES = "processes"
+_MODES = (MODE_SEQUENTIAL, MODE_THREADS, MODE_PROCESSES)
+
+
+def _annotate_partition_error(exc: ReproError, index: int) -> ReproError:
+    """Re-raise material: same class, message prefixed with the partition."""
+    try:
+        wrapped = type(exc)(f"partition {index}: {exc}")
+    except Exception:
+        wrapped = StoreError(f"partition {index}: {exc}")
+    return wrapped
 
 
 class PartitionedShieldStore:
-    """ShieldStore sharded over the machine's worker threads."""
+    """ShieldStore sharded over disjoint hash partitions.
+
+    Parameters
+    ----------
+    config:
+        Table geometry for the *whole* store; each partition gets
+        ``num_buckets / n`` buckets and ``num_mac_hashes / n`` hashes.
+    machine:
+        Shared simulated host.  Providing one pins the partitions
+        in-process (see module docstring); omitting it lets ``auto``
+        pick the multiprocess engine.
+    master_secret:
+        32-byte enclave master secret shared by every partition (one
+        logical enclave); drawn from the machine RNG when omitted.
+    parallel:
+        Back-compat switch: ``True`` is shorthand for ``mode="threads"``
+        when ``mode`` is left on ``auto``.
+    max_workers:
+        Cap on thread-mode executor workers (clamped to the CPU count).
+    mode:
+        ``"auto"``, ``"sequential"``, ``"threads"`` or ``"processes"``.
+    num_partitions:
+        Partition count when no ``machine`` is given (the store then
+        builds its own ``Machine`` with that many simulated threads).
+    """
 
     def __init__(
         self,
@@ -47,15 +97,30 @@ class PartitionedShieldStore:
         master_secret: Optional[bytes] = None,
         parallel: bool = False,
         max_workers: Optional[int] = None,
+        mode: str = MODE_AUTO,
+        num_partitions: Optional[int] = None,
     ):
         self.config = config
         self.parallel = parallel
         self._max_workers = max_workers
         self._executor: Optional[ThreadPoolExecutor] = None
-        self.machine = machine if machine is not None else Machine(seed=config.seed)
-        num_threads = self.machine.clock.num_threads
-        if config.num_buckets < num_threads:
+        self._pool = None
+        machine_owned = machine is None
+        if machine_owned:
+            machine = Machine(
+                num_threads=num_partitions or 1, seed=config.seed
+            )
+        elif num_partitions not in (None, machine.clock.num_threads):
+            raise StoreError(
+                "num_partitions conflicts with the machine's thread count"
+            )
+        self.machine = machine
+        self._num_partitions = machine.clock.num_threads
+        if config.num_buckets < self._num_partitions:
             raise StoreError("need at least one bucket per thread")
+        self.mode = self._resolve_mode(
+            mode, parallel, machine_owned, self._num_partitions
+        )
         self.enclave = Enclave(self.machine, DEFAULT_MEASUREMENT)
         if master_secret is None:
             master_secret = bytes(
@@ -64,108 +129,251 @@ class PartitionedShieldStore:
         # All partitions share the key ring (one enclave, one secret);
         # the router hashes with it before dispatching.
         self._keyring = KeyRing(master_secret)
-        per_buckets = max(1, config.num_buckets // num_threads)
-        per_hashes = max(1, min(config.num_mac_hashes // num_threads, per_buckets))
+        per_buckets = max(1, config.num_buckets // self._num_partitions)
+        per_hashes = max(
+            1, min(config.num_mac_hashes // self._num_partitions, per_buckets)
+        )
         part_config = config.with_(
             num_buckets=per_buckets, num_mac_hashes=per_hashes
         )
-        self.partitions: List[ShieldStore] = [
-            ShieldStore(
-                part_config,
-                machine=self.machine,
-                enclave=self.enclave,
-                thread_id=t,
-                master_secret=master_secret,
+        if self.mode == MODE_PROCESSES:
+            # Shared-nothing: the data plane lives in worker processes,
+            # one private enclave sim each.  The parent keeps only the
+            # routing key ring and the (attestable) front-end enclave.
+            from repro.core.procpool import ProcessPartitionPool
+
+            self.partitions: List[ShieldStore] = []
+            self._pool = ProcessPartitionPool(
+                part_config, self._num_partitions, master_secret
             )
-            for t in range(num_threads)
-        ]
+        else:
+            self.partitions = [
+                ShieldStore(
+                    part_config,
+                    machine=self.machine,
+                    enclave=self.enclave,
+                    thread_id=t,
+                    master_secret=master_secret,
+                )
+                for t in range(self._num_partitions)
+            ]
+
+    @staticmethod
+    def _resolve_mode(
+        mode: str, parallel: bool, machine_owned: bool, n: int
+    ) -> str:
+        from repro.core.procpool import process_mode_supported
+
+        if mode == MODE_AUTO:
+            if n <= 1:
+                return MODE_SEQUENTIAL
+            if machine_owned and not parallel and process_mode_supported():
+                # Store owns its machine and more than one partition:
+                # pick the engine that actually scales with cores.
+                return MODE_PROCESSES
+            return MODE_THREADS if parallel else MODE_SEQUENTIAL
+        if mode not in _MODES:
+            raise StoreError(f"unknown partition mode {mode!r}")
+        if mode == MODE_PROCESSES and not process_mode_supported():
+            raise StoreError("platform cannot run the multiprocess engine")
+        return mode
 
     @property
     def num_threads(self) -> int:
-        return len(self.partitions)
+        return self._num_partitions
+
+    def partition_index_of(self, key: bytes) -> int:
+        """Owning partition index (hash-disjoint, mode-independent)."""
+        h = self._keyring.keyed_bucket_hash(bytes(key), 1 << 30)
+        return h * self._num_partitions >> 30
 
     def partition_of(self, key: bytes) -> ShieldStore:
-        """Route a key to its owning partition (hash-disjoint, lock-free)."""
-        h = self._keyring.keyed_bucket_hash(bytes(key), 1 << 30)
-        return self.partitions[h * self.num_threads >> 30]
+        """Route a key to its owning in-process partition store.
 
-    # -- operations are delegated to the owner thread's store ---------------
+        Only meaningful for the in-process modes; in ``processes`` mode
+        the partition lives in a worker and cannot be handed out.
+        """
+        if self._pool is not None:
+            raise StoreError(
+                "partition stores live in worker processes; "
+                "use partition_index_of() for routing"
+            )
+        return self.partitions[self.partition_index_of(key)]
+
+    # -- single-key operations ----------------------------------------------
+    def _proc_single(self, request) -> bytes:
+        """Forward one single-key op to its owner worker."""
+        from repro.net.message import STATUS_MISS, STATUS_OK
+
+        index = self.partition_index_of(request.key)
+        response = self._pool.execute(index, request)
+        if response.status == STATUS_MISS:
+            raise KeyNotFoundError(request.key)
+        if response.status != STATUS_OK:
+            raise StoreError(f"partition {index}: {request.op} failed")
+        return response.value
+
     def get(self, key: bytes) -> bytes:
+        if self._pool is not None:
+            from repro.net.message import Request
+
+            return self._proc_single(Request("get", bytes(key)))
         return self.partition_of(key).get(key)
 
     def set(self, key: bytes, value: bytes) -> None:
+        if self._pool is not None:
+            from repro.net.message import Request
+
+            self._proc_single(Request("set", bytes(key), bytes(value)))
+            return
         self.partition_of(key).set(key, value)
 
     def delete(self, key: bytes) -> None:
+        if self._pool is not None:
+            from repro.net.message import Request
+
+            self._proc_single(Request("delete", bytes(key)))
+            return
         self.partition_of(key).delete(key)
 
     def append(self, key: bytes, suffix: bytes) -> bytes:
+        if self._pool is not None:
+            from repro.net.message import Request
+
+            return self._proc_single(Request("append", bytes(key), bytes(suffix)))
         return self.partition_of(key).append(key, suffix)
 
     def increment(self, key: bytes, delta: int = 1) -> int:
+        if self._pool is not None:
+            from repro.net.message import Request
+
+            return int(
+                self._proc_single(
+                    Request("increment", bytes(key), str(delta).encode())
+                )
+            )
         return self.partition_of(key).increment(key, delta)
 
     def compare_and_swap(self, key: bytes, expected: bytes, new_value: bytes) -> bool:
+        if self._pool is not None:
+            from repro.net.message import Request, encode_cas_value
+
+            return (
+                self._proc_single(
+                    Request("cas", bytes(key), encode_cas_value(expected, new_value))
+                )
+                == b"1"
+            )
         return self.partition_of(key).compare_and_swap(key, expected, new_value)
 
     def contains(self, key: bytes) -> bool:
+        if self._pool is not None:
+            try:
+                self.get(key)
+                return True
+            except KeyNotFoundError:
+                return False
         return self.partition_of(key).contains(key)
 
     # -- batched operations: group by partition, then fan out ---------------
-    def _group_by_partition(self, keyed_items) -> List[Tuple[ShieldStore, list]]:
+    def _group_by_partition(self, keyed_items) -> List[Tuple[int, list]]:
         """Split ``(key, payload)`` pairs into per-partition slices.
 
         Order within a slice is preserved (later writes to a repeated
-        key must win), and slices are returned in thread-id order so
+        key must win), and slices come back in partition order so
         sequential routing is deterministic.
         """
-        grouped: Dict[int, Tuple[ShieldStore, list]] = {}
+        grouped: Dict[int, list] = {}
         for key, payload in keyed_items:
-            partition = self.partition_of(key)
-            grouped.setdefault(partition.thread_id, (partition, []))[1].append(
+            grouped.setdefault(self.partition_index_of(key), []).append(
                 (key, payload)
             )
-        return [grouped[tid] for tid in sorted(grouped)]
+        return [(index, grouped[index]) for index in sorted(grouped)]
 
     def _fan_out(self, slices, method, project):
-        """Run ``method`` over every partition slice, threaded or not.
+        """Run ``method`` over every in-process partition slice.
 
         ``project`` turns a slice's ``(key, payload)`` pairs into the
-        store-level argument.  With ``parallel=True`` the slices run on
-        a real thread pool — each worker charges only its own
-        partition's simulated thread clock, so merged wall time is
-        ``max`` over partitions either way; with ``parallel=False``
-        they run inline on the calling thread.
+        store-level argument.  A batch landing on a single partition
+        always runs inline — submitting one future buys no parallelism
+        and pays executor overhead.  In ``threads`` mode multi-partition
+        batches fan out to a pool whose size is clamped to the CPU
+        count; each worker charges only its own partition's simulated
+        clock, so merged simulated time is ``max`` over partitions in
+        every mode.  Partition failures re-raise as the original
+        exception class with the partition index prepended.
         """
-        if self._executor is None and self.parallel and len(slices) > 1:
+        if self.mode != MODE_THREADS or len(slices) <= 1:
+            results = []
+            for index, items in slices:
+                try:
+                    results.append(method(self.partitions[index])(project(items)))
+                except ReproError as exc:
+                    raise _annotate_partition_error(exc, index) from exc
+            return results
+        if self._executor is None:
+            workers = self._max_workers or self._num_partitions
+            workers = max(1, min(workers, os.cpu_count() or 1))
             self._executor = ThreadPoolExecutor(
-                max_workers=self._max_workers or self.num_threads,
+                max_workers=workers,
                 thread_name_prefix="shieldstore-partition",
             )
-        if self._executor is None or len(slices) <= 1:
-            return [
-                method(partition)(project(items)) for partition, items in slices
-            ]
         futures = [
-            self._executor.submit(method(partition), project(items))
-            for partition, items in slices
+            (index, self._executor.submit(method(self.partitions[index]), project(items)))
+            for index, items in slices
         ]
-        return [future.result() for future in futures]
+        results = []
+        first_error: Optional[ReproError] = None
+        for index, future in futures:
+            try:
+                results.append(future.result())
+            except ReproError as exc:
+                if first_error is None:
+                    first_error = _annotate_partition_error(exc, index)
+                    first_error.__cause__ = exc
+        if first_error is not None:
+            raise first_error
+        return results
 
     def close(self) -> None:
-        """Release the parallel router's worker threads (idempotent)."""
+        """Release worker threads / worker processes (idempotent)."""
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
+        if self._pool is not None:
+            self._pool.close()
 
-    def multi_get(self, keys):
+    def __enter__(self) -> "PartitionedShieldStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def multi_get(self, keys) -> Dict[bytes, Optional[bytes]]:
         """Batched lookup, fanned out to the owning partitions.
 
-        Each partition serves its slice of the batch on its own thread
-        clock, so the batch completes in max-partition time — the
-        multi-key analogue of Fig. 8's partitioning.
+        Each partition serves its slice of the batch on its own clock
+        (or its own process), so the batch completes in max-partition
+        time — the multi-key analogue of Fig. 8's partitioning.
         """
         slices = self._group_by_partition((bytes(key), None) for key in keys)
+        if self._pool is not None:
+            from repro.net.message import (
+                Request,
+                decode_multi_values,
+                encode_multi_keys,
+            )
+
+            requests = {
+                index: Request("mget", b"", encode_multi_keys([k for k, _ in items]))
+                for index, items in slices
+            }
+            responses = self._pool.execute_many(requests)
+            results: Dict[bytes, Optional[bytes]] = {}
+            for index, items in slices:
+                values = decode_multi_values(responses[index].value)
+                results.update(zip((k for k, _ in items), values))
+            return results
         results = {}
         for partial in self._fan_out(
             slices,
@@ -187,16 +395,48 @@ class PartitionedShieldStore:
         slices = self._group_by_partition(
             (bytes(key), bytes(value)) for key, value in items
         )
+        if self._pool is not None:
+            from repro.net.message import Request, encode_multi_items
+
+            self._pool.execute_many(
+                {
+                    index: Request("mset", b"", encode_multi_items(pairs))
+                    for index, pairs in slices
+                }
+            )
+            return
         self._fan_out(
             slices,
             lambda partition: partition.multi_set,
             lambda pairs: pairs,
         )
 
-    def multi_delete(self, keys):
+    def multi_delete(self, keys) -> Dict[bytes, bool]:
         """Batched removal; returns ``{key: was_present}`` like the
         store-level :meth:`~repro.core.store.ShieldStore.multi_delete`."""
         slices = self._group_by_partition((bytes(key), None) for key in keys)
+        if self._pool is not None:
+            from repro.net.message import (
+                Request,
+                decode_multi_values,
+                encode_multi_keys,
+            )
+
+            requests = {
+                index: Request(
+                    "mdelete", b"", encode_multi_keys([k for k, _ in items])
+                )
+                for index, items in slices
+            }
+            responses = self._pool.execute_many(requests)
+            results: Dict[bytes, bool] = {}
+            for index, items in slices:
+                flags = decode_multi_values(responses[index].value)
+                results.update(
+                    (key, flag is not None)
+                    for (key, _), flag in zip(items, flags)
+                )
+            return results
         results = {}
         for partial in self._fan_out(
             slices,
@@ -207,25 +447,46 @@ class PartitionedShieldStore:
         return results
 
     def __len__(self) -> int:
+        if self._pool is not None:
+            return self._pool.total_len()
         return sum(len(p) for p in self.partitions)
 
     def iter_items(self):
-        """All (key, value) pairs across partitions (thread-id order)."""
+        """All (key, value) pairs across partitions (partition order)."""
+        if self._pool is not None:
+            for index in range(self._num_partitions):
+                yield from self._pool.iter_partition_items(index)
+            return
         for partition in self.partitions:
             yield from partition.iter_items()
 
     def audit(self) -> int:
         """Full-table integrity audit over every partition."""
+        if self._pool is not None:
+            return self._pool.audit_all()
         return sum(p.audit() for p in self.partitions)
 
     # -- aggregates -----------------------------------------------------
+    def per_partition_stats(self) -> List[StoreStats]:
+        """Operation counters of each partition, in partition order.
+
+        In ``processes`` mode the snapshots cross the process boundary
+        as dicts and are reconstituted here, so batch-amortization
+        counters survive intact.
+        """
+        if self._pool is not None:
+            return self._pool.gather_stats()
+        return [p.stats for p in self.partitions]
+
     def stats(self) -> StoreStats:
         """Merged operation stats across partitions."""
         merged = StoreStats()
-        for p in self.partitions:
-            merged = merged.merge(p.stats)
+        for stats in self.per_partition_stats():
+            merged = merged.merge(stats)
         return merged
 
     def elapsed_us(self) -> float:
-        """Simulated wall time (slowest thread)."""
+        """Simulated wall time (slowest partition / worker)."""
+        if self._pool is not None:
+            return max(self.machine.elapsed_us(), self._pool.elapsed_us())
         return self.machine.elapsed_us()

@@ -1,0 +1,446 @@
+"""Shared-nothing multiprocess partition engine.
+
+The paper's scalability result (§5.4, Figs. 12-13) comes from
+hash-partitioned threads that never synchronize: each thread owns a
+disjoint slice of the table.  In CPython a thread pool cannot cash that
+design in — the GIL serializes the Python-level store work — so this
+module turns partitions into *processes*: one long-lived worker process
+per partition, spawned once at pool construction (mirroring §5.3's
+fixed enclave thread pool), each owning a private enclave simulation
+(:class:`~repro.sim.enclave.Machine` + :class:`~repro.core.store.ShieldStore`)
+that no other process can touch.  No locks, no shared state, no GIL
+contention — the only coupling is the batched IPC below.
+
+Data plane
+----------
+The parent routes operations by key (the same keyed hash the in-process
+router uses) and ships each worker its slice of a batch as one
+length-prefixed frame over a ``multiprocessing`` pipe::
+
+    frame    := opcode(1) | payload
+    OP_REQ   payload = net.message.encode_request(...)   # single or batch op
+    OK reply payload = net.message.encode_response(...)
+    ERR reply payload = class_len(1) | class_name | utf-8 message
+
+Key/value payloads reuse the :mod:`repro.net.message` codecs — the same
+compact framing the wire protocol uses — rather than pickle, so a
+hostile or corrupted worker can at worst produce a malformed frame (a
+:class:`~repro.errors.ProtocolError`), never arbitrary object
+construction in the parent.  Control-plane frames (stats, audit,
+iteration) are parent-trusted and carry JSON or fixed-width integers.
+
+Failure semantics
+-----------------
+A :class:`~repro.errors.ReproError` raised inside a worker (integrity
+violation, crypto misuse...) is re-raised in the parent as the *same
+exception class*, with the partition index prepended to the message.
+A worker that dies (crash, OOM-kill) is detected by liveness polling —
+never a blocking pipe read — and surfaces as
+:class:`~repro.errors.WorkerError`; the pool marks itself broken and
+refuses further traffic, because a missing partition means an
+incomplete view of the keyspace.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import multiprocessing.connection
+import struct
+from typing import Dict, List, Optional
+
+import repro.errors as _errors
+from repro.core.config import StoreConfig
+from repro.core.stats import StoreStats
+from repro.errors import ProtocolError, ReproError, StoreError, WorkerError
+from repro.net.message import (
+    Request,
+    Response,
+    decode_response,
+    encode_multi_items,
+    encode_request,
+)
+
+# -- frame opcodes ------------------------------------------------------------
+OP_REQ = 0x01       # execute one Request (single-key or mget/mset/mdelete)
+OP_STATS = 0x02     # -> JSON snapshot of the worker's StoreStats
+OP_ITER = 0x03      # -> encode_multi_items of all (key, value) pairs
+OP_AUDIT = 0x04     # -> u64 entries checked (full integrity audit)
+OP_LEN = 0x05       # -> u64 live entry count
+OP_ELAPSED = 0x06   # -> f64 simulated microseconds on the worker's machine
+OP_PING = 0x07      # -> empty OK (startup / liveness handshake)
+OP_TAMPER = 0x08    # flip one bit of an entry's untrusted bytes (tests)
+OP_SHUTDOWN = 0x09  # -> empty OK, then the worker exits cleanly
+
+REPLY_OK = 0x80
+REPLY_ERR = 0xFF
+
+_U64 = struct.Struct("<Q")
+_F64 = struct.Struct("<d")
+
+# Seconds between liveness checks while waiting on a worker reply.
+_POLL_INTERVAL = 0.1
+
+
+def process_mode_supported() -> bool:
+    """Whether this platform can run the multiprocess engine.
+
+    Needs a working ``spawn`` start method (the only one that is safe
+    regardless of parent threads) and OS-level semaphore support, which
+    some sandboxed platforms lack.
+    """
+    try:
+        from multiprocessing import synchronize  # noqa: F401  (probe only)
+
+        multiprocessing.get_context("spawn")
+    except (ImportError, ValueError, OSError):
+        return False
+    return True
+
+
+def _encode_error(exc: BaseException) -> bytes:
+    name = type(exc).__name__.encode("ascii", "replace")[:255]
+    return bytes([REPLY_ERR, len(name)]) + name + str(exc).encode("utf-8", "replace")
+
+
+def _decode_error(frame: bytes, index: int) -> ReproError:
+    """Rebuild a worker-side exception, annotated with its partition."""
+    name_len = frame[1]
+    name = frame[2 : 2 + name_len].decode("ascii", "replace")
+    message = frame[2 + name_len :].decode("utf-8", "replace")
+    klass = getattr(_errors, name, None)
+    if not (isinstance(klass, type) and issubclass(klass, ReproError)):
+        klass = StoreError
+    return klass(f"partition {index}: {message}")
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+def _tamper(store, key: bytes) -> None:
+    """Flip one bit of ``key``'s entry record in untrusted memory.
+
+    The in-process equivalent of :class:`~repro.sim.attacker.Attacker`
+    pointed at a worker's private memory — tests use it to prove that
+    integrity failures cross the process boundary as the original
+    exception class.
+    """
+    bucket = store.keyring.keyed_bucket_hash(key, store.config.num_buckets)
+    addr = int.from_bytes(
+        store.machine.memory.raw_read(store.buckets.slot_addr(bucket), 8),
+        "little",
+    )
+    if not addr:
+        raise StoreError(f"tamper target {key!r} has an empty bucket")
+    offset = addr + 35  # inside the encrypted key/value bytes
+    byte = store.machine.memory.raw_read(offset, 1)[0]
+    store.machine.memory.raw_write(offset, bytes([byte ^ 0x01]))
+
+
+def _worker_main(
+    conn: multiprocessing.connection.Connection,
+    index: int,
+    config: StoreConfig,
+    master_secret: bytes,
+) -> None:
+    """Entry point of one partition worker process.
+
+    Builds a private machine + enclave + store, then serves frames until
+    shutdown or EOF.  Clean :class:`ReproError` failures are reported
+    and the loop continues — the store flushes its dirty sets before the
+    exception escapes ``multi_set``/``multi_delete``, so the partition
+    stays consistent and serviceable.
+    """
+    from repro.core.store import ShieldStore
+    from repro.net.message import decode_request
+    from repro.net.server import execute_request
+    from repro.sim.enclave import Machine
+
+    # A disjoint RNG stream per worker keeps IVs distinct across
+    # partitions while staying deterministic run to run.
+    machine = Machine(num_threads=1, seed=config.seed + 7919 * (index + 1))
+    store = ShieldStore(config, machine=machine, master_secret=master_secret)
+    while True:
+        try:
+            frame = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        opcode, payload = frame[0], frame[1:]
+        try:
+            if opcode == OP_REQ:
+                reply = bytes([REPLY_OK]) + _encode_resp(
+                    execute_request(store, decode_request(payload))
+                )
+            elif opcode == OP_STATS:
+                reply = bytes([REPLY_OK]) + json.dumps(
+                    store.stats.snapshot_dict()
+                ).encode("ascii")
+            elif opcode == OP_ITER:
+                reply = bytes([REPLY_OK]) + encode_multi_items(
+                    list(store.iter_items())
+                )
+            elif opcode == OP_AUDIT:
+                reply = bytes([REPLY_OK]) + _U64.pack(store.audit())
+            elif opcode == OP_LEN:
+                reply = bytes([REPLY_OK]) + _U64.pack(len(store))
+            elif opcode == OP_ELAPSED:
+                reply = bytes([REPLY_OK]) + _F64.pack(machine.elapsed_us())
+            elif opcode == OP_PING:
+                reply = bytes([REPLY_OK])
+            elif opcode == OP_TAMPER:
+                _tamper(store, bytes(payload))
+                reply = bytes([REPLY_OK])
+            elif opcode == OP_SHUTDOWN:
+                conn.send_bytes(bytes([REPLY_OK]))
+                break
+            else:
+                raise ProtocolError(f"unknown worker opcode {opcode:#x}")
+        except ReproError as exc:
+            reply = _encode_error(exc)
+        except Exception as exc:  # keep the worker alive; report faithfully
+            reply = _encode_error(StoreError(f"{type(exc).__name__}: {exc}"))
+        try:
+            conn.send_bytes(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+def _encode_resp(response: Response) -> bytes:
+    from repro.net.message import encode_response
+
+    return encode_response(response)
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+class _WorkerHandle:
+    """Parent-side view of one worker: its process and pipe end."""
+
+    __slots__ = ("index", "process", "conn")
+
+    def __init__(self, index, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+
+
+class ProcessPartitionPool:
+    """One worker process per partition, with batched frame IPC.
+
+    Workers are spawned eagerly at construction (matching §5.3: the
+    enclave thread pool is fixed at enclave creation) and verified with
+    a PING handshake so misconfiguration fails fast, not on first use.
+
+    ``request_timeout`` bounds how long the parent waits for any single
+    reply; ``None`` waits forever (liveness is still polled, so a dead
+    worker raises promptly either way).
+    """
+
+    def __init__(
+        self,
+        config: StoreConfig,
+        num_workers: int,
+        master_secret: bytes,
+        request_timeout: Optional[float] = None,
+    ):
+        if num_workers <= 0:
+            raise StoreError("process pool needs at least one worker")
+        if not process_mode_supported():
+            raise StoreError("platform cannot run the multiprocess engine")
+        self.num_workers = num_workers
+        self.request_timeout = request_timeout
+        self._broken: Optional[str] = None
+        self._closed = False
+        ctx = multiprocessing.get_context("spawn")
+        self.workers: List[_WorkerHandle] = []
+        try:
+            for index in range(num_workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, index, config, master_secret),
+                    name=f"shieldstore-partition-{index}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()  # parent keeps only its own end
+                self.workers.append(_WorkerHandle(index, process, parent_conn))
+            # Handshake: every worker must come up and answer a PING.
+            self.scatter({w.index: b"" for w in self.workers}, OP_PING)
+        except BaseException:
+            self._terminate_all()
+            raise
+
+    # -- low-level I/O ------------------------------------------------------
+    def _check_usable(self) -> None:
+        if self._closed:
+            raise WorkerError("process pool is closed")
+        if self._broken is not None:
+            raise WorkerError(
+                f"process pool is unusable: {self._broken} "
+                "(a partition is gone; rebuild the store)"
+            )
+
+    def _mark_broken(self, why: str) -> WorkerError:
+        self._broken = why
+        return WorkerError(why)
+
+    def _send(self, handle: _WorkerHandle, opcode: int, payload: bytes) -> None:
+        try:
+            handle.conn.send_bytes(bytes([opcode]) + payload)
+        except (BrokenPipeError, OSError) as exc:
+            raise self._mark_broken(
+                f"partition {handle.index}: worker pipe broke on send ({exc})"
+            ) from exc
+
+    def _recv(self, handle: _WorkerHandle) -> bytes:
+        """Receive one reply, polling liveness instead of blocking."""
+        waited = 0.0
+        while not handle.conn.poll(_POLL_INTERVAL):
+            waited += _POLL_INTERVAL
+            if not handle.process.is_alive():
+                raise self._mark_broken(
+                    f"partition {handle.index}: worker process died "
+                    f"(exit code {handle.process.exitcode})"
+                )
+            if (
+                self.request_timeout is not None
+                and waited >= self.request_timeout
+            ):
+                raise self._mark_broken(
+                    f"partition {handle.index}: no reply within "
+                    f"{self.request_timeout:.1f}s"
+                )
+        try:
+            frame = handle.conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            raise self._mark_broken(
+                f"partition {handle.index}: worker pipe broke on receive ({exc})"
+            ) from exc
+        if not frame:
+            raise self._mark_broken(f"partition {handle.index}: empty reply frame")
+        if frame[0] == REPLY_ERR:
+            raise _decode_error(frame, handle.index)
+        if frame[0] != REPLY_OK:
+            raise self._mark_broken(
+                f"partition {handle.index}: bad reply opcode {frame[0]:#x}"
+            )
+        return frame[1:]
+
+    # -- request fan-out ----------------------------------------------------
+    def request(self, index: int, opcode: int, payload: bytes = b"") -> bytes:
+        """Round-trip one frame to one worker."""
+        self._check_usable()
+        handle = self.workers[index]
+        self._send(handle, opcode, payload)
+        return self._recv(handle)
+
+    def scatter(
+        self, payloads: Dict[int, bytes], opcode: int = OP_REQ
+    ) -> Dict[int, bytes]:
+        """Submit to many workers at once, then gather every reply.
+
+        All frames are written before any reply is read — that is the
+        parallelism: each worker crunches its slice while the others do
+        the same.  Replies are collected in ascending partition order so
+        merge results are deterministic.
+        """
+        self._check_usable()
+        targets = sorted(payloads)
+        for index in targets:
+            self._send(self.workers[index], opcode, payloads[index])
+        # Drain every reply even when one worker reports an error —
+        # leaving frames queued would desynchronize the next request.
+        # (WorkerError is the exception: the pool is broken anyway.)
+        results: Dict[int, bytes] = {}
+        first_error: Optional[ReproError] = None
+        for index in targets:
+            try:
+                results[index] = self._recv(self.workers[index])
+            except WorkerError:
+                raise
+            except ReproError as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def broadcast(self, opcode: int, payload: bytes = b"") -> List[bytes]:
+        """Scatter the same frame to every worker; replies in index order."""
+        replies = self.scatter(
+            {w.index: payload for w in self.workers}, opcode
+        )
+        return [replies[w.index] for w in self.workers]
+
+    # -- execute_request conveniences ---------------------------------------
+    def execute(self, index: int, request: Request) -> Response:
+        """Run one wire-protocol request on one partition worker."""
+        return decode_response(self.request(index, OP_REQ, encode_request(request)))
+
+    def execute_many(self, requests: Dict[int, Request]) -> Dict[int, Response]:
+        """Scatter per-partition requests; decode replies by partition."""
+        replies = self.scatter(
+            {index: encode_request(req) for index, req in requests.items()}
+        )
+        return {index: decode_response(raw) for index, raw in replies.items()}
+
+    # -- aggregates ---------------------------------------------------------
+    def gather_stats(self) -> List[StoreStats]:
+        """Per-worker operation counters, reconstituted parent-side."""
+        return [
+            StoreStats.from_dict(json.loads(raw.decode("ascii")))
+            for raw in self.broadcast(OP_STATS)
+        ]
+
+    def total_len(self) -> int:
+        return sum(_U64.unpack(raw)[0] for raw in self.broadcast(OP_LEN))
+
+    def audit_all(self) -> int:
+        """Full-table audit on every worker; sum of entries checked."""
+        return sum(_U64.unpack(raw)[0] for raw in self.broadcast(OP_AUDIT))
+
+    def elapsed_us(self) -> float:
+        """Simulated wall time: the slowest worker's private clock."""
+        return max(_F64.unpack(raw)[0] for raw in self.broadcast(OP_ELAPSED))
+
+    def iter_partition_items(self, index: int):
+        """All (key, value) pairs of one partition, decrypted worker-side."""
+        from repro.net.message import decode_multi_items
+
+        return decode_multi_items(self.request(index, OP_ITER))
+
+    def tamper(self, index: int, key: bytes) -> None:
+        """Flip a bit in a worker's untrusted memory (attack simulation)."""
+        self.request(index, OP_TAMPER, bytes(key))
+
+    # -- lifecycle ----------------------------------------------------------
+    def _terminate_all(self) -> None:
+        for handle in self.workers:
+            if handle.process.is_alive():
+                handle.process.terminate()
+            handle.process.join(timeout=5)
+            handle.conn.close()
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._broken is None:
+            for handle in self.workers:
+                try:
+                    handle.conn.send_bytes(bytes([OP_SHUTDOWN]))
+                except (BrokenPipeError, OSError):
+                    pass
+            for handle in self.workers:
+                handle.process.join(timeout=5)
+        self._terminate_all()
+
+    def __del__(self):
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -54,6 +54,22 @@ class StoreStats:
         """Plain-dict view for reports."""
         return dict(vars(self))
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "StoreStats":
+        """Rebuild a stats object from :meth:`snapshot_dict` output.
+
+        This is how counters cross the process boundary: partition
+        worker processes ship their snapshot dict over the pipe and the
+        parent reconstitutes it here before merging.  Unknown keys are
+        ignored so a parent can read snapshots from slightly older or
+        newer workers.
+        """
+        stats = cls()
+        for name, value in data.items():
+            if hasattr(stats, name):
+                setattr(stats, name, value)
+        return stats
+
     @property
     def operations(self) -> int:
         """Total client-visible operations served."""

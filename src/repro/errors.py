@@ -57,6 +57,14 @@ class StoreError(ReproError):
     """Generic key-value store failure (bad request, closed store...)."""
 
 
+class WorkerError(StoreError):
+    """A partition worker process died or its pool became unusable.
+
+    Raised by the multiprocess partition engine when a worker exits
+    unexpectedly (crash, kill) or its pipe breaks; once raised, the
+    owning pool refuses further requests instead of hanging on a read."""
+
+
 class KeyNotFoundError(StoreError, KeyError):
     """Lookup for a key that does not exist in the store."""
 

@@ -210,7 +210,9 @@ def serving_thread(system, key: bytes) -> int:
     if isinstance(system, EcallFrontend):
         return serving_thread(system.system, key)
     if isinstance(system, PartitionedShieldStore):
-        return system.partition_of(bytes(key)).thread_id
+        # Works in every mode, including processes (where the partition
+        # store itself lives in a worker and cannot be handed out).
+        return system.partition_index_of(bytes(key))
     if isinstance(system, ShieldStore):
         return system.thread_id
     return fnv1a(bytes(key)) % system.machine.clock.num_threads

@@ -97,6 +97,43 @@ def execute_batch(store, request: Request) -> Response:
     raise ProtocolError(f"{request.op!r} is not a batch operation")
 
 
+def execute_request(store, request: Request) -> Response:
+    """Serve one decoded request (single-key or batch) against ``store``.
+
+    The op switch shared by every front-end: the cost-modeled
+    :class:`NetworkedServer`, the real TCP server, and the multiprocess
+    partition workers (:mod:`repro.core.procpool`).  Missing keys come
+    back as ``STATUS_MISS``; integrity/crypto failures propagate to the
+    caller, because what to do with a tampered store is a front-end
+    policy decision (drop the session, crash the worker, ...).
+    """
+    try:
+        if request.op in BATCH_OPS:
+            return execute_batch(store, request)
+        if request.op == "get":
+            return Response(STATUS_OK, store.get(request.key))
+        if request.op == "set":
+            store.set(request.key, request.value)
+            return Response(STATUS_OK)
+        if request.op == "append":
+            return Response(STATUS_OK, store.append(request.key, request.value))
+        if request.op == "delete":
+            store.delete(request.key)
+            return Response(STATUS_OK)
+        if request.op == "increment":
+            new = store.increment(request.key, int(request.value or b"1"))
+            return Response(STATUS_OK, str(new).encode())
+        if request.op == "cas":
+            from repro.net.message import decode_cas_value
+
+            expected, new_value = decode_cas_value(request.value)
+            swapped = store.compare_and_swap(request.key, expected, new_value)
+            return Response(STATUS_OK, b"1" if swapped else b"0")
+    except KeyNotFoundError:
+        return Response(STATUS_MISS)
+    return Response(STATUS_ERROR)
+
+
 class NetworkedServer:
     """Request front-end wrapping any store implementation."""
 
@@ -145,33 +182,7 @@ class NetworkedServer:
             self.machine.counters.hotcalls += 2
 
     def _execute(self, request: Request) -> Response:
-        try:
-            if request.op in BATCH_OPS:
-                return execute_batch(self.store, request)
-            if request.op == "get":
-                return Response(STATUS_OK, self.store.get(request.key))
-            if request.op == "set":
-                self.store.set(request.key, request.value)
-                return Response(STATUS_OK)
-            if request.op == "append":
-                return Response(STATUS_OK, self.store.append(request.key, request.value))
-            if request.op == "delete":
-                self.store.delete(request.key)
-                return Response(STATUS_OK)
-            if request.op == "increment":
-                new = self.store.increment(request.key, int(request.value or b"1"))
-                return Response(STATUS_OK, str(new).encode())
-            if request.op == "cas":
-                from repro.net.message import decode_cas_value
-
-                expected, new_value = decode_cas_value(request.value)
-                swapped = self.store.compare_and_swap(
-                    request.key, expected, new_value
-                )
-                return Response(STATUS_OK, b"1" if swapped else b"0")
-        except KeyNotFoundError:
-            return Response(STATUS_MISS)
-        return Response(STATUS_ERROR)
+        return execute_request(self.store, request)
 
     # -- entry point ---------------------------------------------------------
     def handle(self, request: Request) -> Response:

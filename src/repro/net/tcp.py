@@ -152,40 +152,9 @@ class TCPShieldServer:
                     return
 
     def _execute(self, request: Request) -> Response:
-        from repro.net.message import BATCH_OPS
-        from repro.net.server import execute_batch
+        from repro.net.server import execute_request
 
-        try:
-            if request.op in BATCH_OPS:
-                return execute_batch(self.store, request)
-            if request.op == "get":
-                return Response(STATUS_OK, self.store.get(request.key))
-            if request.op == "set":
-                self.store.set(request.key, request.value)
-                return Response(STATUS_OK)
-            if request.op == "append":
-                return Response(
-                    STATUS_OK, self.store.append(request.key, request.value)
-                )
-            if request.op == "delete":
-                self.store.delete(request.key)
-                return Response(STATUS_OK)
-            if request.op == "increment":
-                new = self.store.increment(
-                    request.key, int(request.value or b"1")
-                )
-                return Response(STATUS_OK, str(new).encode())
-            if request.op == "cas":
-                from repro.net.message import decode_cas_value
-
-                expected, new_value = decode_cas_value(request.value)
-                swapped = self.store.compare_and_swap(
-                    request.key, expected, new_value
-                )
-                return Response(STATUS_OK, b"1" if swapped else b"0")
-        except KeyNotFoundError:
-            return Response(STATUS_MISS)
-        return Response(2)
+        return execute_request(self.store, request)
 
 
 class TCPShieldClient:

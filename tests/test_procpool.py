@@ -1,0 +1,233 @@
+"""Process-parallel partition engine (shared-nothing workers + batched IPC).
+
+Covers the three execution modes of
+:class:`~repro.core.partition.PartitionedShieldStore` — the same seeded
+workload must produce byte-identical contents and identical operation
+counters whether partitions run inline, on worker threads, or in worker
+processes — plus the failure semantics of the multiprocess pool:
+integrity violations crossing the process boundary as the original
+exception class, and dead workers surfacing as
+:class:`~repro.errors.WorkerError` instead of hangs.
+"""
+
+import pytest
+
+from repro.core import (
+    MODE_PROCESSES,
+    MODE_SEQUENTIAL,
+    MODE_THREADS,
+    PartitionedShieldStore,
+    process_mode_supported,
+    shield_opt,
+)
+from repro.errors import IntegrityError, KeyNotFoundError, StoreError, WorkerError
+from repro.sim import Machine
+
+SECRET = bytes(range(32))
+PARTITIONS = 2
+
+needs_processes = pytest.mark.skipif(
+    not process_mode_supported(),
+    reason="platform cannot run the multiprocess engine",
+)
+
+
+def _config():
+    return shield_opt(num_buckets=128, num_mac_hashes=32)
+
+
+def _build(mode: str) -> PartitionedShieldStore:
+    if mode == MODE_PROCESSES:
+        return PartitionedShieldStore(
+            _config(),
+            master_secret=SECRET,
+            num_partitions=PARTITIONS,
+            mode=MODE_PROCESSES,
+        )
+    return PartitionedShieldStore(
+        _config(),
+        machine=Machine(num_threads=PARTITIONS),
+        master_secret=SECRET,
+        parallel=mode == MODE_THREADS,
+        mode=mode,
+    )
+
+
+def _run_workload(store: PartitionedShieldStore) -> None:
+    """Deterministic mix of batched and single-key operations."""
+    keys = [f"key-{i:03d}".encode() for i in range(120)]
+    store.multi_set([(k, b"value-" + k) for k in keys])
+    store.multi_set([(k, b"updated-" + k) for k in keys[::3]])
+    store.multi_get(keys)
+    store.multi_delete(keys[100:110])
+    store.set(b"single", b"one")
+    store.append(b"single", b"-two")
+    store.increment(b"counter")
+    store.increment(b"counter", 5)
+    store.compare_and_swap(b"single", b"one-two", b"three")
+    store.delete(keys[0])
+
+
+@needs_processes
+class TestModeEquivalence:
+    def test_identical_contents_across_modes(self):
+        """Same seeded workload -> byte-identical items in all 3 modes."""
+        items, audits, lens = {}, {}, {}
+        for mode in (MODE_SEQUENTIAL, MODE_THREADS, MODE_PROCESSES):
+            with _build(mode) as store:
+                assert store.mode == mode
+                _run_workload(store)
+                items[mode] = sorted(store.iter_items())
+                audits[mode] = store.audit()
+                lens[mode] = len(store)
+        assert items[MODE_SEQUENTIAL] == items[MODE_THREADS]
+        assert items[MODE_SEQUENTIAL] == items[MODE_PROCESSES]
+        assert audits[MODE_SEQUENTIAL] == audits[MODE_PROCESSES] == lens[MODE_PROCESSES]
+        assert lens[MODE_SEQUENTIAL] == lens[MODE_THREADS] == lens[MODE_PROCESSES]
+
+    def test_identical_stats_across_modes(self):
+        """Operation counters agree between in-process and worker modes."""
+        snapshots = {}
+        for mode in (MODE_THREADS, MODE_PROCESSES):
+            with _build(mode) as store:
+                _run_workload(store)
+                snapshots[mode] = store.stats().snapshot_dict()
+        assert snapshots[MODE_THREADS] == snapshots[MODE_PROCESSES]
+
+    def test_single_key_ops_route_through_workers(self):
+        with _build(MODE_PROCESSES) as store:
+            store.set(b"k", b"v")
+            assert store.get(b"k") == b"v"
+            assert store.contains(b"k")
+            assert store.append(b"k", b"!") == b"v!"
+            assert store.increment(b"n", 3) == 3
+            assert store.compare_and_swap(b"k", b"v!", b"w")
+            assert not store.compare_and_swap(b"k", b"stale", b"x")
+            store.delete(b"k")
+            assert not store.contains(b"k")
+            with pytest.raises(KeyNotFoundError):
+                store.get(b"missing")
+
+
+@needs_processes
+class TestStatsAggregation:
+    def test_merged_stats_equal_sum_of_partitions(self):
+        with _build(MODE_PROCESSES) as store:
+            _run_workload(store)
+            per_partition = store.per_partition_stats()
+            assert len(per_partition) == PARTITIONS
+            merged = store.stats().snapshot_dict()
+            for name, value in merged.items():
+                assert value == sum(
+                    getattr(stats, name) for stats in per_partition
+                ), name
+
+    def test_batch_counters_survive_process_boundary(self):
+        with _build(MODE_PROCESSES) as store:
+            _run_workload(store)
+            stats = store.stats()
+            assert stats.batches > 0
+            assert stats.batch_ops > 0
+            assert stats.batch_verifications_saved > 0
+
+
+@needs_processes
+class TestFailureSemantics:
+    def test_integrity_error_crosses_process_boundary(self):
+        """A tampered worker raises IntegrityError (not a generic wrapper)
+        in the parent, annotated with the partition index."""
+        with _build(MODE_PROCESSES) as store:
+            keys = [f"key-{i:03d}".encode() for i in range(40)]
+            store.multi_set([(k, b"v") for k in keys])
+            victim = keys[7]
+            index = store.partition_index_of(victim)
+            store._pool.tamper(index, victim)
+            with pytest.raises(IntegrityError, match=f"partition {index}"):
+                store.multi_get(keys)
+
+    def test_pool_survives_clean_errors(self):
+        """A ReproError is a report, not a crash: the worker keeps serving."""
+        with _build(MODE_PROCESSES) as store:
+            store.set(b"poisoned", b"v")
+            store.set(b"healthy", b"ok")
+            index = store.partition_index_of(b"poisoned")
+            store._pool.tamper(index, b"poisoned")
+            with pytest.raises(IntegrityError):
+                store.get(b"poisoned")
+            assert store.get(b"healthy") == b"ok"
+
+    def test_dead_worker_raises_worker_error(self):
+        store = _build(MODE_PROCESSES)
+        try:
+            store.set(b"k", b"v")
+            store._pool.workers[0].process.terminate()
+            store._pool.workers[0].process.join(timeout=5)
+            with pytest.raises(WorkerError):
+                store.multi_get([f"key-{i}".encode() for i in range(20)])
+            # The pool is now unusable and says so immediately.
+            with pytest.raises(WorkerError, match="unusable"):
+                store.multi_set([(b"a", b"b")])
+        finally:
+            store.close()
+
+    def test_integrity_error_in_threads_mode(self):
+        """Thread-mode fan-out annotates the original exception class."""
+        store = _build(MODE_THREADS)
+        keys = [f"key-{i:03d}".encode() for i in range(40)]
+        store.multi_set([(k, b"v") for k in keys])
+        victim = keys[3]
+        index = store.partition_index_of(victim)
+        partition = store.partitions[index]
+        bucket = partition.keyring.keyed_bucket_hash(
+            victim, partition.config.num_buckets
+        )
+        addr = int.from_bytes(
+            partition.machine.memory.raw_read(
+                partition.buckets.slot_addr(bucket), 8
+            ),
+            "little",
+        )
+        byte = partition.machine.memory.raw_read(addr + 35, 1)[0]
+        partition.machine.memory.raw_write(addr + 35, bytes([byte ^ 0x01]))
+        with pytest.raises(IntegrityError, match=f"partition {index}"):
+            store.multi_get(keys)
+        store.close()
+
+
+class TestModeResolution:
+    def test_injected_machine_stays_in_process(self):
+        store = PartitionedShieldStore(_config(), machine=Machine(num_threads=2))
+        assert store.mode == MODE_SEQUENTIAL
+        assert store._pool is None
+
+    def test_parallel_flag_selects_threads(self):
+        store = PartitionedShieldStore(
+            _config(), machine=Machine(num_threads=2), parallel=True
+        )
+        assert store.mode == MODE_THREADS
+        store.close()
+
+    def test_single_partition_is_sequential(self):
+        store = PartitionedShieldStore(_config(), num_partitions=1)
+        assert store.mode == MODE_SEQUENTIAL
+
+    @needs_processes
+    def test_owned_machine_auto_selects_processes(self):
+        with PartitionedShieldStore(_config(), num_partitions=2) as store:
+            assert store.mode == MODE_PROCESSES
+            store.set(b"k", b"v")
+            assert store.get(b"k") == b"v"
+
+    def test_num_partitions_conflict_rejected(self):
+        with pytest.raises(StoreError):
+            PartitionedShieldStore(
+                _config(), machine=Machine(num_threads=4), num_partitions=2
+            )
+
+    def test_partition_of_unavailable_in_process_mode(self):
+        if not process_mode_supported():
+            pytest.skip("platform cannot run the multiprocess engine")
+        with _build(MODE_PROCESSES) as store:
+            with pytest.raises(StoreError):
+                store.partition_of(b"k")
+            assert 0 <= store.partition_index_of(b"k") < PARTITIONS

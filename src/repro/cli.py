@@ -100,6 +100,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_demo(_args) -> int:
     from repro import Attacker, ShieldStore, shield_opt
+    from repro.core.entry import TAMPER_PROBE_OFFSET
     from repro.errors import IntegrityError, ReplayError
 
     store = ShieldStore(shield_opt(num_buckets=512, num_mac_hashes=256))
@@ -114,7 +115,7 @@ def _cmd_demo(_args) -> int:
     addr = int.from_bytes(
         store.machine.memory.raw_read(store.buckets.slot_addr(bucket), 8), "little"
     )
-    attacker.flip_bit(addr + 35, 1)
+    attacker.flip_bit(addr + TAMPER_PROBE_OFFSET, 1)
     try:
         store.get(b"demo-key")
         print("tampering detected: NO (bug)")

@@ -31,6 +31,12 @@ MAC_SIZE = 16
 IV_SIZE = 16
 NULL_PTR = 0
 
+# Record offset of a byte guaranteed to sit inside ``enc_kv`` for any
+# key of >= 3 bytes.  Tamper probes (tests, demos, the worker OP_TAMPER
+# frame) flip a bit here to prove integrity detection; deriving it from
+# the layout keeps the probes on ciphertext if the header ever changes.
+TAMPER_PROBE_OFFSET = HEADER_SIZE + 2
+
 _HEADER_FMT = "<QBII16s"
 assert struct.calcsize(_HEADER_FMT) == HEADER_SIZE
 

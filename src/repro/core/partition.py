@@ -32,6 +32,10 @@ Execution modes
   Callers that pass an explicit ``machine`` keep in-process partitions:
   worker processes cannot share a simulated machine, and those callers
   (experiments, cost-model tests) are reading its clocks and counters.
+  For the same reason, combining an injected ``machine`` with an
+  explicit ``mode="processes"`` is rejected with a
+  :class:`~repro.errors.StoreError` rather than silently leaving the
+  machine's clocks idle.
 """
 
 from __future__ import annotations
@@ -174,8 +178,19 @@ class PartitionedShieldStore:
             return MODE_THREADS if parallel else MODE_SEQUENTIAL
         if mode not in _MODES:
             raise StoreError(f"unknown partition mode {mode!r}")
-        if mode == MODE_PROCESSES and not process_mode_supported():
-            raise StoreError("platform cannot run the multiprocess engine")
+        if mode == MODE_PROCESSES:
+            if not machine_owned:
+                # Same rule auto mode applies: worker processes cannot
+                # share a simulated machine, and a caller injecting one
+                # is reading its clocks and counters — silently leaving
+                # them idle would falsify every measurement.
+                raise StoreError(
+                    "mode='processes' cannot use an injected machine; "
+                    "omit machine= (pass num_partitions) to run worker "
+                    "processes, or pick an in-process mode"
+                )
+            if not process_mode_supported():
+                raise StoreError("platform cannot run the multiprocess engine")
         return mode
 
     @property

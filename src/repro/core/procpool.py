@@ -29,6 +29,11 @@ hostile or corrupted worker can at worst produce a malformed frame (a
 construction in the parent.  Control-plane frames (stats, audit,
 iteration) are parent-trusted and carry JSON or fixed-width integers.
 
+Pipes pair requests with replies positionally, so the parent holds a
+per-worker lock across each send/recv round-trip: concurrent parent
+threads (the TCP server runs one per connection) stay correctly paired
+instead of interleaving frames and reading each other's replies.
+
 Failure semantics
 -----------------
 A :class:`~repro.errors.ReproError` raised inside a worker (integrity
@@ -47,10 +52,13 @@ import json
 import multiprocessing
 import multiprocessing.connection
 import struct
+import threading
+from contextlib import ExitStack
 from typing import Dict, List, Optional
 
 import repro.errors as _errors
 from repro.core.config import StoreConfig
+from repro.core.entry import TAMPER_PROBE_OFFSET
 from repro.core.stats import StoreStats
 from repro.errors import ProtocolError, ReproError, StoreError, WorkerError
 from repro.net.message import (
@@ -132,7 +140,7 @@ def _tamper(store, key: bytes) -> None:
     )
     if not addr:
         raise StoreError(f"tamper target {key!r} has an empty bucket")
-    offset = addr + 35  # inside the encrypted key/value bytes
+    offset = addr + TAMPER_PROBE_OFFSET  # inside the encrypted key/value bytes
     byte = store.machine.memory.raw_read(offset, 1)[0]
     store.machine.memory.raw_write(offset, bytes([byte ^ 0x01]))
 
@@ -216,14 +224,21 @@ def _encode_resp(response: Response) -> bytes:
 # parent side
 # ---------------------------------------------------------------------------
 class _WorkerHandle:
-    """Parent-side view of one worker: its process and pipe end."""
+    """Parent-side view of one worker: its process, pipe end and lock.
 
-    __slots__ = ("index", "process", "conn")
+    The pipe pairs requests with replies purely by position, so the
+    send/recv round-trip must be atomic per worker: ``lock`` serializes
+    concurrent parent threads (e.g. one per TCP connection) that would
+    otherwise interleave frames and read each other's replies.
+    """
+
+    __slots__ = ("index", "process", "conn", "lock")
 
     def __init__(self, index, process, conn):
         self.index = index
         self.process = process
         self.conn = conn
+        self.lock = threading.Lock()
 
 
 class ProcessPartitionPool:
@@ -331,11 +346,12 @@ class ProcessPartitionPool:
 
     # -- request fan-out ----------------------------------------------------
     def request(self, index: int, opcode: int, payload: bytes = b"") -> bytes:
-        """Round-trip one frame to one worker."""
-        self._check_usable()
+        """Round-trip one frame to one worker (atomic per worker)."""
         handle = self.workers[index]
-        self._send(handle, opcode, payload)
-        return self._recv(handle)
+        with handle.lock:
+            self._check_usable()
+            self._send(handle, opcode, payload)
+            return self._recv(handle)
 
     def scatter(
         self, payloads: Dict[int, bytes], opcode: int = OP_REQ
@@ -346,27 +362,37 @@ class ProcessPartitionPool:
         parallelism: each worker crunches its slice while the others do
         the same.  Replies are collected in ascending partition order so
         merge results are deterministic.
+
+        Every target worker's lock is held for the whole scatter, in
+        ascending index order (``request`` takes a single lock, so all
+        acquisition orders agree and concurrent callers cannot
+        deadlock).  This keeps each pipe's request/reply pairing intact
+        under concurrent parent threads while still letting requests for
+        disjoint worker sets proceed in parallel.
         """
-        self._check_usable()
         targets = sorted(payloads)
-        for index in targets:
-            self._send(self.workers[index], opcode, payloads[index])
-        # Drain every reply even when one worker reports an error —
-        # leaving frames queued would desynchronize the next request.
-        # (WorkerError is the exception: the pool is broken anyway.)
-        results: Dict[int, bytes] = {}
-        first_error: Optional[ReproError] = None
-        for index in targets:
-            try:
-                results[index] = self._recv(self.workers[index])
-            except WorkerError:
-                raise
-            except ReproError as exc:
-                if first_error is None:
-                    first_error = exc
-        if first_error is not None:
-            raise first_error
-        return results
+        with ExitStack() as stack:
+            for index in targets:
+                stack.enter_context(self.workers[index].lock)
+            self._check_usable()
+            for index in targets:
+                self._send(self.workers[index], opcode, payloads[index])
+            # Drain every reply even when one worker reports an error —
+            # leaving frames queued would desynchronize the next request.
+            # (WorkerError is the exception: the pool is broken anyway.)
+            results: Dict[int, bytes] = {}
+            first_error: Optional[ReproError] = None
+            for index in targets:
+                try:
+                    results[index] = self._recv(self.workers[index])
+                except WorkerError:
+                    raise
+                except ReproError as exc:
+                    if first_error is None:
+                        first_error = exc
+            if first_error is not None:
+                raise first_error
+            return results
 
     def broadcast(self, opcode: int, payload: bytes = b"") -> List[bytes]:
         """Scatter the same frame to every worker; replies in index order."""

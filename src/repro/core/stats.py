@@ -65,8 +65,11 @@ class StoreStats:
         newer workers.
         """
         stats = cls()
+        fields = vars(stats)
         for name, value in data.items():
-            if hasattr(stats, name):
+            # vars(), not hasattr(): read-only properties such as
+            # ``operations`` answer hasattr but reject setattr.
+            if name in fields:
                 setattr(stats, name, value)
         return stats
 

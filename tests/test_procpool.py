@@ -10,6 +10,8 @@ exception class, and dead workers surfacing as
 :class:`~repro.errors.WorkerError` instead of hangs.
 """
 
+import threading
+
 import pytest
 
 from repro.core import (
@@ -20,6 +22,8 @@ from repro.core import (
     process_mode_supported,
     shield_opt,
 )
+from repro.core.entry import TAMPER_PROBE_OFFSET
+from repro.core.stats import StoreStats
 from repro.errors import IntegrityError, KeyNotFoundError, StoreError, WorkerError
 from repro.sim import Machine
 
@@ -108,6 +112,38 @@ class TestModeEquivalence:
             with pytest.raises(KeyNotFoundError):
                 store.get(b"missing")
 
+    def test_concurrent_clients_get_their_own_replies(self):
+        """Parallel parent threads (the TCP server runs one per
+        connection) must never interleave pipe frames and receive each
+        other's replies — per-worker locking keeps every send/recv
+        round-trip paired."""
+        with _build(MODE_PROCESSES) as store:
+            keys = [f"key-{i:03d}".encode() for i in range(60)]
+            store.multi_set([(k, b"value-" + k) for k in keys])
+            errors = []
+
+            def client(client_id: int) -> None:
+                marker = f"client-{client_id}".encode()
+                try:
+                    for round_no in range(12):
+                        values = store.multi_get(keys)
+                        for k in keys:
+                            assert values[k] == b"value-" + k, (client_id, k)
+                        store.set(marker, marker + b"-%d" % round_no)
+                        assert store.get(marker) == marker + b"-%d" % round_no
+                except Exception as exc:  # surfaced after join
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+            assert not errors, errors
+            assert store.audit() == len(store)
+
 
 @needs_processes
 class TestStatsAggregation:
@@ -129,6 +165,17 @@ class TestStatsAggregation:
             assert stats.batches > 0
             assert stats.batch_ops > 0
             assert stats.batch_verifications_saved > 0
+
+    def test_from_dict_ignores_unknown_and_property_keys(self):
+        """Snapshot dicts from newer workers may carry keys the parent
+        does not know — including names that collide with read-only
+        properties like ``operations`` — and must round-trip cleanly."""
+        stats = StoreStats.from_dict(
+            {"gets": 3, "hits": 2, "operations": 99, "not_a_counter": 1}
+        )
+        assert stats.gets == 3
+        assert stats.hits == 2
+        assert stats.operations == 3  # derived property, not the bogus 99
 
 
 @needs_processes
@@ -187,8 +234,10 @@ class TestFailureSemantics:
             ),
             "little",
         )
-        byte = partition.machine.memory.raw_read(addr + 35, 1)[0]
-        partition.machine.memory.raw_write(addr + 35, bytes([byte ^ 0x01]))
+        byte = partition.machine.memory.raw_read(addr + TAMPER_PROBE_OFFSET, 1)[0]
+        partition.machine.memory.raw_write(
+            addr + TAMPER_PROBE_OFFSET, bytes([byte ^ 0x01])
+        )
         with pytest.raises(IntegrityError, match=f"partition {index}"):
             store.multi_get(keys)
         store.close()
@@ -222,6 +271,14 @@ class TestModeResolution:
         with pytest.raises(StoreError):
             PartitionedShieldStore(
                 _config(), machine=Machine(num_threads=4), num_partitions=2
+            )
+
+    def test_explicit_processes_with_machine_rejected(self):
+        """An injected machine cannot be shared with worker processes;
+        asking for both explicitly is an error, not silent idle clocks."""
+        with pytest.raises(StoreError, match="injected machine"):
+            PartitionedShieldStore(
+                _config(), machine=Machine(num_threads=2), mode=MODE_PROCESSES
             )
 
     def test_partition_of_unavailable_in_process_mode(self):

@@ -1,0 +1,212 @@
+"""Snapshot cost and worker crash-recovery latency (paper §4.4).
+
+Measures three things about the durable multi-partition checkpoints
+produced by :class:`~repro.core.persistence.PartitionSnapshotter`:
+
+* **snapshot cost** — wall time and blob size for a full checkpoint at
+  several store sizes.  Entries are dumped already-encrypted (§4.4:
+  no re-encryption at snapshot time), so the cost should scale with
+  entry count, not value plaintext handling;
+* **restore cost** — wall time to rebuild a store from the blob,
+  including the MAC-bucket rebuild and full integrity audit;
+* **recovery latency** — with the multiprocess engine, SIGKILL one
+  partition worker and time the respawn-plus-restore path end to end
+  (first failed request through the pool reporting ``recovered``).
+
+Store sizes are swept so the JSON shows how checkpoint and recovery
+cost grow with resident entries.  All workloads are seeded and
+deterministic; only wall-clock numbers vary run to run.
+
+Results land in ``BENCH_snapshot_recovery.json`` (override with
+``--out``).  Run ``python benchmarks/bench_snapshot_recovery.py`` for
+the full sweep or ``--quick`` for the CI-sized variant.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import signal
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import (
+    MODE_PROCESSES,
+    MODE_SEQUENTIAL,
+    PartitionSnapshotter,
+    PartitionedShieldStore,
+    process_mode_supported,
+    shield_opt,
+)
+from repro.errors import WorkerError
+from repro.sim import Machine, MonotonicCounterService
+
+SECRET = bytes(range(32))
+
+
+def _build(mode: str, partitions: int, pairs: int) -> PartitionedShieldStore:
+    config = shield_opt(
+        num_buckets=max(64 * partitions, pairs // 2),
+        num_mac_hashes=16 * partitions,
+    )
+    if mode == MODE_PROCESSES:
+        return PartitionedShieldStore(
+            config,
+            master_secret=SECRET,
+            num_partitions=partitions,
+            mode=MODE_PROCESSES,
+        )
+    return PartitionedShieldStore(
+        config,
+        machine=Machine(num_threads=partitions),
+        master_secret=SECRET,
+        mode=MODE_SEQUENTIAL,
+    )
+
+
+def _populate(store, pairs: int, batch: int = 512):
+    items = [
+        (f"key-{i:08d}".encode(), f"value-{i:08d}".encode() * 4)
+        for i in range(pairs)
+    ]
+    for base in range(0, pairs, batch):
+        store.multi_set(items[base : base + batch])
+
+
+def _snapshot_point(mode: str, partitions: int, pairs: int) -> dict:
+    store = _build(mode, partitions, pairs)
+    try:
+        counters = MonotonicCounterService()
+        snapshotter = PartitionSnapshotter.for_store(store, counters)
+        _populate(store, pairs)
+
+        start = time.perf_counter()
+        blob = snapshotter.snapshot_bytes(store)
+        snap_wall = time.perf_counter() - start
+
+        target = _build(mode, partitions, pairs)
+        try:
+            start = time.perf_counter()
+            PartitionSnapshotter.for_store(target, counters).restore(
+                blob, target
+            )
+            restore_wall = time.perf_counter() - start
+            assert target.audit() == pairs
+        finally:
+            target.close()
+        return {
+            "mode": mode,
+            "pairs": pairs,
+            "blob_bytes": len(blob),
+            "snapshot_ms": round(snap_wall * 1000.0, 2),
+            "restore_ms": round(restore_wall * 1000.0, 2),
+            "snapshot_kpairs_per_s": round(pairs / snap_wall / 1000.0, 1),
+            "restore_kpairs_per_s": round(pairs / restore_wall / 1000.0, 1),
+        }
+    finally:
+        store.close()
+
+
+def _recovery_point(partitions: int, pairs: int) -> dict:
+    """SIGKILL one worker and time respawn + restore from checkpoint."""
+    store = _build(MODE_PROCESSES, partitions, pairs)
+    try:
+        counters = MonotonicCounterService()
+        snapshotter = PartitionSnapshotter.for_store(store, counters)
+        _populate(store, pairs)
+        snapshotter.snapshot_bytes(store)
+
+        keys = [f"key-{i:08d}".encode() for i in range(pairs)]
+        victim = store.partition_index_of(keys[0])
+        os.kill(store._pool.workers[victim].process.pid, signal.SIGKILL)
+
+        start = time.perf_counter()
+        try:
+            store.multi_get(keys[:64])
+        except WorkerError:
+            pass  # the interrupted call fails; the pool recovers in place
+        recovery_wall = time.perf_counter() - start
+        assert store.partition_state == "recovered"
+        assert store.audit() == pairs
+        stats = store.stats()
+        return {
+            "partitions": partitions,
+            "pairs": pairs,
+            "recovery_ms": round(recovery_wall * 1000.0, 2),
+            "worker_recoveries": stats.worker_recoveries,
+            "worker_ops_lost": stats.worker_ops_lost,
+        }
+    finally:
+        store.close()
+
+
+def run(pair_sizes, partitions: int) -> dict:
+    cpus = os.cpu_count() or 1
+    procs_ok = process_mode_supported()
+    snapshots = []
+    modes = [MODE_SEQUENTIAL] + ([MODE_PROCESSES] if procs_ok else [])
+    for mode in modes:
+        for pairs in pair_sizes:
+            point = _snapshot_point(mode, partitions, pairs)
+            snapshots.append(point)
+            print(
+                f"{mode:12s} {pairs:7d} pairs  "
+                f"snapshot {point['snapshot_ms']:8.1f} ms  "
+                f"restore {point['restore_ms']:8.1f} ms  "
+                f"blob {point['blob_bytes'] / 1024.0:8.1f} KiB"
+            )
+    recoveries = []
+    if procs_ok:
+        for pairs in pair_sizes:
+            point = _recovery_point(partitions, pairs)
+            recoveries.append(point)
+            print(
+                f"{'recovery':12s} {pairs:7d} pairs  "
+                f"SIGKILL->recovered {point['recovery_ms']:8.1f} ms"
+            )
+    notes = []
+    if not procs_ok:
+        notes.append(
+            "process mode unsupported on this platform; recovery latency "
+            "not measured"
+        )
+    return {
+        "benchmark": "snapshot_recovery",
+        "config": {"pair_sizes": list(pair_sizes), "partitions": partitions},
+        "cpus": cpus,
+        "snapshots": snapshots,
+        "recoveries": recoveries,
+        "notes": notes,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--pairs", type=int, nargs="+",
+                        default=[1000, 4000, 16000])
+    parser.add_argument("--partitions", type=int, default=2)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run (small stores only)")
+    parser.add_argument("--out", default=None,
+                        help="JSON output path (default: repo root)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.pairs = [500, 2000]
+
+    report = run(args.pairs, args.partitions)
+    out = pathlib.Path(
+        args.out
+        or pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_snapshot_recovery.json"
+    )
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    for note in report["notes"]:
+        print(f"note: {note}")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,7 @@ Packages:
 """
 
 from repro.core import (
+    PartitionSnapshotter,
     PartitionedShieldStore,
     ShieldStore,
     SnapshotPolicy,
@@ -64,6 +65,7 @@ __all__ = [
     "IntegrityError",
     "KeyNotFoundError",
     "Machine",
+    "PartitionSnapshotter",
     "PartitionedShieldStore",
     "PointerSafetyError",
     "ReplayError",

@@ -8,6 +8,10 @@ Commands:
 * ``demo``                      — one-minute guided tour of the store
   and its defenses
 * ``serve --port N``            — start a real TCP ShieldStore server
+  (``--snapshot-dir``/``--snapshot-interval`` add periodic §4.4
+  checkpoints and restore-on-start)
+* ``snapshot`` / ``restore``    — write / load a sealed multi-partition
+  snapshot blob (rollback-protected by a persisted monotonic counter)
 * ``stats``                     — run a seeded batched workload and print
   the store's operation counters, including batch amortization
 * ``info``                      — cost-model constants and version
@@ -126,10 +130,88 @@ def _cmd_demo(_args) -> int:
     return 0
 
 
+def _snapshot_store(partitions: int):
+    """Deterministic store geometry shared by snapshot/restore runs.
+
+    The machine RNG is seeded from the config, so a later invocation
+    with the same partition count derives the same master secret — and
+    therefore the same platform sealing secret — letting it unseal the
+    earlier snapshot exactly like a restarted deployment would.
+    """
+    from repro.core import PartitionedShieldStore, shield_opt
+
+    config = shield_opt(
+        num_buckets=64 * partitions, num_mac_hashes=16 * partitions
+    )
+    return PartitionedShieldStore(config, num_partitions=partitions)
+
+
+def _counter_service(args, blob_path: str):
+    from repro.sim import MonotonicCounterService
+
+    path = args.counter_file or blob_path + ".counters.json"
+    return MonotonicCounterService(path)
+
+
+def _cmd_snapshot(args) -> int:
+    from repro.core import PartitionSnapshotter
+
+    store = _snapshot_store(args.partitions)
+    keys = [f"key-{i:05d}".encode() for i in range(args.pairs)]
+    for start in range(0, len(keys), 256):
+        chunk = keys[start : start + 256]
+        store.multi_set([(key, b"value-" + key) for key in chunk])
+    snapshotter = PartitionSnapshotter.for_store(
+        store, _counter_service(args, args.out)
+    )
+    blob = snapshotter.snapshot_bytes(store)
+    with open(args.out, "wb") as fh:
+        fh.write(blob)
+    print(f"snapshot: {args.pairs} pairs across {store.num_threads} "
+          f"partition(s), mode={store.mode}")
+    print(f"wrote {len(blob)} bytes to {args.out} "
+          f"(monotonic counter {_blob_counter(blob)})")
+    store.close()
+    return 0
+
+
+def _cmd_restore(args) -> int:
+    from repro.core import PartitionSnapshotter
+    from repro.errors import RollbackError, SnapshotError
+
+    with open(args.snapshot, "rb") as fh:
+        blob = fh.read()
+    store = _snapshot_store(args.partitions)
+    snapshotter = PartitionSnapshotter.for_store(
+        store, _counter_service(args, args.snapshot)
+    )
+    try:
+        snapshotter.restore(blob, store)
+    except (SnapshotError, RollbackError) as exc:
+        print(f"restore rejected: {exc}")
+        store.close()
+        return 1
+    checked = store.audit()
+    print(f"restored {len(store)} keys into {store.num_threads} "
+          f"partition(s), mode={store.mode}")
+    print(f"integrity audit: {checked} entries verified, "
+          f"engine state {store.partition_state}")
+    store.close()
+    return 0
+
+
+def _blob_counter(blob: bytes) -> int:
+    from repro.core import snapshot_counter
+
+    return snapshot_counter(blob)
+
+
 def _cmd_serve(args) -> int:
+    import os
+
     from repro import AttestationService, ShieldStore, shield_opt
     from repro.core import PartitionedShieldStore
-    from repro.net import TCPShieldServer
+    from repro.net import SnapshotDaemon, TCPShieldServer
 
     config = shield_opt(num_buckets=8192, num_mac_hashes=4096)
     if args.workers > 1:
@@ -142,6 +224,55 @@ def _cmd_serve(args) -> int:
         store = ShieldStore(config)
     service = AttestationService(args.attestation_secret.encode())
     server = TCPShieldServer(store, service, host=args.host, port=args.port)
+
+    daemon = None
+    if args.snapshot_dir:
+        from repro.core import (
+            PartitionSnapshotter,
+            Snapshotter,
+            default_platform_secret,
+        )
+        from repro.sim import MonotonicCounterService, SealingService
+
+        counters = MonotonicCounterService(
+            os.path.join(args.snapshot_dir, "counters.json")
+        )
+        if isinstance(store, PartitionedShieldStore):
+            snapshotter = PartitionSnapshotter.for_store(store, counters)
+
+            def take_snapshot():
+                return snapshotter.snapshot_bytes(store)
+
+            def load_snapshot(blob):
+                snapshotter.restore(blob, store)
+
+        else:
+            sealing = SealingService(
+                default_platform_secret(store.keyring.master)
+            )
+            single = Snapshotter(sealing, counters)
+
+            def take_snapshot():
+                return single.snapshot_bytes(store.enclave.context(), store)
+
+            def load_snapshot(blob):
+                single.restore(store.enclave.context(), blob, store)
+
+        daemon = SnapshotDaemon(
+            take_snapshot,
+            args.snapshot_dir,
+            args.snapshot_interval,
+            lock=server.store_lock,
+        )
+        latest = SnapshotDaemon.latest_snapshot(args.snapshot_dir)
+        if latest:
+            with open(latest, "rb") as fh:
+                load_snapshot(fh.read())
+            print(f"restored {len(store)} keys from {latest}")
+        daemon.start()
+        print(f"snapshots: every {args.snapshot_interval:g}s "
+              f"-> {args.snapshot_dir}")
+
     server.start()
     host, port = server.address
     print(f"ShieldStore enclave serving on {host}:{port}")
@@ -153,6 +284,13 @@ def _cmd_serve(args) -> int:
         while True:
             time.sleep(1)
     except KeyboardInterrupt:
+        if daemon is not None:
+            daemon.stop()
+            try:
+                final = daemon.run_once()
+                print(f"final checkpoint: {final}")
+            except Exception as exc:
+                print(f"final checkpoint failed: {exc}")
         server.close()
         if hasattr(store, "close"):
             store.close()
@@ -203,7 +341,8 @@ def _cmd_stats(args) -> int:
     # counter snapshot over the pipe and the parent merges them here.
     stats = store.stats()
     print(f"workload: {args.pairs} pairs, batch={batch}, "
-          f"{args.threads} partition(s), mode={store.mode}")
+          f"{args.threads} partition(s), mode={store.mode}, "
+          f"state={store.partition_state}")
     print(f"simulated time: {store.elapsed_us():.1f} us")
     print("operation counters:")
     for name, value in stats.snapshot_dict().items():
@@ -259,7 +398,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--workers", type=int, default=1,
                        help="partition worker processes (>1 enables the "
                             "process-parallel partition engine)")
+    serve.add_argument("--snapshot-dir", default=None,
+                       help="directory for periodic sealed checkpoints; "
+                            "the newest one is restored on startup")
+    serve.add_argument("--snapshot-interval", type=float, default=60.0,
+                       help="seconds between checkpoints (default 60, "
+                            "the paper's §4.4 schedule)")
     serve.set_defaults(func=_cmd_serve)
+
+    snapshot = sub.add_parser(
+        "snapshot", help="write a sealed multi-partition snapshot blob"
+    )
+    snapshot.add_argument("--out", required=True, help="snapshot file to write")
+    snapshot.add_argument("--pairs", type=int, default=2000,
+                          help="seeded key-value pairs to load first")
+    snapshot.add_argument("--partitions", type=int, default=2)
+    snapshot.add_argument("--counter-file", default=None,
+                          help="monotonic-counter state (default: "
+                               "<out>.counters.json)")
+    snapshot.set_defaults(func=_cmd_snapshot)
+
+    restore = sub.add_parser(
+        "restore", help="restore a snapshot blob and verify integrity"
+    )
+    restore.add_argument("--snapshot", required=True, help="snapshot file to load")
+    restore.add_argument("--partitions", type=int, default=2,
+                         help="partition count of the target store "
+                              "(must match the snapshot)")
+    restore.add_argument("--counter-file", default=None,
+                         help="monotonic-counter state (default: "
+                              "<snapshot>.counters.json)")
+    restore.set_defaults(func=_cmd_restore)
 
     stats = sub.add_parser(
         "stats", help="batched-workload operation counters (incl. amortization)"

@@ -39,9 +39,12 @@ from repro.core.persistence import (
     MODE_NAIVE,
     MODE_NONE,
     MODE_OPTIMIZED,
+    PartitionSnapshotter,
     SnapshotPolicy,
     SnapshotScheduler,
     Snapshotter,
+    default_platform_secret,
+    snapshot_counter,
 )
 from repro.core.stats import StoreStats
 from repro.core.store import DEFAULT_MEASUREMENT, FoundEntry, ShieldStore
@@ -65,9 +68,12 @@ __all__ = [
     "MacBucketStore",
     "MacTree",
     "OcallAllocator",
+    "PartitionSnapshotter",
     "PartitionedShieldStore",
     "ProcessPartitionPool",
+    "default_platform_secret",
     "process_mode_supported",
+    "snapshot_counter",
     "ShieldStore",
     "SnapshotPolicy",
     "SnapshotScheduler",

@@ -103,6 +103,7 @@ class PartitionedShieldStore:
         max_workers: Optional[int] = None,
         mode: str = MODE_AUTO,
         num_partitions: Optional[int] = None,
+        platform_secret: Optional[bytes] = None,
     ):
         self.config = config
         self.parallel = parallel
@@ -133,6 +134,13 @@ class PartitionedShieldStore:
         # All partitions share the key ring (one enclave, one secret);
         # the router hashes with it before dispatching.
         self._keyring = KeyRing(master_secret)
+        if platform_secret is None:
+            from repro.core.persistence import default_platform_secret
+
+            platform_secret = default_platform_secret(master_secret)
+        # Seals multi-partition snapshot headers and worker sections; a
+        # redeployment with the same master secret can unseal them.
+        self.platform_secret = platform_secret
         per_buckets = max(1, config.num_buckets // self._num_partitions)
         per_hashes = max(
             1, min(config.num_mac_hashes // self._num_partitions, per_buckets)
@@ -140,6 +148,7 @@ class PartitionedShieldStore:
         part_config = config.with_(
             num_buckets=per_buckets, num_mac_hashes=per_hashes
         )
+        self._part_config = part_config
         if self.mode == MODE_PROCESSES:
             # Shared-nothing: the data plane lives in worker processes,
             # one private enclave sim each.  The parent keeps only the
@@ -148,7 +157,10 @@ class PartitionedShieldStore:
 
             self.partitions: List[ShieldStore] = []
             self._pool = ProcessPartitionPool(
-                part_config, self._num_partitions, master_secret
+                part_config,
+                self._num_partitions,
+                master_secret,
+                platform_secret=platform_secret,
             )
         else:
             self.partitions = [
@@ -196,6 +208,28 @@ class PartitionedShieldStore:
     @property
     def num_threads(self) -> int:
         return self._num_partitions
+
+    @property
+    def partition_state(self) -> str:
+        """Health of the partition engine.
+
+        In-process modes are always ``"ok"``; the multiprocess pool
+        additionally reports ``"recovered"`` / ``"degraded"`` after a
+        worker crash, ``"broken"`` when unrecoverable, and ``"closed"``.
+        """
+        if self._pool is not None:
+            return self._pool.state
+        return "ok"
+
+    def _rekey(self, master_secret: bytes) -> None:
+        """Adopt a restored snapshot's master secret for routing.
+
+        Called by :class:`~repro.core.persistence.PartitionSnapshotter`
+        after all partitions loaded their sections: keys were
+        partitioned under the snapshot's keyed hash, so the router must
+        hash with the same secret.
+        """
+        self._keyring = KeyRing(master_secret)
 
     def partition_index_of(self, key: bytes) -> int:
         """Owning partition index (hash-disjoint, mode-independent)."""
@@ -494,10 +528,18 @@ class PartitionedShieldStore:
         return [p.stats for p in self.partitions]
 
     def stats(self) -> StoreStats:
-        """Merged operation stats across partitions."""
+        """Merged operation stats across partitions.
+
+        Pool-level recovery accounting (workers respawned after a
+        crash, the upper bound of mutations lost) is folded in on top
+        of the per-partition counters.
+        """
         merged = StoreStats()
         for stats in self.per_partition_stats():
             merged = merged.merge(stats)
+        if self._pool is not None:
+            merged.worker_recoveries += self._pool.recoveries
+            merged.worker_ops_lost += self._pool.ops_lost
         return merged
 
     def elapsed_us(self) -> float:

@@ -1,6 +1,6 @@
 """Snapshot persistence (paper §4.4, Algorithm 1; evaluated in Fig. 19).
 
-Two halves:
+Three halves:
 
 * **Functional snapshots** — :class:`Snapshotter` writes a restorable
   snapshot: the in-enclave metadata (master secret, MAC tree, count) is
@@ -11,6 +11,19 @@ Two halves:
   snapshot.  Restore rebuilds the chains and verifies every bucket-set
   hash, so offline tampering with the snapshot file is detected.
 
+* **Partitioned snapshots** — :class:`PartitionSnapshotter` extends the
+  same format across every engine of
+  :class:`~repro.core.partition.PartitionedShieldStore`: one versioned
+  blob with a per-partition section each, a *shared* monotonic counter,
+  and the partition count plus routing geometry sealed into the header
+  so a restore into a mismatched store is rejected up front instead of
+  silently corrupting the keyspace.  In ``processes`` mode the sections
+  are produced and consumed *inside* the worker processes
+  (:data:`~repro.core.procpool.OP_SNAPSHOT` /
+  :data:`~repro.core.procpool.OP_RESTORE`), so no plaintext ever
+  crosses the pipe; the cached sections also power the pool's
+  worker-crash recovery.
+
 * **Performance model** — :class:`SnapshotScheduler` drives the paper's
   three Fig. 19 modes during a throughput run.  ``naive`` stalls all
   serving threads for the full storage write.  ``optimized`` follows
@@ -18,6 +31,11 @@ Two halves:
   window during which the forked child streams entries to storage while
   the parent serves; writes during the window go additionally to a
   temporary table and are merged back when the child finishes.
+
+Every parse of untrusted snapshot bytes goes through :class:`_Reader`,
+which bounds-checks each read and rejects trailing bytes — malformed or
+truncated blobs surface as :class:`~repro.errors.SnapshotError`, never
+as a raw ``struct.error`` or silently-ignored garbage.
 """
 
 from __future__ import annotations
@@ -26,22 +44,202 @@ import struct
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.core.entry import HEADER_SIZE, unpack_header
+from repro.core.entry import HEADER_SIZE, MAC_SIZE, unpack_header
+from repro.core.stats import StoreStats
 from repro.core.store import ShieldStore
+from repro.crypto.keys import derive_key
 from repro.errors import SnapshotError
 from repro.sim.counters import MonotonicCounterService
 from repro.sim.enclave import ExecContext
 from repro.sim.sealing import SealingService
 
 _MAGIC = b"SSSNAP1\0"
+_PMAGIC = b"SSPSNP1\0"
 
 MODE_NONE = "none"
 MODE_NAIVE = "naive"
 MODE_OPTIMIZED = "optimized"
 
 
+def default_platform_secret(master_secret: bytes) -> bytes:
+    """Deterministic per-deployment sealing secret.
+
+    The simulation has no fused platform key, so stores derive one from
+    the enclave master secret: every process of one logical deployment
+    (parent router, partition workers, a restarted server with the same
+    seed) lands on the same "platform", which is exactly the set of
+    parties real SGX sealing would let unseal.
+    """
+    return derive_key(master_secret, "shieldstore/platform-seal", 32)
+
+
+def snapshot_counter(blob: bytes) -> int:
+    """The monotonic counter a snapshot blob claims (both formats).
+
+    Reads only the plaintext header — callers use it to name checkpoint
+    files; the authoritative (sealed) copy is checked at restore.
+    """
+    if len(blob) < 16 or blob[:8] not in (_MAGIC, _PMAGIC):
+        raise SnapshotError("not a snapshot blob")
+    return struct.unpack_from("<Q", blob, 8)[0]
+
+
+class _Reader:
+    """Bounds-checked cursor over an untrusted snapshot blob."""
+
+    __slots__ = ("blob", "off", "what")
+
+    def __init__(self, blob: bytes, what: str = "snapshot"):
+        self.blob = blob
+        self.off = 0
+        self.what = what
+
+    def take(self, count: int) -> bytes:
+        if count < 0 or self.off + count > len(self.blob):
+            raise SnapshotError(
+                f"{self.what} truncated: need {count} bytes at offset "
+                f"{self.off}, have {len(self.blob) - self.off}"
+            )
+        data = self.blob[self.off : self.off + count]
+        self.off += count
+        return data
+
+    def u8(self) -> int:
+        return self.take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self.take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self.take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self.take(8))[0]
+
+    def done(self) -> None:
+        if self.off != len(self.blob):
+            raise SnapshotError(
+                f"{self.what} has {len(self.blob) - self.off} trailing "
+                "bytes after the last record"
+            )
+
+
 # ---------------------------------------------------------------------------
-# functional snapshots
+# section format (shared by single-store and partitioned snapshots)
+# ---------------------------------------------------------------------------
+def write_section(
+    ctx: ExecContext, store: ShieldStore, sealing: SealingService, counter: int
+) -> bytes:
+    """Serialize one store as a snapshot section.
+
+    ``sealed(counter || metadata) || count || records`` — the metadata
+    (master secret, MAC tree, live count) is sealed to the platform;
+    entry records are written verbatim because they are already
+    encrypted and MACed (§4.4's no-re-encryption property).
+    """
+    meta = struct.pack("<Q", counter) + store.metadata_blob()
+    sealed = sealing.seal(ctx, store.enclave, meta)
+    parts: List[bytes] = [struct.pack("<I", len(sealed)), sealed]
+    records: List[bytes] = []
+    count = 0
+    for bucket, record in store.iter_raw_entries():
+        records.append(struct.pack("<II", bucket, len(record)) + record)
+        count += 1
+    parts.append(struct.pack("<Q", count))
+    parts.extend(records)
+    return b"".join(parts)
+
+
+def read_section(
+    ctx: ExecContext,
+    store: ShieldStore,
+    sealing: SealingService,
+    blob: bytes,
+    expected_counter: int,
+    verify: bool = True,
+    counters: Optional[MonotonicCounterService] = None,
+    counter_name: Optional[str] = None,
+) -> None:
+    """Load one snapshot section into a freshly constructed ``store``.
+
+    Every read is bounds-checked and leftover bytes are rejected;
+    malformed input raises :class:`SnapshotError`.  The sealed counter
+    must equal ``expected_counter`` (the plaintext header's claim), and
+    when a ``counters`` service is given it additionally enforces the
+    rollback defense.
+    """
+    reader = _Reader(blob, "snapshot section")
+    sealed = reader.take(reader.u32())
+    meta = sealing.unseal(ctx, store.enclave, sealed)
+    if len(meta) < 8:
+        raise SnapshotError("sealed metadata too short for a counter")
+    (sealed_counter,) = struct.unpack_from("<Q", meta, 0)
+    if sealed_counter != expected_counter:
+        raise SnapshotError("snapshot header counter does not match sealed value")
+    if counters is not None and counter_name is not None:
+        counters.check_not_rolled_back(counter_name, sealed_counter)
+    store.load_metadata_blob(meta[8:])
+
+    count = reader.u64()
+    # Rebuild chains bucket by bucket, preserving chain order.
+    tails: Dict[int, int] = {}
+    mem = store.machine.memory
+    for _ in range(count):
+        bucket = reader.u32()
+        rec_len = reader.u32()
+        record = reader.take(rec_len)
+        if bucket >= store.config.num_buckets:
+            raise SnapshotError(
+                f"record bucket {bucket} outside table of "
+                f"{store.config.num_buckets} buckets"
+            )
+        if rec_len < HEADER_SIZE + MAC_SIZE:
+            raise SnapshotError(f"record of {rec_len} bytes is too short")
+        header = unpack_header(record[:HEADER_SIZE])
+        if header.total_size != rec_len:
+            raise SnapshotError(
+                f"record length {rec_len} does not match its header "
+                f"({header.total_size})"
+            )
+        addr = store.allocator.alloc(ctx, len(record))
+        # Stored next_ptr values are stale; relink below.
+        mem.write(ctx, addr, record)
+        mem.write(ctx, addr, struct.pack("<Q", 0))  # clear next
+        if bucket in tails:
+            mem.write(ctx, tails[bucket], struct.pack("<Q", addr))
+        else:
+            store.buckets.write_head(ctx, bucket, addr)
+        tails[bucket] = addr
+        if store.macbuckets is not None:
+            mac = record[HEADER_SIZE + header.kv_size :]
+            head = store.buckets.read_mac_ptr(ctx, bucket, False)
+            macs = store.macbuckets.read_all(ctx, head) if head else []
+            macs.append(mac)
+            if head == 0:
+                head = store.allocator.alloc(ctx, store.macbuckets.node_size)
+                store.buckets.write_mac_ptr(ctx, bucket, head)
+            store.macbuckets.write_all(ctx, head, macs)
+    reader.done()
+
+    if verify:
+        _verify_all_sets(ctx, store)
+
+
+def _verify_all_sets(ctx: ExecContext, store: ShieldStore) -> None:
+    """Check every bucket-set hash against the restored MAC tree."""
+    for set_id in range(store.config.num_mac_hashes):
+        by_bucket = {
+            b: store._collect_bucket_macs(ctx, b)
+            for b in store.mactree.buckets_of(set_id)
+        }
+        if any(by_bucket.values()) or store.mactree.read_hash(
+            ctx, set_id
+        ) != bytes(16):
+            store._verify_set(ctx, set_id, by_bucket)
+
+
+# ---------------------------------------------------------------------------
+# single-store snapshots
 # ---------------------------------------------------------------------------
 class Snapshotter:
     """Writes and restores real snapshot blobs for one store."""
@@ -59,22 +257,11 @@ class Snapshotter:
     def snapshot_bytes(self, ctx: ExecContext, store: ShieldStore) -> bytes:
         """Produce a snapshot blob; bumps the monotonic counter."""
         counter = self.counters.increment(ctx, self.counter_name)
-        meta = struct.pack("<Q", counter) + store.metadata_blob()
-        sealed = self.sealing.seal(ctx, store.enclave, meta)
-        parts: List[bytes] = [
-            _MAGIC,
-            struct.pack("<Q", counter),
-            struct.pack("<I", len(sealed)),
-            sealed,
-        ]
-        records: List[bytes] = []
-        count = 0
-        for bucket, record in store.iter_raw_entries():
-            records.append(struct.pack("<II", bucket, len(record)) + record)
-            count += 1
-        parts.append(struct.pack("<Q", count))
-        parts.extend(records)
-        return b"".join(parts)
+        return (
+            _MAGIC
+            + struct.pack("<Q", counter)
+            + write_section(ctx, store, self.sealing, counter)
+        )
 
     def restore(
         self,
@@ -90,70 +277,192 @@ class Snapshotter:
         """
         if len(store) != 0:
             raise SnapshotError("restore target store must be empty")
-        if blob[: len(_MAGIC)] != _MAGIC:
+        reader = _Reader(blob)
+        if reader.take(len(_MAGIC)) != _MAGIC:
             raise SnapshotError("snapshot has wrong magic")
-        off = len(_MAGIC)
-        (claimed_counter,) = struct.unpack_from("<Q", blob, off)
-        off += 8
-        (sealed_len,) = struct.unpack_from("<I", blob, off)
-        off += 4
-        sealed = blob[off : off + sealed_len]
-        off += sealed_len
-        meta = self.sealing.unseal(ctx, store.enclave, sealed)
-        (sealed_counter,) = struct.unpack_from("<Q", meta, 0)
-        if sealed_counter != claimed_counter:
-            raise SnapshotError("snapshot header counter does not match sealed value")
-        self.counters.check_not_rolled_back(self.counter_name, sealed_counter)
-        store.load_metadata_blob(meta[8:])
-
-        (count,) = struct.unpack_from("<Q", blob, off)
-        off += 8
-        # Rebuild chains bucket by bucket, preserving chain order.
-        tails: Dict[int, int] = {}
-        mem = store.machine.memory
-        restored = 0
-        while restored < count:
-            bucket, rec_len = struct.unpack_from("<II", blob, off)
-            off += 8
-            record = blob[off : off + rec_len]
-            off += rec_len
-            header = unpack_header(record[:HEADER_SIZE])
-            addr = store.allocator.alloc(ctx, len(record))
-            # Stored next_ptr values are stale; relink below.
-            mem.write(ctx, addr, record)
-            mem.write(ctx, addr, struct.pack("<Q", 0))  # clear next
-            if bucket in tails:
-                mem.write(ctx, tails[bucket], struct.pack("<Q", addr))
-            else:
-                store.buckets.write_head(ctx, bucket, addr)
-            tails[bucket] = addr
-            if store.macbuckets is not None:
-                mac = record[HEADER_SIZE + header.kv_size :]
-                head = store.buckets.read_mac_ptr(ctx, bucket, False)
-                macs = store.macbuckets.read_all(ctx, head) if head else []
-                macs.append(mac)
-                if head == 0:
-                    head = store.allocator.alloc(ctx, store.macbuckets.node_size)
-                    store.buckets.write_mac_ptr(ctx, bucket, head)
-                store.macbuckets.write_all(ctx, head, macs)
-            restored += 1
-
-        if verify:
-            self._verify_all_sets(ctx, store)
+        claimed_counter = reader.u64()
+        read_section(
+            ctx,
+            store,
+            self.sealing,
+            reader.take(len(blob) - reader.off),
+            claimed_counter,
+            verify=verify,
+            counters=self.counters,
+            counter_name=self.counter_name,
+        )
         return store
 
+
+# ---------------------------------------------------------------------------
+# multi-partition snapshots
+# ---------------------------------------------------------------------------
+class PartitionSnapshotter:
+    """One versioned snapshot blob for every partition of a store.
+
+    Blob layout::
+
+        PMAGIC | counter u64 | num_partitions u32
+               | sealed_len u32 | sealed_header
+               | num_partitions x (section_len u64 | section)
+
+    ``sealed_header`` seals ``counter || num_partitions || num_buckets
+    || num_mac_hashes || suite || master_secret`` — the shared counter
+    plus the routing geometry, so a restore into a store with a
+    different partition count or table shape fails with
+    :class:`SnapshotError` before any partition is touched, and the
+    plaintext copies (used for file naming / quick inspection) cannot be
+    tampered into a mismatched restore.
+
+    Works with every engine of ``PartitionedShieldStore``: in-process
+    partitions are serialized directly; ``processes``-mode workers build
+    and consume their own sections over ``OP_SNAPSHOT``/``OP_RESTORE``,
+    which also installs the sections as the pool's crash-recovery
+    checkpoint.
+    """
+
+    def __init__(
+        self,
+        sealing: SealingService,
+        counters: MonotonicCounterService,
+        counter_name: str = "shieldstore-partitions",
+    ):
+        self.sealing = sealing
+        self.counters = counters
+        self.counter_name = counter_name
+
+    @classmethod
+    def for_store(
+        cls,
+        store,
+        counters: MonotonicCounterService,
+        counter_name: str = "shieldstore-partitions",
+    ) -> "PartitionSnapshotter":
+        """Snapshotter on the store's own platform sealing secret."""
+        return cls(SealingService(store.platform_secret), counters, counter_name)
+
+    # -- write --------------------------------------------------------------
+    def snapshot_bytes(self, store) -> bytes:
+        """Snapshot every partition under one shared counter bump."""
+        ctx = store.enclave.context()
+        counter = self.counters.increment(ctx, self.counter_name)
+        sealed = self.sealing.seal(ctx, store.enclave, self._header(store, counter))
+        if store._pool is not None:
+            by_index = store._pool.snapshot_all(counter)
+            sections = [by_index[i] for i in range(store.num_threads)]
+        else:
+            sections = [
+                write_section(
+                    store.enclave.context(t), partition, self.sealing, counter
+                )
+                for t, partition in enumerate(store.partitions)
+            ]
+        parts: List[bytes] = [
+            _PMAGIC,
+            struct.pack("<QI", counter, store.num_threads),
+            struct.pack("<I", len(sealed)),
+            sealed,
+        ]
+        for section in sections:
+            parts.append(struct.pack("<Q", len(section)))
+            parts.append(section)
+        return b"".join(parts)
+
     @staticmethod
-    def _verify_all_sets(ctx: ExecContext, store: ShieldStore) -> None:
-        """Check every bucket-set hash against the restored MAC tree."""
-        for set_id in range(store.config.num_mac_hashes):
-            by_bucket = {
-                b: store._collect_bucket_macs(ctx, b)
-                for b in store.mactree.buckets_of(set_id)
-            }
-            if any(by_bucket.values()) or store.mactree.read_hash(
-                ctx, set_id
-            ) != bytes(16):
-                store._verify_set(ctx, set_id, by_bucket)
+    def _header(store, counter: int) -> bytes:
+        suite = store.config.suite_name.encode("ascii")
+        master = store._keyring.master
+        return (
+            struct.pack(
+                "<QIII",
+                counter,
+                store.num_threads,
+                store.config.num_buckets,
+                store.config.num_mac_hashes,
+            )
+            + bytes([len(suite)])
+            + suite
+            + struct.pack("<H", len(master))
+            + master
+        )
+
+    # -- read ---------------------------------------------------------------
+    def restore(self, blob: bytes, store, verify: bool = True):
+        """Restore a multi-partition snapshot into ``store``.
+
+        The target's geometry (partition count, bucket/hash counts,
+        cipher suite) must match the sealed header exactly; mismatches
+        raise :class:`SnapshotError` with nothing modified.  Partition
+        contents are replaced wholesale — in ``processes`` mode each
+        worker rebuilds its private store from its own section.
+        """
+        ctx = store.enclave.context()
+        reader = _Reader(blob)
+        if reader.take(len(_PMAGIC)) != _PMAGIC:
+            raise SnapshotError("partition snapshot has wrong magic")
+        claimed_counter = reader.u64()
+        claimed_parts = reader.u32()
+        sealed = reader.take(reader.u32())
+        header = _Reader(
+            self.sealing.unseal(ctx, store.enclave, sealed), "snapshot header"
+        )
+        counter = header.u64()
+        num_partitions = header.u32()
+        num_buckets = header.u32()
+        num_mac_hashes = header.u32()
+        suite = header.take(header.u8()).decode("ascii", "replace")
+        master = header.take(header.u16())
+        header.done()
+        if counter != claimed_counter or num_partitions != claimed_parts:
+            raise SnapshotError(
+                "snapshot plaintext header does not match its sealed values"
+            )
+        self.counters.check_not_rolled_back(self.counter_name, counter)
+        if num_partitions != store.num_threads:
+            raise SnapshotError(
+                f"snapshot has {num_partitions} partitions but the store "
+                f"has {store.num_threads}; restore into matching geometry"
+            )
+        if (
+            num_buckets != store.config.num_buckets
+            or num_mac_hashes != store.config.num_mac_hashes
+            or suite != store.config.suite_name
+        ):
+            raise SnapshotError(
+                f"snapshot geometry ({num_buckets} buckets, "
+                f"{num_mac_hashes} hashes, {suite!r}) does not match the "
+                f"store ({store.config.num_buckets} buckets, "
+                f"{store.config.num_mac_hashes} hashes, "
+                f"{store.config.suite_name!r})"
+            )
+        sections = [reader.take(reader.u64()) for _ in range(num_partitions)]
+        reader.done()
+
+        if store._pool is not None:
+            store._pool.restore_all(sections, counter, verify=verify)
+        else:
+            part_config = store._part_config
+            restored: List[ShieldStore] = []
+            for t, section in enumerate(sections):
+                fresh = ShieldStore(
+                    part_config,
+                    machine=store.machine,
+                    enclave=store.enclave,
+                    thread_id=t,
+                    master_secret=master,
+                )
+                read_section(
+                    store.enclave.context(t),
+                    fresh,
+                    self.sealing,
+                    section,
+                    counter,
+                    verify=verify,
+                )
+                restored.append(fresh)
+            store.partitions = restored
+        store._rekey(master)
+        return store
 
 
 # ---------------------------------------------------------------------------
@@ -188,7 +497,10 @@ class SnapshotScheduler:
 
     Experiments call :meth:`tick` between operations (cheap); the
     scheduler watches simulated time and injects stalls / per-write
-    overheads according to the policy.
+    overheads according to the policy.  Snapshot activity is mirrored
+    into the store's :class:`~repro.core.stats.StoreStats`
+    (``snapshots``, ``snapshot_stall_us``, ``temp_table_merges``) so
+    ``repro stats`` and experiment reports see it.
     """
 
     # Extra cycles a set pays during the optimized window: encrypt+insert
@@ -207,6 +519,23 @@ class SnapshotScheduler:
         self.temp_table_writes = 0
         self.snapshots_taken = 0
         self.total_stall_us = 0.0
+        self._stats = self._stats_target(store)
+
+    @staticmethod
+    def _stats_target(store) -> Optional[StoreStats]:
+        """The StoreStats object snapshot counters are mirrored into.
+
+        Single stores expose ``.stats`` directly; partitioned stores
+        aggregate on demand, so the scheduler mirrors into partition 0
+        (``merge`` sums partitions, so the aggregate stays correct).
+        """
+        stats = getattr(store, "stats", None)
+        if isinstance(stats, StoreStats):
+            return stats
+        partitions = getattr(store, "partitions", None)
+        if partitions:
+            return partitions[0].stats
+        return None
 
     # -- helpers ---------------------------------------------------------
     def _data_bytes(self) -> int:
@@ -232,6 +561,8 @@ class SnapshotScheduler:
         for clock in self.machine.clock.threads:
             clock.charge(cycles)
         self.total_stall_us += us
+        if self._stats is not None:
+            self._stats.snapshot_stall_us += us
 
     # -- the per-operation hook -----------------------------------------
     def tick(self, is_write: bool) -> None:
@@ -255,6 +586,12 @@ class SnapshotScheduler:
             self.temp_table_writes += 1
 
     def _begin_snapshot(self) -> None:
+        # A snapshot interval shorter than the previous copy-on-write
+        # window means the window is still open here; its temp-table
+        # merge (Algorithm 1 L11) must be paid before the next snapshot
+        # resets the temp table, not silently dropped.
+        if self.window_end_us is not None:
+            self._finish_window()
         cost = self.machine.cost
         fixed = self.policy.fixed_cost_scale
         seal_us = fixed * cost.cycles_to_us(
@@ -264,6 +601,8 @@ class SnapshotScheduler:
         meta_write_us = fixed * self._storage_us(self._meta_bytes())
         data_write_us = self._storage_us(self._data_bytes())
         self.snapshots_taken += 1
+        if self._stats is not None:
+            self._stats.snapshots += 1
         if self.policy.mode == MODE_NAIVE:
             # Serving is blocked for the entire snapshot.
             self._stall_all(seal_us + counter_us + meta_write_us + data_write_us)
@@ -287,3 +626,5 @@ class SnapshotScheduler:
         self.machine.clock.threads[0].charge(merge_cycles)
         self.window_end_us = None
         self.temp_table_writes = 0
+        if self._stats is not None:
+            self._stats.temp_table_merges += 1

@@ -34,16 +34,27 @@ per-worker lock across each send/recv round-trip: concurrent parent
 threads (the TCP server runs one per connection) stay correctly paired
 instead of interleaving frames and reading each other's replies.
 
-Failure semantics
------------------
+Snapshots and crash recovery
+----------------------------
+``OP_SNAPSHOT`` has a worker seal + serialize its private store into a
+snapshot *section* (paper §4.4: sealed metadata, already-encrypted
+records verbatim) and ship the section — never plaintext — back over
+the pipe; ``OP_RESTORE`` rebuilds a worker's store from such a section.
+The pool caches the sections of the most recent snapshot, and that
+cache is the recovery checkpoint:
+
 A :class:`~repro.errors.ReproError` raised inside a worker (integrity
 violation, crypto misuse...) is re-raised in the parent as the *same
-exception class*, with the partition index prepended to the message.
-A worker that dies (crash, OOM-kill) is detected by liveness polling —
-never a blocking pipe read — and surfaces as
-:class:`~repro.errors.WorkerError`; the pool marks itself broken and
-refuses further traffic, because a missing partition means an
-incomplete view of the keyspace.
+exception class*, with the partition index prepended to the message.  A
+worker that dies (crash, OOM-kill) or wedges past ``request_timeout``
+is detected by liveness polling — never a blocking pipe read — and the
+pool *recovers*: the dead process is respawned and restored from the
+cached snapshot section.  The interrupted call still raises
+:class:`~repro.errors.WorkerError` (its mutations may be lost), but the
+pool keeps serving; ``state`` reports ``"recovered"`` and ``ops_lost``
+counts an upper bound of mutations issued since the snapshot.  With no
+snapshot to restore from the partition comes back *empty* and ``state``
+reports ``"degraded"``.  Only a failed recovery marks the pool broken.
 """
 
 from __future__ import annotations
@@ -53,8 +64,9 @@ import multiprocessing
 import multiprocessing.connection
 import struct
 import threading
+import time
 from contextlib import ExitStack
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import repro.errors as _errors
 from repro.core.config import StoreConfig
@@ -62,6 +74,7 @@ from repro.core.entry import TAMPER_PROBE_OFFSET
 from repro.core.stats import StoreStats
 from repro.errors import ProtocolError, ReproError, StoreError, WorkerError
 from repro.net.message import (
+    BATCH_OPS,
     Request,
     Response,
     decode_response,
@@ -79,6 +92,8 @@ OP_ELAPSED = 0x06   # -> f64 simulated microseconds on the worker's machine
 OP_PING = 0x07      # -> empty OK (startup / liveness handshake)
 OP_TAMPER = 0x08    # flip one bit of an entry's untrusted bytes (tests)
 OP_SHUTDOWN = 0x09  # -> empty OK, then the worker exits cleanly
+OP_SNAPSHOT = 0x0A  # u64 counter -> sealed snapshot section (§4.4)
+OP_RESTORE = 0x0B   # u64 counter | u8 verify | section -> empty OK
 
 REPLY_OK = 0x80
 REPLY_ERR = 0xFF
@@ -88,6 +103,15 @@ _F64 = struct.Struct("<d")
 
 # Seconds between liveness checks while waiting on a worker reply.
 _POLL_INTERVAL = 0.1
+# Deadline for the respawn + restore round-trips of worker recovery
+# (independent of request_timeout, which may be sub-second).
+_RECOVERY_TIMEOUT = 60.0
+
+# Request ops that mutate a partition (lost if the worker dies before
+# the next snapshot).  Batch ops count their per-key operations.
+_MUTATING_OPS = frozenset(
+    {"set", "delete", "append", "increment", "cas", "mset", "mdelete"}
+)
 
 
 def process_mode_supported() -> bool:
@@ -122,6 +146,17 @@ def _decode_error(frame: bytes, index: int) -> ReproError:
     return klass(f"partition {index}: {message}")
 
 
+def _mutation_count(request: Request) -> int:
+    """How many key mutations a request carries (0 for reads)."""
+    if request.op not in _MUTATING_OPS:
+        return 0
+    if request.op in BATCH_OPS:
+        if len(request.value) >= 4:
+            return struct.unpack_from("<I", request.value, 0)[0]
+        return 0
+    return 1
+
+
 # ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
@@ -150,6 +185,7 @@ def _worker_main(
     index: int,
     config: StoreConfig,
     master_secret: bytes,
+    platform_secret: Optional[bytes] = None,
 ) -> None:
     """Entry point of one partition worker process.
 
@@ -158,16 +194,35 @@ def _worker_main(
     and the loop continues — the store flushes its dirty sets before the
     exception escapes ``multi_set``/``multi_delete``, so the partition
     stays consistent and serviceable.
+
+    ``platform_secret`` keys the sealing service used by
+    ``OP_SNAPSHOT``/``OP_RESTORE``; the parent derives it from the
+    master secret by default, so every worker of one deployment (and a
+    restarted deployment with the same secret) is the same "platform".
     """
+    from repro.core.persistence import (
+        default_platform_secret,
+        read_section,
+        write_section,
+    )
     from repro.core.store import ShieldStore
     from repro.net.message import decode_request
     from repro.net.server import execute_request
     from repro.sim.enclave import Machine
+    from repro.sim.sealing import SealingService
 
-    # A disjoint RNG stream per worker keeps IVs distinct across
-    # partitions while staying deterministic run to run.
-    machine = Machine(num_threads=1, seed=config.seed + 7919 * (index + 1))
-    store = ShieldStore(config, machine=machine, master_secret=master_secret)
+    def fresh_store():
+        # A disjoint RNG stream per worker keeps IVs distinct across
+        # partitions while staying deterministic run to run.
+        machine = Machine(num_threads=1, seed=config.seed + 7919 * (index + 1))
+        return ShieldStore(config, machine=machine, master_secret=master_secret)
+
+    store = fresh_store()
+    sealing = SealingService(
+        platform_secret
+        if platform_secret is not None
+        else default_platform_secret(master_secret)
+    )
     while True:
         try:
             frame = conn.recv_bytes()
@@ -192,11 +247,33 @@ def _worker_main(
             elif opcode == OP_LEN:
                 reply = bytes([REPLY_OK]) + _U64.pack(len(store))
             elif opcode == OP_ELAPSED:
-                reply = bytes([REPLY_OK]) + _F64.pack(machine.elapsed_us())
+                reply = bytes([REPLY_OK]) + _F64.pack(store.machine.elapsed_us())
             elif opcode == OP_PING:
                 reply = bytes([REPLY_OK])
             elif opcode == OP_TAMPER:
                 _tamper(store, bytes(payload))
+                reply = bytes([REPLY_OK])
+            elif opcode == OP_SNAPSHOT:
+                counter = _U64.unpack_from(payload, 0)[0]
+                section = write_section(
+                    store.enclave.context(), store, sealing, counter
+                )
+                reply = bytes([REPLY_OK]) + section
+            elif opcode == OP_RESTORE:
+                counter = _U64.unpack_from(payload, 0)[0]
+                verify = payload[8] != 0
+                # Build the replacement first: a malformed section
+                # leaves the current store untouched.
+                replacement = fresh_store()
+                read_section(
+                    replacement.enclave.context(),
+                    replacement,
+                    sealing,
+                    bytes(payload[9:]),
+                    counter,
+                    verify=verify,
+                )
+                store = replacement
                 reply = bytes([REPLY_OK])
             elif opcode == OP_SHUTDOWN:
                 conn.send_bytes(bytes([REPLY_OK]))
@@ -230,15 +307,20 @@ class _WorkerHandle:
     send/recv round-trip must be atomic per worker: ``lock`` serializes
     concurrent parent threads (e.g. one per TCP connection) that would
     otherwise interleave frames and read each other's replies.
+
+    ``ops_since_snapshot`` counts mutations issued to this worker since
+    the pool last snapshotted it — the upper bound on what a crash of
+    this worker can lose.  It is read and reset under ``lock``.
     """
 
-    __slots__ = ("index", "process", "conn", "lock")
+    __slots__ = ("index", "process", "conn", "lock", "ops_since_snapshot")
 
     def __init__(self, index, process, conn):
         self.index = index
         self.process = process
         self.conn = conn
         self.lock = threading.Lock()
+        self.ops_since_snapshot = 0
 
 
 class ProcessPartitionPool:
@@ -251,6 +333,11 @@ class ProcessPartitionPool:
     ``request_timeout`` bounds how long the parent waits for any single
     reply; ``None`` waits forever (liveness is still polled, so a dead
     worker raises promptly either way).
+
+    A worker that dies mid-service is respawned and restored from the
+    most recent cached snapshot (see :meth:`snapshot_all`); the pool
+    stays usable and reports the incident through :attr:`state`,
+    :attr:`recoveries` and :attr:`ops_lost`.
     """
 
     def __init__(
@@ -259,36 +346,92 @@ class ProcessPartitionPool:
         num_workers: int,
         master_secret: bytes,
         request_timeout: Optional[float] = None,
+        platform_secret: Optional[bytes] = None,
     ):
         if num_workers <= 0:
             raise StoreError("process pool needs at least one worker")
         if not process_mode_supported():
             raise StoreError("platform cannot run the multiprocess engine")
+        from repro.core.persistence import default_platform_secret
+
         self.num_workers = num_workers
         self.request_timeout = request_timeout
         self._broken: Optional[str] = None
         self._closed = False
-        ctx = multiprocessing.get_context("spawn")
+        self._config = config
+        self._master_secret = master_secret
+        self._platform_secret = (
+            platform_secret
+            if platform_secret is not None
+            else default_platform_secret(master_secret)
+        )
+        # Recovery checkpoint: the sections of the latest snapshot.
+        self._snapshot_sections: Dict[int, bytes] = {}
+        self._snapshot_counter: Optional[int] = None
+        self._degraded: set = set()   # respawned empty (no snapshot)
+        self._recovered: set = set()  # respawned + restored
+        self.recoveries = 0           # workers brought back after dying
+        self.ops_lost = 0             # upper bound on mutations lost
+        self._mp_ctx = multiprocessing.get_context("spawn")
         self.workers: List[_WorkerHandle] = []
         try:
             for index in range(num_workers):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                process = ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, index, config, master_secret),
-                    name=f"shieldstore-partition-{index}",
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()  # parent keeps only its own end
-                self.workers.append(_WorkerHandle(index, process, parent_conn))
+                conn, process = self._spawn(index)
+                self.workers.append(_WorkerHandle(index, process, conn))
             # Handshake: every worker must come up and answer a PING.
-            self.scatter({w.index: b"" for w in self.workers}, OP_PING)
+            # Spawning an interpreter takes far longer than a request
+            # round-trip, so the startup deadline is the recovery one,
+            # not ``request_timeout``.
+            for handle in self.workers:
+                with handle.lock:
+                    self._send(handle, OP_PING, b"", recover=False)
+                    self._recv(
+                        handle, recover=False, timeout=_RECOVERY_TIMEOUT
+                    )
         except BaseException:
             self._terminate_all()
             raise
 
-    # -- low-level I/O ------------------------------------------------------
+    def _spawn(self, index: int):
+        """Start one worker process; returns (parent_conn, process)."""
+        parent_conn, child_conn = self._mp_ctx.Pipe(duplex=True)
+        process = self._mp_ctx.Process(
+            target=_worker_main,
+            args=(
+                child_conn,
+                index,
+                self._config,
+                self._master_secret,
+                self._platform_secret,
+            ),
+            name=f"shieldstore-partition-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # parent keeps only its own end
+        return parent_conn, process
+
+    # -- health -------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``ok`` | ``recovered`` | ``degraded`` | ``broken`` | ``closed``.
+
+        ``recovered``: every dead worker was restored from a snapshot
+        (mutations since that snapshot are lost, nothing else).
+        ``degraded``: at least one worker was respawned *empty* because
+        no snapshot existed.  A later :meth:`restore_all` or
+        :meth:`snapshot_all` checkpoint returns the pool to ``ok``.
+        """
+        if self._closed:
+            return "closed"
+        if self._broken is not None:
+            return "broken"
+        if self._degraded:
+            return "degraded"
+        if self._recovered:
+            return "recovered"
+        return "ok"
+
     def _check_usable(self) -> None:
         if self._closed:
             raise WorkerError("process pool is closed")
@@ -302,45 +445,142 @@ class ProcessPartitionPool:
         self._broken = why
         return WorkerError(why)
 
-    def _send(self, handle: _WorkerHandle, opcode: int, payload: bytes) -> None:
+    def _worker_failed(
+        self, handle: _WorkerHandle, why: str, recover: bool
+    ) -> WorkerError:
+        """Handle a dead/wedged worker; returns the error to raise.
+
+        With ``recover`` (the normal data path — the caller holds
+        ``handle.lock``) the worker is respawned and restored from the
+        cached snapshot section; the in-flight call still failed, so a
+        :class:`WorkerError` describing the recovery is returned.  Only
+        when recovery itself fails is the pool marked broken.
+        """
+        if not recover:
+            return WorkerError(why)
+        if self._closed or self._broken is not None:
+            return WorkerError(why)
+        try:
+            return self._recover_worker(handle, why)
+        except Exception as exc:
+            return self._mark_broken(f"{why}; recovery failed: {exc}")
+
+    def _recover_worker(self, handle: _WorkerHandle, why: str) -> WorkerError:
+        """Respawn ``handle``'s process and restore its snapshot section.
+
+        Caller holds ``handle.lock``, so mutating the handle in place is
+        safe: every other thread queues on the same lock and sees the
+        replacement worker.
+        """
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        if handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=5)
+        lost = handle.ops_since_snapshot
+        handle.conn, handle.process = self._spawn(handle.index)
+        handle.ops_since_snapshot = 0
+        self.recoveries += 1
+        self.ops_lost += lost
+        # The replacement interpreter needs time to spawn and import;
+        # recovery uses its own generous deadline, not request_timeout.
+        self._send(handle, OP_PING, b"", recover=False)
+        self._recv(handle, recover=False, timeout=_RECOVERY_TIMEOUT)
+        section = self._snapshot_sections.get(handle.index)
+        if section is None:
+            self._degraded.add(handle.index)
+            return WorkerError(
+                f"{why}; worker respawned but no snapshot exists — "
+                f"partition {handle.index} restarted empty, losing "
+                f"{lost} mutation(s) (pool degraded)"
+            )
+        payload = _U64.pack(self._snapshot_counter) + b"\x01" + section
+        self._send(handle, OP_RESTORE, payload, recover=False)
+        self._recv(handle, recover=False, timeout=_RECOVERY_TIMEOUT)
+        self._recovered.add(handle.index)
+        self._degraded.discard(handle.index)
+        return WorkerError(
+            f"{why}; worker respawned and restored from snapshot counter "
+            f"{self._snapshot_counter} — up to {lost} mutation(s) since "
+            "that snapshot were lost"
+        )
+
+    # -- low-level I/O ------------------------------------------------------
+    def _send(
+        self,
+        handle: _WorkerHandle,
+        opcode: int,
+        payload: bytes,
+        recover: bool = True,
+    ) -> None:
         try:
             handle.conn.send_bytes(bytes([opcode]) + payload)
         except (BrokenPipeError, OSError) as exc:
-            raise self._mark_broken(
-                f"partition {handle.index}: worker pipe broke on send ({exc})"
+            raise self._worker_failed(
+                handle,
+                f"partition {handle.index}: worker pipe broke on send ({exc})",
+                recover,
             ) from exc
 
-    def _recv(self, handle: _WorkerHandle) -> bytes:
-        """Receive one reply, polling liveness instead of blocking."""
-        waited = 0.0
-        while not handle.conn.poll(_POLL_INTERVAL):
-            waited += _POLL_INTERVAL
+    def _recv(
+        self,
+        handle: _WorkerHandle,
+        recover: bool = True,
+        timeout: Optional[float] = -1.0,
+    ) -> bytes:
+        """Receive one reply, polling liveness instead of blocking.
+
+        Each ``poll()`` is clamped to the remaining timeout budget and
+        elapsed time is measured on a monotonic clock, so sub-interval
+        ``request_timeout`` values are honored instead of being rounded
+        up to the 0.1 s poll interval.  ``timeout`` of -1 means "use
+        ``self.request_timeout``"; ``None`` waits forever.
+        """
+        if timeout == -1.0:
+            timeout = self.request_timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            interval = _POLL_INTERVAL
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise self._worker_failed(
+                        handle,
+                        f"partition {handle.index}: no reply within "
+                        f"{timeout:.3g}s",
+                        recover,
+                    )
+                interval = min(interval, remaining)
+            if handle.conn.poll(interval):
+                break
             if not handle.process.is_alive():
-                raise self._mark_broken(
+                raise self._worker_failed(
+                    handle,
                     f"partition {handle.index}: worker process died "
-                    f"(exit code {handle.process.exitcode})"
-                )
-            if (
-                self.request_timeout is not None
-                and waited >= self.request_timeout
-            ):
-                raise self._mark_broken(
-                    f"partition {handle.index}: no reply within "
-                    f"{self.request_timeout:.1f}s"
+                    f"(exit code {handle.process.exitcode})",
+                    recover,
                 )
         try:
             frame = handle.conn.recv_bytes()
         except (EOFError, OSError) as exc:
-            raise self._mark_broken(
-                f"partition {handle.index}: worker pipe broke on receive ({exc})"
+            raise self._worker_failed(
+                handle,
+                f"partition {handle.index}: worker pipe broke on receive ({exc})",
+                recover,
             ) from exc
         if not frame:
-            raise self._mark_broken(f"partition {handle.index}: empty reply frame")
+            raise self._worker_failed(
+                handle, f"partition {handle.index}: empty reply frame", recover
+            )
         if frame[0] == REPLY_ERR:
             raise _decode_error(frame, handle.index)
         if frame[0] != REPLY_OK:
-            raise self._mark_broken(
-                f"partition {handle.index}: bad reply opcode {frame[0]:#x}"
+            raise self._worker_failed(
+                handle,
+                f"partition {handle.index}: bad reply opcode {frame[0]:#x}",
+                recover,
             )
         return frame[1:]
 
@@ -369,27 +609,41 @@ class ProcessPartitionPool:
         deadlock).  This keeps each pipe's request/reply pairing intact
         under concurrent parent threads while still letting requests for
         disjoint worker sets proceed in parallel.
+
+        Every successfully-sent frame's reply is drained even when one
+        worker fails — leaving frames queued would desynchronize the
+        next round-trip — and a worker that died mid-scatter is
+        recovered in place, so the surviving replies stay paired.  The
+        first :class:`WorkerError` (then the first other
+        :class:`ReproError`) is raised after the drain.
         """
         targets = sorted(payloads)
         with ExitStack() as stack:
             for index in targets:
                 stack.enter_context(self.workers[index].lock)
             self._check_usable()
-            for index in targets:
-                self._send(self.workers[index], opcode, payloads[index])
-            # Drain every reply even when one worker reports an error —
-            # leaving frames queued would desynchronize the next request.
-            # (WorkerError is the exception: the pool is broken anyway.)
-            results: Dict[int, bytes] = {}
+            sent: List[int] = []
+            worker_error: Optional[WorkerError] = None
             first_error: Optional[ReproError] = None
             for index in targets:
                 try:
+                    self._send(self.workers[index], opcode, payloads[index])
+                    sent.append(index)
+                except WorkerError as exc:
+                    if worker_error is None:
+                        worker_error = exc
+            results: Dict[int, bytes] = {}
+            for index in sent:
+                try:
                     results[index] = self._recv(self.workers[index])
-                except WorkerError:
-                    raise
+                except WorkerError as exc:
+                    if worker_error is None:
+                        worker_error = exc
                 except ReproError as exc:
                     if first_error is None:
                         first_error = exc
+            if worker_error is not None:
+                raise worker_error
             if first_error is not None:
                 raise first_error
             return results
@@ -404,14 +658,66 @@ class ProcessPartitionPool:
     # -- execute_request conveniences ---------------------------------------
     def execute(self, index: int, request: Request) -> Response:
         """Run one wire-protocol request on one partition worker."""
+        self.workers[index].ops_since_snapshot += _mutation_count(request)
         return decode_response(self.request(index, OP_REQ, encode_request(request)))
 
     def execute_many(self, requests: Dict[int, Request]) -> Dict[int, Response]:
         """Scatter per-partition requests; decode replies by partition."""
+        for index, request in requests.items():
+            self.workers[index].ops_since_snapshot += _mutation_count(request)
         replies = self.scatter(
             {index: encode_request(req) for index, req in requests.items()}
         )
         return {index: decode_response(raw) for index, raw in replies.items()}
+
+    # -- snapshots -----------------------------------------------------------
+    def snapshot_all(self, counter: int) -> Dict[int, bytes]:
+        """Have every worker seal + serialize its store (paper §4.4).
+
+        Returns the per-partition sections (index -> bytes) and caches
+        them as the crash-recovery checkpoint; a previously degraded or
+        recovered pool returns to ``ok`` because a fresh checkpoint now
+        reflects whatever state the partitions actually hold.
+        """
+        sections = self.scatter(
+            {w.index: _U64.pack(counter) for w in self.workers}, OP_SNAPSHOT
+        )
+        self._snapshot_sections = dict(sections)
+        self._snapshot_counter = counter
+        for handle in self.workers:
+            handle.ops_since_snapshot = 0
+        self._degraded.clear()
+        self._recovered.clear()
+        return sections
+
+    def restore_all(
+        self, sections: Sequence[bytes], counter: int, verify: bool = True
+    ) -> None:
+        """Replace every worker's store from snapshot sections.
+
+        Also installs the sections as the recovery checkpoint and clears
+        any degraded/recovered markers — after a full restore the pool
+        is exactly the checkpointed state again.
+        """
+        if len(sections) != self.num_workers:
+            raise StoreError(
+                f"{len(sections)} snapshot sections for "
+                f"{self.num_workers} workers"
+            )
+        flag = b"\x01" if verify else b"\x00"
+        self.scatter(
+            {
+                index: _U64.pack(counter) + flag + bytes(section)
+                for index, section in enumerate(sections)
+            },
+            OP_RESTORE,
+        )
+        self._snapshot_sections = dict(enumerate(bytes(s) for s in sections))
+        self._snapshot_counter = counter
+        for handle in self.workers:
+            handle.ops_since_snapshot = 0
+        self._degraded.clear()
+        self._recovered.clear()
 
     # -- aggregates ---------------------------------------------------------
     def gather_stats(self) -> List[StoreStats]:
@@ -451,18 +757,28 @@ class ProcessPartitionPool:
             handle.conn.close()
 
     def close(self) -> None:
-        """Shut every worker down (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        if self._broken is None:
+        """Shut every worker down (idempotent).
+
+        Takes every worker lock (ascending index order, same as
+        ``scatter``) before sending ``OP_SHUTDOWN``: a concurrent
+        connection thread mid round-trip finishes its send/recv pairing
+        first, so it can never read a shutdown acknowledgement as its
+        own reply.
+        """
+        with ExitStack() as stack:
             for handle in self.workers:
-                try:
-                    handle.conn.send_bytes(bytes([OP_SHUTDOWN]))
-                except (BrokenPipeError, OSError):
-                    pass
-            for handle in self.workers:
-                handle.process.join(timeout=5)
+                stack.enter_context(handle.lock)
+            if self._closed:
+                return
+            self._closed = True
+            if self._broken is None:
+                for handle in self.workers:
+                    try:
+                        handle.conn.send_bytes(bytes([OP_SHUTDOWN]))
+                    except (BrokenPipeError, OSError):
+                        pass
+                for handle in self.workers:
+                    handle.process.join(timeout=5)
         self._terminate_all()
 
     def __del__(self):

@@ -36,6 +36,8 @@ class StoreStats:
     snapshots: int = 0
     snapshot_stall_us: float = 0.0
     temp_table_merges: int = 0
+    worker_recoveries: int = 0      # dead workers respawned + restored
+    worker_ops_lost: int = 0        # upper bound on mutations lost to crashes
     # Batch amortization (multi_get / multi_set / multi_delete):
     batches: int = 0                    # batch calls served
     batch_ops: int = 0                  # operations carried by batches

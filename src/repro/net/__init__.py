@@ -28,7 +28,7 @@ from repro.net.server import (
     NetworkedServer,
     make_secure_channels,
 )
-from repro.net.tcp import TCPShieldClient, TCPShieldServer
+from repro.net.tcp import SnapshotDaemon, TCPShieldClient, TCPShieldServer
 
 __all__ = [
     "FRONTEND_DIRECT",
@@ -44,6 +44,7 @@ __all__ = [
     "Session",
     "SessionManager",
     "SimClient",
+    "SnapshotDaemon",
     "TCPShieldClient",
     "TCPShieldServer",
     "decode_request",

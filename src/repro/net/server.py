@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import KeyNotFoundError, ProtocolError
+from repro.errors import KeyNotFoundError, ProtocolError, WorkerError
 from repro.net.message import (
     BATCH_OPS,
     STATUS_ERROR,
@@ -131,6 +131,12 @@ def execute_request(store, request: Request) -> Response:
             return Response(STATUS_OK, b"1" if swapped else b"0")
     except KeyNotFoundError:
         return Response(STATUS_MISS)
+    except WorkerError:
+        # A partition worker died mid-request.  The pool recovers in
+        # place (respawn + snapshot restore), so the fault is transient:
+        # report an error for *this* request instead of letting the
+        # exception tear down the whole connection/session.
+        return Response(STATUS_ERROR)
     return Response(STATUS_ERROR)
 
 

@@ -1,0 +1,318 @@
+"""Multi-partition snapshots and worker crash recovery (§4.4 extended).
+
+One :class:`~repro.core.persistence.PartitionSnapshotter` blob carries a
+section per partition under a shared monotonic counter, with the
+partition count and routing geometry sealed into the header.  These
+tests cover the roundtrips across execution engines, every rejection
+path (geometry mismatch, rollback, tampered/truncated bytes), the
+SIGKILL-a-worker recovery flow of the multiprocess pool, the checkpoint
+daemon, and the ``repro snapshot`` / ``repro restore`` CLI.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import (
+    MODE_PROCESSES,
+    MODE_SEQUENTIAL,
+    PartitionSnapshotter,
+    PartitionedShieldStore,
+    process_mode_supported,
+    shield_opt,
+)
+from repro.errors import RollbackError, SnapshotError, WorkerError
+from repro.net import SnapshotDaemon
+from repro.sim import Machine, MonotonicCounterService
+
+SECRET = bytes(range(32))
+PARTITIONS = 2
+
+needs_processes = pytest.mark.skipif(
+    not process_mode_supported(),
+    reason="platform cannot run the multiprocess engine",
+)
+
+
+def _config(partitions=PARTITIONS, **overrides):
+    return shield_opt(
+        num_buckets=overrides.pop("num_buckets", 64 * partitions),
+        num_mac_hashes=overrides.pop("num_mac_hashes", 16 * partitions),
+        **overrides,
+    )
+
+
+def _build(mode, partitions=PARTITIONS, config=None):
+    config = config or _config(partitions)
+    if mode == MODE_PROCESSES:
+        return PartitionedShieldStore(
+            config,
+            master_secret=SECRET,
+            num_partitions=partitions,
+            mode=MODE_PROCESSES,
+        )
+    return PartitionedShieldStore(
+        config,
+        machine=Machine(num_threads=partitions),
+        master_secret=SECRET,
+        mode=mode,
+    )
+
+
+def _populate(store, count=100, prefix="key"):
+    keys = [f"{prefix}-{i:04d}".encode() for i in range(count)]
+    store.multi_set([(key, b"value-" + key) for key in keys])
+    return keys
+
+
+def _snapshotter(store, counters=None):
+    return PartitionSnapshotter.for_store(
+        store, counters or MonotonicCounterService()
+    )
+
+
+class TestRoundtrip:
+    def test_roundtrip_in_process(self):
+        store = _build(MODE_SEQUENTIAL)
+        keys = _populate(store)
+        store.delete(keys[3])
+        counters = MonotonicCounterService()
+        blob = _snapshotter(store, counters).snapshot_bytes(store)
+        target = _build(MODE_SEQUENTIAL)
+        _snapshotter(target, counters).restore(blob, target)
+        assert sorted(target.iter_items()) == sorted(store.iter_items())
+        assert len(target) == len(store)
+        assert target.audit() == len(target)
+        # Restored store keeps serving — reads, writes, routing.
+        target.set(b"after-restore", b"works")
+        assert target.get(b"after-restore") == b"works"
+        assert target.get(keys[0]) == b"value-" + keys[0]
+
+    def test_restore_replaces_existing_content(self):
+        store = _build(MODE_SEQUENTIAL)
+        _populate(store, 40)
+        counters = MonotonicCounterService()
+        blob = _snapshotter(store, counters).snapshot_bytes(store)
+        target = _build(MODE_SEQUENTIAL)
+        _populate(target, 70, prefix="other")
+        _snapshotter(target, counters).restore(blob, target)
+        assert sorted(target.iter_items()) == sorted(store.iter_items())
+
+    @needs_processes
+    def test_roundtrip_processes(self):
+        counters = MonotonicCounterService()
+        with _build(MODE_PROCESSES) as store:
+            keys = _populate(store)
+            blob = _snapshotter(store, counters).snapshot_bytes(store)
+            expected = sorted(store.iter_items())
+        with _build(MODE_PROCESSES) as target:
+            _snapshotter(target, counters).restore(blob, target)
+            assert sorted(target.iter_items()) == expected
+            assert target.audit() == len(target) == len(keys)
+            target.set(b"after-restore", b"works")
+            assert target.get(b"after-restore") == b"works"
+
+    @needs_processes
+    def test_cross_mode_restore(self):
+        """A snapshot taken by worker processes restores into in-process
+        partitions and vice versa — same platform, same format."""
+        counters = MonotonicCounterService()
+        with _build(MODE_PROCESSES) as procs:
+            _populate(procs, 60)
+            blob = _snapshotter(procs, counters).snapshot_bytes(procs)
+            expected = sorted(procs.iter_items())
+        inproc = _build(MODE_SEQUENTIAL)
+        _snapshotter(inproc, counters).restore(blob, inproc)
+        assert sorted(inproc.iter_items()) == expected
+        blob2 = _snapshotter(inproc, counters).snapshot_bytes(inproc)
+        with _build(MODE_PROCESSES) as target:
+            _snapshotter(target, counters).restore(blob2, target)
+            assert sorted(target.iter_items()) == expected
+            assert target.audit() == len(target)
+
+
+class TestRejections:
+    def _blob(self, counters=None):
+        store = _build(MODE_SEQUENTIAL)
+        _populate(store, 30)
+        return _snapshotter(store, counters).snapshot_bytes(store)
+
+    def test_partition_count_mismatch_rejected(self):
+        blob = self._blob()
+        target = _build(MODE_SEQUENTIAL, partitions=3)
+        with pytest.raises(SnapshotError, match="matching geometry"):
+            _snapshotter(target).restore(blob, target)
+
+    def test_table_geometry_mismatch_rejected(self):
+        blob = self._blob()
+        target = _build(
+            MODE_SEQUENTIAL, config=_config(num_buckets=256, num_mac_hashes=32)
+        )
+        with pytest.raises(SnapshotError, match="does not match the store"):
+            _snapshotter(target).restore(blob, target)
+
+    def test_rollback_rejected(self):
+        counters = MonotonicCounterService()
+        store = _build(MODE_SEQUENTIAL)
+        _populate(store, 20)
+        snapshotter = _snapshotter(store, counters)
+        old_blob = snapshotter.snapshot_bytes(store)
+        store.set(b"newer", b"data")
+        snapshotter.snapshot_bytes(store)  # bumps the shared counter
+        target = _build(MODE_SEQUENTIAL)
+        with pytest.raises(RollbackError):
+            _snapshotter(target, counters).restore(old_blob, target)
+
+    def test_plaintext_header_tamper_rejected(self):
+        # The plaintext counter and partition count are convenience
+        # copies; flipping either must trip the sealed-header check.
+        for offset in (8, 16):
+            blob = bytearray(self._blob())
+            blob[offset] ^= 0x01
+            target = _build(MODE_SEQUENTIAL)
+            with pytest.raises(SnapshotError):
+                _snapshotter(target).restore(bytes(blob), target)
+
+    def test_truncations_rejected(self):
+        blob = self._blob()
+        for cut in (0, 7, 8, 15, 16, 19, 20, 27, len(blob) // 2, len(blob) - 1):
+            target = _build(MODE_SEQUENTIAL)
+            with pytest.raises(SnapshotError):
+                _snapshotter(target).restore(blob[:cut], target)
+
+    def test_trailing_bytes_rejected(self):
+        blob = self._blob()
+        target = _build(MODE_SEQUENTIAL)
+        with pytest.raises(SnapshotError, match="trailing"):
+            _snapshotter(target).restore(blob + b"\x00", target)
+
+    def test_wrong_magic_rejected(self):
+        target = _build(MODE_SEQUENTIAL)
+        with pytest.raises(SnapshotError):
+            _snapshotter(target).restore(b"NOTPSNAP" + bytes(32), target)
+
+
+@needs_processes
+class TestCrashRecovery:
+    def test_sigkill_worker_restores_from_snapshot(self):
+        """The tentpole flow: SIGKILL one partition worker under a live
+        workload; the pool respawns it, restores the latest snapshot,
+        keeps serving, and accounts for the lost window."""
+        with _build(MODE_PROCESSES) as store:
+            counters = MonotonicCounterService()
+            snapshotter = _snapshotter(store, counters)
+            keys = _populate(store, 120)
+            snapshotter.snapshot_bytes(store)
+            # Mutations after the checkpoint are the at-risk window.
+            post = [f"post-{i:04d}".encode() for i in range(40)]
+            store.multi_set([(key, b"late-" + key) for key in post])
+
+            victim = store.partition_index_of(keys[0])
+            os.kill(store._pool.workers[victim].process.pid, signal.SIGKILL)
+            with pytest.raises(WorkerError, match="restored from snapshot"):
+                store.multi_get(keys)
+
+            assert store.partition_state == "recovered"
+            # Every snapshotted key is intact and integrity verifies.
+            values = store.multi_get(keys)
+            for key in keys:
+                assert values[key] == b"value-" + key
+            assert store.audit() == len(store)
+            stats = store.stats()
+            assert stats.worker_recoveries == 1
+            assert stats.worker_ops_lost >= 1
+            # The pool still serves writes after recovery...
+            store.set(b"after-crash", b"ok")
+            assert store.get(b"after-crash") == b"ok"
+            # ...and a fresh checkpoint returns the engine to "ok".
+            snapshotter.snapshot_bytes(store)
+            assert store.partition_state == "ok"
+
+    def test_snapshot_restore_resets_degraded_state(self):
+        """restore_all brings a degraded pool (worker died with no
+        checkpoint) back to a fully known state."""
+        counters = MonotonicCounterService()
+        with _build(MODE_PROCESSES) as source:
+            _populate(source, 50)
+            blob = _snapshotter(source, counters).snapshot_bytes(source)
+            expected = sorted(source.iter_items())
+        with _build(MODE_PROCESSES) as store:
+            _populate(store, 10, prefix="doomed")
+            os.kill(store._pool.workers[0].process.pid, signal.SIGKILL)
+            with pytest.raises(WorkerError, match="no snapshot"):
+                store.multi_get([f"doomed-{i:04d}".encode() for i in range(10)])
+            assert store.partition_state == "degraded"
+            _snapshotter(store, counters).restore(blob, store)
+            assert store.partition_state == "ok"
+            assert sorted(store.iter_items()) == expected
+            assert store.audit() == len(store)
+
+
+class TestSnapshotDaemon:
+    def test_periodic_checkpoints_and_latest(self, tmp_path):
+        store = _build(MODE_SEQUENTIAL)
+        counters = MonotonicCounterService()
+        snapshotter = _snapshotter(store, counters)
+        _populate(store, 30)
+        daemon = SnapshotDaemon(
+            lambda: snapshotter.snapshot_bytes(store), tmp_path, 3600.0
+        )
+        first = daemon.run_once()
+        store.set(b"between-checkpoints", b"v")
+        second = daemon.run_once()
+        assert daemon.snapshots_written == 2
+        assert SnapshotDaemon.latest_snapshot(tmp_path) == second
+        assert first != second
+        with open(second, "rb") as fh:
+            blob = fh.read()
+        target = _build(MODE_SEQUENTIAL)
+        _snapshotter(target, counters).restore(blob, target)
+        assert target.get(b"between-checkpoints") == b"v"
+        assert len(target) == len(store)
+
+    def test_empty_directory_has_no_latest(self, tmp_path):
+        assert SnapshotDaemon.latest_snapshot(tmp_path) is None
+
+
+class TestSnapshotCLI:
+    def _run(self, *argv):
+        repo = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo / "src")
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True,
+            text=True,
+            cwd=repo,
+            env=env,
+            timeout=300,
+        )
+
+    def test_snapshot_restore_roundtrip(self, tmp_path):
+        out = tmp_path / "cli.snap"
+        taken = self._run(
+            "snapshot", "--out", str(out), "--pairs", "150", "--partitions", "2"
+        )
+        assert taken.returncode == 0, taken.stderr
+        assert out.exists()
+        restored = self._run(
+            "restore", "--snapshot", str(out), "--partitions", "2"
+        )
+        assert restored.returncode == 0, restored.stderr
+        assert "restored 150 keys" in restored.stdout
+
+    def test_restore_into_wrong_partition_count_fails(self, tmp_path):
+        out = tmp_path / "cli.snap"
+        taken = self._run(
+            "snapshot", "--out", str(out), "--pairs", "60", "--partitions", "2"
+        )
+        assert taken.returncode == 0, taken.stderr
+        mismatched = self._run(
+            "restore", "--snapshot", str(out), "--partitions", "1"
+        )
+        assert mismatched.returncode == 1
+        assert "restore rejected" in mismatched.stdout

@@ -185,3 +185,92 @@ class TestSnapshotScheduler:
     def test_bad_mode_rejected(self):
         with pytest.raises(SnapshotError):
             SnapshotPolicy(mode="sometimes")
+
+    def test_counters_mirrored_into_store_stats(self):
+        """Snapshot activity must reach StoreStats, not just the
+        scheduler's private counters — ``repro stats`` and experiment
+        reports read the store's stats."""
+        store = fresh_store()
+        populate(store, 30)
+        store.machine.reset_measurement()
+        policy = SnapshotPolicy(mode=MODE_OPTIMIZED, interval_us=500.0)
+        scheduler = SnapshotScheduler(store, policy)
+        for i in range(3000):
+            store.set(f"key-{i % 30}".encode(), b"z" * 10)
+            scheduler.tick(is_write=True)
+        assert scheduler.snapshots_taken > 0
+        assert store.stats.snapshots == scheduler.snapshots_taken
+        assert store.stats.snapshot_stall_us == pytest.approx(
+            scheduler.total_stall_us
+        )
+        assert store.stats.snapshot_stall_us > 0
+        assert store.stats.temp_table_merges > 0
+
+    def test_overlapping_window_pays_pending_merge(self):
+        """An interval shorter than the copy-on-write window must not
+        reset ``temp_table_writes`` without charging the pending merge
+        (Algorithm 1 line 11)."""
+
+        def begin_snapshot_cycles(pending_writes):
+            store = fresh_store()
+            populate(store, 10)
+            store.machine.reset_measurement()
+            policy = SnapshotPolicy(mode=MODE_OPTIMIZED, interval_us=100.0)
+            scheduler = SnapshotScheduler(store, policy)
+            # A previous snapshot's window is still open when the next
+            # interval fires, with writes mirrored to the temp table.
+            scheduler.window_end_us = float("inf")
+            scheduler.temp_table_writes = pending_writes
+            clock = store.machine.clock.threads[0]
+            before = clock.cycles
+            scheduler._begin_snapshot()
+            assert scheduler.temp_table_writes == 0
+            # The open window was finished (merged), not discarded.
+            assert store.stats.temp_table_merges == 1
+            return clock.cycles - before
+
+        delta = begin_snapshot_cycles(7) - begin_snapshot_cycles(0)
+        assert delta == pytest.approx(
+            7 * SnapshotScheduler.MERGE_CYCLES_PER_ENTRY
+        )
+
+
+class TestMalformedSnapshots:
+    """Untrusted snapshot bytes must fail cleanly (never struct.error)."""
+
+    def _blob(self, snapshotter):
+        store = fresh_store()
+        populate(store, 12)
+        return snapshotter.snapshot_bytes(store.enclave.context(), store)
+
+    def test_every_truncation_raises_snapshot_error(self, snapshotter):
+        blob = self._blob(snapshotter)
+        for cut in range(0, len(blob), 13):
+            target = fresh_store()
+            with pytest.raises(SnapshotError):
+                snapshotter.restore(target.enclave.context(), blob[:cut], target)
+
+    def test_truncation_at_every_framing_boundary(self, snapshotter):
+        blob = self._blob(snapshotter)
+        # magic | counter | sealed_len | (sealed) | count | first record
+        for cut in (0, 4, 8, 12, 16, 19, len(blob) - 1):
+            target = fresh_store()
+            with pytest.raises(SnapshotError):
+                snapshotter.restore(target.enclave.context(), blob[:cut], target)
+
+    def test_trailing_garbage_rejected(self, snapshotter):
+        blob = self._blob(snapshotter)
+        for extra in (b"\x00", b"junk-after-the-last-record"):
+            target = fresh_store()
+            with pytest.raises(SnapshotError, match="trailing"):
+                snapshotter.restore(
+                    target.enclave.context(), blob + extra, target
+                )
+
+    def test_oversized_length_field_rejected(self, snapshotter):
+        blob = bytearray(self._blob(snapshotter))
+        # Claim a sealed blob far larger than the file.
+        blob[16:20] = (2**31).to_bytes(4, "little")
+        target = fresh_store()
+        with pytest.raises(SnapshotError):
+            snapshotter.restore(target.enclave.context(), bytes(blob), target)

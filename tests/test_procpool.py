@@ -11,6 +11,7 @@ exception class, and dead workers surfacing as
 """
 
 import threading
+import time
 
 import pytest
 
@@ -203,19 +204,23 @@ class TestFailureSemantics:
                 store.get(b"poisoned")
             assert store.get(b"healthy") == b"ok"
 
-    def test_dead_worker_raises_worker_error(self):
-        store = _build(MODE_PROCESSES)
-        try:
+    def test_dead_worker_respawns_and_pool_stays_usable(self):
+        """A dead worker no longer bricks the pool: it is respawned in
+        place.  With no snapshot to restore from, the partition comes
+        back empty and the pool reports ``degraded`` — but keeps
+        serving, and the recovery shows up in the merged stats."""
+        with _build(MODE_PROCESSES) as store:
             store.set(b"k", b"v")
             store._pool.workers[0].process.terminate()
             store._pool.workers[0].process.join(timeout=5)
-            with pytest.raises(WorkerError):
+            with pytest.raises(WorkerError, match="respawned"):
                 store.multi_get([f"key-{i}".encode() for i in range(20)])
-            # The pool is now unusable and says so immediately.
-            with pytest.raises(WorkerError, match="unusable"):
-                store.multi_set([(b"a", b"b")])
-        finally:
-            store.close()
+            assert store.partition_state == "degraded"
+            # Still serving after the recovery.
+            store.set(b"post-crash", b"ok")
+            assert store.get(b"post-crash") == b"ok"
+            stats = store.stats()
+            assert stats.worker_recoveries == 1
 
     def test_integrity_error_in_threads_mode(self):
         """Thread-mode fan-out annotates the original exception class."""
@@ -241,6 +246,65 @@ class TestFailureSemantics:
         with pytest.raises(IntegrityError, match=f"partition {index}"):
             store.multi_get(keys)
         store.close()
+
+
+@needs_processes
+class TestTimeoutsAndShutdown:
+    def test_sub_interval_timeout_is_honored(self):
+        """A request_timeout below the 0.1 s liveness poll interval must
+        fire on schedule, not get rounded up to a whole poll."""
+        from repro.core.procpool import ProcessPartitionPool
+
+        pool = ProcessPartitionPool(
+            _config(), 1, SECRET, request_timeout=0.03
+        )
+        try:
+            handle = pool.workers[0]
+            with handle.lock:
+                # Nothing was sent, so no reply ever arrives: _recv must
+                # give up after ~0.03 s.  The old code polled a full
+                # 0.1 s interval first, so it could never raise sooner.
+                start = time.monotonic()
+                with pytest.raises(WorkerError, match="no reply"):
+                    pool._recv(handle, recover=False)
+                elapsed = time.monotonic() - start
+            assert elapsed < 0.09, elapsed
+        finally:
+            pool.close()
+
+    def test_close_never_steals_inflight_replies(self):
+        """close() must take the worker locks before sending shutdown
+        frames: a connection thread mid round-trip either completes its
+        own send/recv pairing or observes the closed pool as a
+        WorkerError — it never decodes a shutdown acknowledgement (or
+        another request's reply) as its own."""
+        store = _build(MODE_PROCESSES)
+        keys = [f"key-{i:03d}".encode() for i in range(80)]
+        store.multi_set([(k, b"value-" + k) for k in keys])
+        failures = []
+        stop = threading.Event()
+
+        def hammer():
+            try:
+                while not stop.is_set():
+                    try:
+                        values = store.multi_get(keys)
+                    except WorkerError:
+                        return  # pool closed under us: the allowed outcome
+                    for k in keys:
+                        assert values[k] == b"value-" + k, k
+            except Exception as exc:  # surfaced after join
+                failures.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.4)  # let the hammering reach steady state
+        store.close()
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not failures, failures
 
 
 class TestModeResolution:

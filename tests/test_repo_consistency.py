@@ -63,7 +63,9 @@ class TestCodeHygiene:
 
     def test_no_wall_clock_in_simulation(self):
         """Simulated time must come from cycle clocks, not time.time()."""
-        allowed = {"tcp.py", "cli.py"}  # real I/O surfaces only
+        # Real I/O surfaces only: procpool.py polls OS pipes for worker
+        # liveness, so its deadlines are wall-clock by nature.
+        allowed = {"tcp.py", "cli.py", "procpool.py"}
         offenders = []
         for path in (_ROOT / "src").rglob("*.py"):
             if path.name in allowed:

@@ -6,7 +6,7 @@ whole chain.  This bench measures (a) the steady-state cost of having
 two-step enabled, and (b) what hint corruption does to miss-path costs.
 """
 
-from conftest import BENCH_SCALE, record_table
+from conftest import record_table
 
 from repro.core import ShieldStore, shield_opt
 from repro.experiments.common import TableResult

@@ -1,0 +1,30 @@
+"""shieldlint: repo-specific static analysis for the ShieldStore tree.
+
+The paper's security argument (§3) rests on invariants the code could
+silently break: plaintext never flows from enclave code into untrusted
+memory or transports, untrusted entries are MAC-verified before use,
+and the multiprocess engine's locks are taken in one pinned order.
+This package turns those invariants into executable AST checks:
+
+* :mod:`repro.analysis.taint`     — trust-boundary taint pass (rule
+  ``trust-boundary``): plaintext-bearing values in trusted modules must
+  pass through an encrypt/seal/MAC call before reaching an untrusted
+  sink (pipe, socket, untrusted memory write, log, exception message);
+* :mod:`repro.analysis.verifyuse` — verify-before-use pass (rule
+  ``verify-before-use``): decrypted untrusted-memory data must be
+  covered by a verification call before it escapes a public API or
+  feeds a mutation of the authenticated structure;
+* :mod:`repro.analysis.lockorder` — lock-order pass (rule
+  ``lock-order``): extracts the lock-acquisition graph of the
+  concurrent modules, pins the documented ascending-worker-lock order,
+  and flags unguarded mutation of shared pool state.
+
+Run it with ``python -m repro lint``; see ``docs/INTERNALS.md`` for the
+trust map, per-rule examples, and the suppression syntax
+(``# shieldlint: ignore[rule] -- justification``).
+"""
+
+from repro.analysis.engine import ALL_RULES, AnalysisError, Report, run_analysis
+from repro.analysis.findings import Finding
+
+__all__ = ["ALL_RULES", "AnalysisError", "Finding", "Report", "run_analysis"]

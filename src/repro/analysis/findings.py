@@ -1,0 +1,118 @@
+"""Finding records and the suppression syntax.
+
+A finding pins one invariant violation to ``path:line`` plus a rule id.
+Suppressions are source comments::
+
+    # shieldlint: ignore[trust-boundary] -- justification text
+
+placed either on the flagged line or on a line of its own immediately
+above it.  Several rules may be listed (``ignore[rule-a,rule-b]``).
+The justification after ``--`` is mandatory: a suppression without one
+is itself reported under the ``suppression`` rule, which cannot be
+suppressed — silencing the analyzer always leaves a written reason in
+the tree.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*shieldlint:\s*ignore\[(?P<rules>[a-z0-9_,\s-]+)\]"
+    r"(?:\s*(?:--|—)\s*(?P<why>.*\S))?"
+)
+
+RULE_SUPPRESSION = "suppression"
+
+
+@dataclass
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    justification: Optional[str] = None
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> dict:
+        data = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+        }
+        if self.justification:
+            data["justification"] = self.justification
+        return data
+
+    def format(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.location()}: [{self.rule}] {self.message}{mark}"
+
+
+@dataclass
+class Suppression:
+    """One parsed ``shieldlint: ignore`` comment."""
+
+    line: int
+    rules: List[str]
+    justification: Optional[str]
+    used: bool = field(default=False)
+
+    def covers(self, rule: str, line: int) -> bool:
+        """A suppression covers its own line and the line below it
+        (the comment-above-the-statement style)."""
+        return rule in self.rules and line in (self.line, self.line + 1)
+
+
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract every suppression comment of one file."""
+    found: List[Suppression] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = [r.strip() for r in match.group("rules").split(",") if r.strip()]
+        found.append(Suppression(lineno, rules, match.group("why")))
+    return found
+
+
+def apply_suppressions(
+    findings: List[Finding], by_path: Dict[str, List[Suppression]]
+) -> List[Finding]:
+    """Mark covered findings suppressed; report unjustified suppressions.
+
+    Returns the full finding list (suppressed ones included, flagged) so
+    reports can show what was silenced and why.
+    """
+    for finding in findings:
+        if finding.rule == RULE_SUPPRESSION:
+            continue
+        for supp in by_path.get(finding.path, ()):
+            if supp.covers(finding.rule, finding.line):
+                if supp.justification:
+                    finding.suppressed = True
+                    finding.justification = supp.justification
+                    supp.used = True
+                break
+    bare = [
+        Finding(
+            RULE_SUPPRESSION,
+            path,
+            supp.line,
+            "suppression without a justification: write "
+            "'# shieldlint: ignore[rule] -- why this is safe'",
+        )
+        for path, supps in sorted(by_path.items())
+        for supp in supps
+        if not supp.justification
+    ]
+    return findings + bare

@@ -1,0 +1,347 @@
+"""Verify-before-use pass (rule ``verify-before-use``).
+
+Every entry read from untrusted memory must be MAC-verified before its
+plaintext is *used* (paper §4.3): returned from a public store
+operation, or allowed to guide a mutation of the authenticated
+structure.  This pass enforces that on the store modules listed in
+:data:`repro.analysis.trustmap.VERIFY_MODULES`:
+
+1. **summaries** — per class, the set of *producer* methods (those
+   that transitively call a decrypt primitive and therefore hold
+   untrusted-derived plaintext) and *verifier* methods (those that
+   transitively call a MAC/set-hash verification primitive, or are
+   named ``_verify*``);
+2. **per-path check** — each public method that touches a producer is
+   walked with a ``verified`` flag.  ``if``/``else`` branches merge
+   with logical AND, so a verification that only happens on *some*
+   paths does not count — the "unreachable on some path" case.  A
+   return/yield of producer-derived data, or a call into a mutator of
+   the authenticated structure, while ``verified`` is false is a
+   finding.
+
+Loops are treated as taken at least once (the store's batched
+operations verify per touched set inside their loops).
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+from typing import Dict, List, Optional, Set
+
+from repro.analysis import trustmap
+from repro.analysis.findings import Finding
+
+RULE = "verify-before-use"
+
+# Modules whose classes implement the verified read path.
+VERIFY_MODULES = ("core/store.py",)
+
+
+def _called_names(func: ast.AST) -> Set[str]:
+    """Every syntactic callee name (any receiver) — for matching
+    primitive seeds like ``suite.decrypt`` / ``macbuckets.verify_set``."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Attribute):
+                names.add(node.func.attr)
+            elif isinstance(node.func, ast.Name):
+                names.add(node.func.id)
+    return names
+
+
+def _self_called_names(func: ast.AST) -> Set[str]:
+    """Only ``self.method(...)`` callees — the intra-class call graph.
+
+    Propagating summaries through arbitrary attribute names conflates
+    unrelated methods of the same spelling (``chunk.append`` vs the
+    store's ``append`` operation), so the transitive closure walks
+    self-calls only.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            names.add(node.func.attr)
+    return names
+
+
+def _fixpoint(
+    prims: Dict[str, Set[str]],
+    selfcalls: Dict[str, Set[str]],
+    seeds: Set[str],
+) -> Set[str]:
+    """Methods reaching a seed primitive, transitively via self-calls."""
+    member: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name in prims:
+            if name in member:
+                continue
+            if prims[name] & seeds or selfcalls[name] & member:
+                member.add(name)
+                changed = True
+    return member
+
+
+class _MethodWalk:
+    """Path-sensitive-ish walk of one public method."""
+
+    def __init__(
+        self,
+        path: str,
+        findings: List[Finding],
+        producers: Set[str],
+        verifiers: Set[str],
+    ):
+        self.path = path
+        self.findings = findings
+        self.producers = producers
+        self.verifiers = verifiers
+        self.derived: Set[str] = set()
+        self.verified = False
+
+    # -- expression classification ------------------------------------------
+    @staticmethod
+    def _is_self_call(call: ast.Call) -> bool:
+        return (
+            isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == "self"
+        )
+
+    def _is_producer_call(self, call: ast.Call) -> bool:
+        name = None
+        if isinstance(call.func, ast.Attribute):
+            name = call.func.attr
+        elif isinstance(call.func, ast.Name):
+            name = call.func.id
+        if name in trustmap.PRODUCER_METHODS:
+            return True
+        # class-summary matches need a self receiver (``chunk.append``
+        # must not alias the store's ``append`` operation)
+        return name in self.producers and self._is_self_call(call)
+
+    def _is_verifier_call(self, call: ast.Call) -> bool:
+        name = None
+        if isinstance(call.func, ast.Attribute):
+            name = call.func.attr
+        elif isinstance(call.func, ast.Name):
+            name = call.func.id
+        if name is None:
+            return False
+        if name in trustmap.VERIFIER_METHODS or name.startswith("_verify"):
+            return True
+        return name in self.verifiers and self._is_self_call(call)
+
+    def is_derived(self, node: Optional[ast.AST]) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, ast.Name):
+            return node.id in self.derived
+        if isinstance(node, ast.Call):
+            if self._is_producer_call(node):
+                return True
+            return any(self.is_derived(a) for a in node.args) or any(
+                self.is_derived(kw.value) for kw in node.keywords
+            )
+        if isinstance(node, (ast.Compare, ast.BoolOp, ast.Constant)):
+            return False
+        for child in ast.iter_child_nodes(node):
+            if self.is_derived(child):
+                return True
+        return False
+
+    # -- statement walk ------------------------------------------------------
+    def _assign(self, target: ast.expr, derived: bool) -> None:
+        if isinstance(target, ast.Name):
+            if derived:
+                self.derived.add(target.id)
+            else:
+                self.derived.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, derived)
+        elif isinstance(target, ast.Subscript):
+            # results[key] = derived  =>  the container is derived
+            if derived and isinstance(target.value, ast.Name):
+                self.derived.add(target.value.id)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, derived)
+
+    @staticmethod
+    def _shallow_exprs(stmt: ast.stmt) -> List[ast.AST]:
+        """Expressions evaluated *at this statement's own level*.
+
+        Compound statements contribute only their headers; their bodies
+        are walked recursively with correct branch merging — walking
+        the whole subtree here would let a verifier call inside one
+        branch mark the pre-branch state verified.
+        """
+        if isinstance(stmt, (ast.If, ast.While)):
+            return [stmt.test]
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return [stmt.iter]
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return [item.context_expr for item in stmt.items]
+        if isinstance(
+            stmt, (ast.Try, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            return []
+        return [stmt]
+
+    def _check_calls(self, stmt: ast.stmt) -> None:
+        for expr in self._shallow_exprs(stmt):
+            self._check_call_exprs(expr)
+
+    def _check_call_exprs(self, root: ast.AST) -> None:
+        for node in ast.walk(root):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_verifier_call(node):
+                self.verified = True
+                continue
+            name = (
+                node.func.attr
+                if isinstance(node.func, ast.Attribute)
+                else node.func.id
+                if isinstance(node.func, ast.Name)
+                else None
+            )
+            if name in trustmap.MUTATOR_METHODS and not self.verified:
+                self.findings.append(
+                    Finding(
+                        RULE,
+                        self.path,
+                        node.lineno,
+                        f"mutation of the authenticated structure via "
+                        f"`{name}` before any MAC/set-hash verification "
+                        "on this path",
+                    )
+                )
+
+    def run_body(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self.run_stmt(stmt)
+
+    def run_stmt(self, stmt: ast.stmt) -> None:
+        # Verifier/mutator calls anywhere in the statement, in source
+        # order relative to the statements around them.
+        self._check_calls(stmt)
+        if isinstance(stmt, (ast.Return,)):
+            if self.is_derived(stmt.value) and not self.verified:
+                self.findings.append(
+                    Finding(
+                        RULE,
+                        self.path,
+                        stmt.lineno,
+                        "returns plaintext decrypted from untrusted memory "
+                        "with no MAC/set-hash verification on this path",
+                    )
+                )
+            return
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, (ast.Yield, ast.YieldFrom)
+        ):
+            if self.is_derived(stmt.value.value) and not self.verified:
+                self.findings.append(
+                    Finding(
+                        RULE,
+                        self.path,
+                        stmt.lineno,
+                        "yields plaintext decrypted from untrusted memory "
+                        "with no MAC/set-hash verification on this path",
+                    )
+                )
+            return
+        if isinstance(stmt, ast.Assign):
+            derived = self.is_derived(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, derived)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign(stmt.target, self.is_derived(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            self._assign(
+                stmt.target,
+                self.is_derived(stmt.target) or self.is_derived(stmt.value),
+            )
+        elif isinstance(stmt, ast.If):
+            self._branch([stmt.body, stmt.orelse])
+        elif isinstance(stmt, (ast.For, ast.While)):
+            if isinstance(stmt, ast.For):
+                self._assign(stmt.target, self.is_derived(stmt.iter))
+            # Batched operations verify inside their loops: treat the
+            # body as executed (the empty-batch case returns no data).
+            for _ in range(2):
+                self.run_body(stmt.body)
+            self.run_body(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            self.run_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.run_body(stmt.body)
+            for handler in stmt.handlers:
+                self.run_body(handler.body)
+            self.run_body(stmt.orelse)
+            self.run_body(stmt.finalbody)
+
+    def _branch(self, branches: List[List[ast.stmt]]) -> None:
+        """Derived merges with union; ``verified`` merges with AND."""
+        derived_before = set(self.derived)
+        verified_before = self.verified
+        merged_derived = set(derived_before)
+        merged_verified = True
+        for body in branches:
+            self.derived = set(derived_before)
+            self.verified = verified_before
+            self.run_body(body)
+            merged_derived |= self.derived
+            merged_verified = merged_verified and self.verified
+        self.derived = merged_derived
+        self.verified = merged_verified
+
+
+def _class_findings(
+    path: str, klass: ast.ClassDef, findings: List[Finding]
+) -> None:
+    methods: Dict[str, ast.AST] = {
+        stmt.name: stmt
+        for stmt in klass.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    prims = {name: _called_names(func) for name, func in methods.items()}
+    selfcalls = {
+        name: _self_called_names(func) for name, func in methods.items()
+    }
+    producers = _fixpoint(prims, selfcalls, set(trustmap.PRODUCER_METHODS))
+    verifiers = {
+        name
+        for name in methods
+        if name.startswith("_verify")
+    }
+    verifiers |= _fixpoint(
+        prims, selfcalls, set(trustmap.VERIFIER_METHODS) | verifiers
+    )
+    for name, func in methods.items():
+        if name.startswith("_"):
+            continue  # helpers are covered through their public callers
+        if name not in producers:
+            continue  # never touches decrypted untrusted data
+        walker = _MethodWalk(path, findings, producers, verifiers)
+        walker.run_body(list(func.body))
+
+
+def run(path: str, tree: ast.Module) -> List[Finding]:
+    """Run the verify-before-use pass over one store module."""
+    if not any(fnmatch.fnmatch(path, pat) for pat in VERIFY_MODULES):
+        return []
+    findings: List[Finding] = []
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            _class_findings(path, stmt, findings)
+    return findings

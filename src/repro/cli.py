@@ -14,6 +14,10 @@ Commands:
   snapshot blob (rollback-protected by a persisted monotonic counter)
 * ``stats``                     — run a seeded batched workload and print
   the store's operation counters, including batch amortization
+  (``--format json`` for machine-readable output)
+* ``lint``                      — shieldlint static analysis: enclave
+  trust-boundary taint, verify-before-use and lock-order rules over
+  the package tree (exit 0 clean / 1 findings / 2 analyzer error)
 * ``info``                      — cost-model constants and version
 
 Examples::
@@ -312,6 +316,14 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _emit_json(payload) -> None:
+    """Shared machine-readable output path (``stats``/``lint`` --format
+    json): one stable, sorted, indented JSON document on stdout."""
+    import json
+
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
 def _cmd_stats(args) -> int:
     from repro.core import PartitionedShieldStore, shield_opt
     from repro.sim.enclave import Machine
@@ -340,6 +352,31 @@ def _cmd_stats(args) -> int:
     # Cross-process aggregation: in processes mode each worker ships its
     # counter snapshot over the pipe and the parent merges them here.
     stats = store.stats()
+    ops = stats.batch_ops or 1
+    if args.format == "json":
+        _emit_json({
+            "workload": {
+                "pairs": args.pairs,
+                "batch": batch,
+                "partitions": args.threads,
+                "mode": store.mode,
+                "state": store.partition_state,
+            },
+            "simulated_us": round(store.elapsed_us(), 1),
+            "counters": stats.snapshot_dict(),
+            "batch_amortization": {
+                "avg_batch_size": round(
+                    stats.batch_ops / max(1, stats.batches), 1
+                ),
+                "set_verifications_per_batch_op": round(
+                    stats.batch_sets_verified / ops, 3
+                ),
+                "verifications_saved": stats.batch_verifications_saved,
+                "set_hash_updates_saved": stats.batch_set_updates_saved,
+            },
+        })
+        store.close()
+        return 0
     print(f"workload: {args.pairs} pairs, batch={batch}, "
           f"{args.threads} partition(s), mode={store.mode}, "
           f"state={store.partition_state}")
@@ -347,7 +384,6 @@ def _cmd_stats(args) -> int:
     print("operation counters:")
     for name, value in stats.snapshot_dict().items():
         print(f"  {name:28s} {value}")
-    ops = stats.batch_ops or 1
     print("batch amortization:")
     print(f"  avg batch size               "
           f"{stats.batch_ops / max(1, stats.batches):.1f}")
@@ -358,6 +394,21 @@ def _cmd_stats(args) -> int:
     print(f"  set-hash updates saved       {stats.batch_set_updates_saved}")
     store.close()
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import AnalysisError, run_analysis
+
+    try:
+        report = run_analysis(root=args.path, rules=args.rule or None)
+    except AnalysisError as exc:
+        print(f"shieldlint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        _emit_json(report.to_dict())
+    else:
+        print(report.format_text())
+    return report.exit_code()
 
 
 def _cmd_info(_args) -> int:
@@ -442,7 +493,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                        choices=["auto", "sequential", "threads", "processes"],
                        help="partition execution engine (processes = one "
                             "worker process per partition)")
+    stats.add_argument("--format", default="text", choices=["text", "json"],
+                       help="output format (json is stable and sorted)")
     stats.set_defaults(func=_cmd_stats)
+
+    lint = sub.add_parser(
+        "lint",
+        help="shieldlint: trust-boundary, verify-before-use and "
+             "lock-order static analysis (exit 0 clean / 1 findings / "
+             "2 analyzer error)",
+    )
+    lint.add_argument("path", nargs="?", default=None,
+                      help="analysis root (default: the installed "
+                           "repro package tree)")
+    lint.add_argument("--format", default="text", choices=["text", "json"],
+                      help="output format (json is stable and sorted)")
+    lint.add_argument("--rule", action="append", default=None,
+                      choices=["trust-boundary", "verify-before-use",
+                               "lock-order"],
+                      help="run only this rule (repeatable)")
+    lint.set_defaults(func=_cmd_lint)
 
     sub.add_parser("info", help="cost-model constants").set_defaults(func=_cmd_info)
 

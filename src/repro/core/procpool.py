@@ -17,10 +17,17 @@ The parent routes operations by key (the same keyed hash the in-process
 router uses) and ships each worker its slice of a batch as one
 length-prefixed frame over a ``multiprocessing`` pipe::
 
+    record   := SecureChannel.seal(frame)   # per-worker session channel
     frame    := opcode(1) | payload
     OP_REQ   payload = net.message.encode_request(...)   # single or batch op
     OK reply payload = net.message.encode_response(...)
     ERR reply payload = class_len(1) | class_name | utf-8 message
+
+Every record is sealed (encrypted + MACed with per-direction sequence
+counters) under a per-worker session key both ends derive from the
+master secret: the pipe crosses the host kernel, which is outside the
+simulated enclave boundary, so plaintext never rides it — same rule as
+the TCP wire.
 
 Key/value payloads reuse the :mod:`repro.net.message` codecs — the same
 compact framing the wire protocol uses — rather than pickle, so a
@@ -72,11 +79,14 @@ import repro.errors as _errors
 from repro.core.config import StoreConfig
 from repro.core.entry import TAMPER_PROBE_OFFSET
 from repro.core.stats import StoreStats
+from repro.crypto.keys import derive_key
+from repro.crypto.suite import make_suite
 from repro.errors import ProtocolError, ReproError, StoreError, WorkerError
 from repro.net.message import (
     BATCH_OPS,
     Request,
     Response,
+    SecureChannel,
     decode_response,
     encode_multi_items,
     encode_request,
@@ -180,6 +190,30 @@ def _tamper(store, key: bytes) -> None:
     store.machine.memory.raw_write(offset, bytes([byte ^ 0x01]))
 
 
+def _pipe_channel(
+    master_secret: bytes, index: int, role: str, suite_name: str
+) -> SecureChannel:
+    """Session channel sealing one worker pipe end (paper §3.2 spirit).
+
+    Pipe frames cross the host kernel, which sits outside the simulated
+    enclave boundary — so the data plane is encrypted + MACed end to
+    end, exactly like the TCP wire.  Both ends derive the same
+    per-worker key from the master secret (parent takes the ``client``
+    role, worker the ``server`` role, fixing disjoint IV domains), and
+    a fresh channel pair is created on every (re)spawn so the sequence
+    counters restart together.
+    """
+    secret = derive_key(master_secret, f"shieldstore/procpool/{index}", 32)
+    return SecureChannel(
+        make_suite(
+            suite_name,
+            derive_key(secret, "pipe/enc"),
+            derive_key(secret, "pipe/mac"),
+        ),
+        role,
+    )
+
+
 def _worker_main(
     conn: multiprocessing.connection.Connection,
     index: int,
@@ -223,10 +257,13 @@ def _worker_main(
         if platform_secret is not None
         else default_platform_secret(master_secret)
     )
+    channel = _pipe_channel(master_secret, index, "server", config.suite_name)
     while True:
         try:
-            frame = conn.recv_bytes()
-        except (EOFError, OSError):
+            frame = channel.open(conn.recv_bytes())
+        except (EOFError, OSError, ProtocolError):
+            # A frame that fails authentication means the parent-side
+            # channel is gone or desynced; the stream is unusable.
             break
         opcode, payload = frame[0], frame[1:]
         try:
@@ -276,16 +313,17 @@ def _worker_main(
                 store = replacement
                 reply = bytes([REPLY_OK])
             elif opcode == OP_SHUTDOWN:
-                conn.send_bytes(bytes([REPLY_OK]))
+                conn.send_bytes(channel.seal(bytes([REPLY_OK])))
                 break
             else:
+                # shieldlint: ignore[trust-boundary] -- one protocol opcode byte from the authenticated frame header, not client key/value plaintext
                 raise ProtocolError(f"unknown worker opcode {opcode:#x}")
         except ReproError as exc:
             reply = _encode_error(exc)
         except Exception as exc:  # keep the worker alive; report faithfully
             reply = _encode_error(StoreError(f"{type(exc).__name__}: {exc}"))
         try:
-            conn.send_bytes(reply)
+            conn.send_bytes(channel.seal(reply))
         except (BrokenPipeError, OSError):
             break
     conn.close()
@@ -310,15 +348,23 @@ class _WorkerHandle:
 
     ``ops_since_snapshot`` counts mutations issued to this worker since
     the pool last snapshotted it — the upper bound on what a crash of
-    this worker can lose.  It is read and reset under ``lock``.
+    this worker can lose.  It is read, updated and reset under ``lock``.
+
+    ``channel`` is the parent end of the pipe's session channel; its
+    sequence counters advance on every frame, so it is only touched
+    under ``lock`` (which already serializes the round-trips) and is
+    replaced together with ``conn`` when the worker is respawned.
     """
 
-    __slots__ = ("index", "process", "conn", "lock", "ops_since_snapshot")
+    __slots__ = (
+        "index", "process", "conn", "channel", "lock", "ops_since_snapshot"
+    )
 
-    def __init__(self, index, process, conn):
+    def __init__(self, index, process, conn, channel):
         self.index = index
         self.process = process
         self.conn = conn
+        self.channel = channel
         self.lock = threading.Lock()
         self.ops_since_snapshot = 0
 
@@ -372,12 +418,19 @@ class ProcessPartitionPool:
         self._recovered: set = set()  # respawned + restored
         self.recoveries = 0           # workers brought back after dying
         self.ops_lost = 0             # upper bound on mutations lost
+        # Guards the pool-wide health/checkpoint state above: those
+        # fields are reached from recovery paths that hold *different*
+        # worker locks concurrently.  Ordered strictly after any worker
+        # lock (see shieldlint's lock-order pass).
+        self._health_lock = threading.Lock()
         self._mp_ctx = multiprocessing.get_context("spawn")
         self.workers: List[_WorkerHandle] = []
         try:
             for index in range(num_workers):
-                conn, process = self._spawn(index)
-                self.workers.append(_WorkerHandle(index, process, conn))
+                conn, process, channel = self._spawn(index)
+                self.workers.append(
+                    _WorkerHandle(index, process, conn, channel)
+                )
             # Handshake: every worker must come up and answer a PING.
             # Spawning an interpreter takes far longer than a request
             # round-trip, so the startup deadline is the recovery one,
@@ -393,7 +446,7 @@ class ProcessPartitionPool:
             raise
 
     def _spawn(self, index: int):
-        """Start one worker process; returns (parent_conn, process)."""
+        """Start one worker; returns (parent_conn, process, channel)."""
         parent_conn, child_conn = self._mp_ctx.Pipe(duplex=True)
         process = self._mp_ctx.Process(
             target=_worker_main,
@@ -409,7 +462,10 @@ class ProcessPartitionPool:
         )
         process.start()
         child_conn.close()  # parent keeps only its own end
-        return parent_conn, process
+        channel = _pipe_channel(
+            self._master_secret, index, "client", self._config.suite_name
+        )
+        return parent_conn, process, channel
 
     # -- health -------------------------------------------------------------
     @property
@@ -442,7 +498,8 @@ class ProcessPartitionPool:
             )
 
     def _mark_broken(self, why: str) -> WorkerError:
-        self._broken = why
+        with self._health_lock:
+            self._broken = why
         return WorkerError(why)
 
     def _worker_failed(
@@ -480,30 +537,38 @@ class ProcessPartitionPool:
             handle.process.terminate()
         handle.process.join(timeout=5)
         lost = handle.ops_since_snapshot
-        handle.conn, handle.process = self._spawn(handle.index)
+        handle.conn, handle.process, handle.channel = self._spawn(handle.index)
         handle.ops_since_snapshot = 0
-        self.recoveries += 1
-        self.ops_lost += lost
+        with self._health_lock:
+            self.recoveries += 1
+            self.ops_lost += lost
         # The replacement interpreter needs time to spawn and import;
         # recovery uses its own generous deadline, not request_timeout.
         self._send(handle, OP_PING, b"", recover=False)
         self._recv(handle, recover=False, timeout=_RECOVERY_TIMEOUT)
-        section = self._snapshot_sections.get(handle.index)
+        # Read the checkpoint pair atomically: a concurrent
+        # snapshot_all must not hand us new sections with an old
+        # counter (or vice versa).
+        with self._health_lock:
+            section = self._snapshot_sections.get(handle.index)
+            counter = self._snapshot_counter
         if section is None:
-            self._degraded.add(handle.index)
+            with self._health_lock:
+                self._degraded.add(handle.index)
             return WorkerError(
                 f"{why}; worker respawned but no snapshot exists — "
                 f"partition {handle.index} restarted empty, losing "
                 f"{lost} mutation(s) (pool degraded)"
             )
-        payload = _U64.pack(self._snapshot_counter) + b"\x01" + section
+        payload = _U64.pack(counter) + b"\x01" + section
         self._send(handle, OP_RESTORE, payload, recover=False)
         self._recv(handle, recover=False, timeout=_RECOVERY_TIMEOUT)
-        self._recovered.add(handle.index)
-        self._degraded.discard(handle.index)
+        with self._health_lock:
+            self._recovered.add(handle.index)
+            self._degraded.discard(handle.index)
         return WorkerError(
             f"{why}; worker respawned and restored from snapshot counter "
-            f"{self._snapshot_counter} — up to {lost} mutation(s) since "
+            f"{counter} — up to {lost} mutation(s) since "
             "that snapshot were lost"
         )
 
@@ -516,7 +581,9 @@ class ProcessPartitionPool:
         recover: bool = True,
     ) -> None:
         try:
-            handle.conn.send_bytes(bytes([opcode]) + payload)
+            handle.conn.send_bytes(
+                handle.channel.seal(bytes([opcode]) + payload)
+            )
         except (BrokenPipeError, OSError) as exc:
             raise self._worker_failed(
                 handle,
@@ -563,11 +630,20 @@ class ProcessPartitionPool:
                     recover,
                 )
         try:
-            frame = handle.conn.recv_bytes()
+            frame = handle.channel.open(handle.conn.recv_bytes())
         except (EOFError, OSError) as exc:
             raise self._worker_failed(
                 handle,
                 f"partition {handle.index}: worker pipe broke on receive ({exc})",
+                recover,
+            ) from exc
+        except ProtocolError as exc:
+            # Tampered or desynced pipe record: the channel state is
+            # unrecoverable, treat it like a dead worker.
+            raise self._worker_failed(
+                handle,
+                f"partition {handle.index}: pipe record failed "
+                f"authentication ({exc})",
                 recover,
             ) from exc
         if not frame:
@@ -575,8 +651,10 @@ class ProcessPartitionPool:
                 handle, f"partition {handle.index}: empty reply frame", recover
             )
         if frame[0] == REPLY_ERR:
+            # shieldlint: ignore[trust-boundary] -- re-raises the worker's own error report parent-side; messages are redacted at their raise sites inside the trusted store
             raise _decode_error(frame, handle.index)
         if frame[0] != REPLY_OK:
+            # shieldlint: ignore[trust-boundary] -- one reply opcode byte from the authenticated frame header, not client key/value plaintext
             raise self._worker_failed(
                 handle,
                 f"partition {handle.index}: bad reply opcode {frame[0]:#x}",
@@ -585,16 +663,32 @@ class ProcessPartitionPool:
         return frame[1:]
 
     # -- request fan-out ----------------------------------------------------
-    def request(self, index: int, opcode: int, payload: bytes = b"") -> bytes:
-        """Round-trip one frame to one worker (atomic per worker)."""
+    def request(
+        self,
+        index: int,
+        opcode: int,
+        payload: bytes = b"",
+        mutations: int = 0,
+    ) -> bytes:
+        """Round-trip one frame to one worker (atomic per worker).
+
+        ``mutations`` is added to the worker's ``ops_since_snapshot``
+        while its lock is held, so the loss-bound accounting cannot race
+        with a concurrent snapshot reset.
+        """
         handle = self.workers[index]
         with handle.lock:
             self._check_usable()
+            handle.ops_since_snapshot += mutations
             self._send(handle, opcode, payload)
             return self._recv(handle)
 
     def scatter(
-        self, payloads: Dict[int, bytes], opcode: int = OP_REQ
+        self,
+        payloads: Dict[int, bytes],
+        opcode: int = OP_REQ,
+        mutations: Optional[Dict[int, int]] = None,
+        reset_counters: bool = False,
     ) -> Dict[int, bytes]:
         """Submit to many workers at once, then gather every reply.
 
@@ -616,12 +710,22 @@ class ProcessPartitionPool:
         recovered in place, so the surviving replies stay paired.  The
         first :class:`WorkerError` (then the first other
         :class:`ReproError`) is raised after the drain.
+
+        ``mutations`` (per-target ``ops_since_snapshot`` increments) and
+        ``reset_counters`` (zero each target's counter after a fully
+        successful round) run inside the locked region, so the loss
+        bound stays consistent under concurrent snapshot/execute races.
         """
         targets = sorted(payloads)
         with ExitStack() as stack:
             for index in targets:
                 stack.enter_context(self.workers[index].lock)
             self._check_usable()
+            if mutations:
+                for index in targets:
+                    self.workers[index].ops_since_snapshot += mutations.get(
+                        index, 0
+                    )
             sent: List[int] = []
             worker_error: Optional[WorkerError] = None
             first_error: Optional[ReproError] = None
@@ -646,6 +750,9 @@ class ProcessPartitionPool:
                 raise worker_error
             if first_error is not None:
                 raise first_error
+            if reset_counters:
+                for index in targets:
+                    self.workers[index].ops_since_snapshot = 0
             return results
 
     def broadcast(self, opcode: int, payload: bytes = b"") -> List[bytes]:
@@ -658,15 +765,23 @@ class ProcessPartitionPool:
     # -- execute_request conveniences ---------------------------------------
     def execute(self, index: int, request: Request) -> Response:
         """Run one wire-protocol request on one partition worker."""
-        self.workers[index].ops_since_snapshot += _mutation_count(request)
-        return decode_response(self.request(index, OP_REQ, encode_request(request)))
+        return decode_response(
+            self.request(
+                index,
+                OP_REQ,
+                encode_request(request),
+                mutations=_mutation_count(request),
+            )
+        )
 
     def execute_many(self, requests: Dict[int, Request]) -> Dict[int, Response]:
         """Scatter per-partition requests; decode replies by partition."""
-        for index, request in requests.items():
-            self.workers[index].ops_since_snapshot += _mutation_count(request)
         replies = self.scatter(
-            {index: encode_request(req) for index, req in requests.items()}
+            {index: encode_request(req) for index, req in requests.items()},
+            mutations={
+                index: _mutation_count(req)
+                for index, req in requests.items()
+            },
         )
         return {index: decode_response(raw) for index, raw in replies.items()}
 
@@ -680,14 +795,15 @@ class ProcessPartitionPool:
         reflects whatever state the partitions actually hold.
         """
         sections = self.scatter(
-            {w.index: _U64.pack(counter) for w in self.workers}, OP_SNAPSHOT
+            {w.index: _U64.pack(counter) for w in self.workers},
+            OP_SNAPSHOT,
+            reset_counters=True,
         )
-        self._snapshot_sections = dict(sections)
-        self._snapshot_counter = counter
-        for handle in self.workers:
-            handle.ops_since_snapshot = 0
-        self._degraded.clear()
-        self._recovered.clear()
+        with self._health_lock:
+            self._snapshot_sections = dict(sections)
+            self._snapshot_counter = counter
+            self._degraded.clear()
+            self._recovered.clear()
         return sections
 
     def restore_all(
@@ -711,13 +827,15 @@ class ProcessPartitionPool:
                 for index, section in enumerate(sections)
             },
             OP_RESTORE,
+            reset_counters=True,
         )
-        self._snapshot_sections = dict(enumerate(bytes(s) for s in sections))
-        self._snapshot_counter = counter
-        for handle in self.workers:
-            handle.ops_since_snapshot = 0
-        self._degraded.clear()
-        self._recovered.clear()
+        with self._health_lock:
+            self._snapshot_sections = dict(
+                enumerate(bytes(s) for s in sections)
+            )
+            self._snapshot_counter = counter
+            self._degraded.clear()
+            self._recovered.clear()
 
     # -- aggregates ---------------------------------------------------------
     def gather_stats(self) -> List[StoreStats]:

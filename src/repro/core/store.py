@@ -29,7 +29,6 @@ from repro.core.entry import (
     HEADER_SIZE,
     MAC_SIZE,
     EntryHeader,
-    entry_total_size,
     mac_message,
     pack_header,
     unpack_header,
@@ -359,8 +358,8 @@ class ShieldStore:
             )
         if computed != bucket_macs[found.index]:
             raise IntegrityError(
-                f"entry MAC mismatch for key {found.key!r}: untrusted entry "
-                "bytes were tampered with"
+                f"entry MAC mismatch for key {self.keyring.redact(found.key)}: "
+                "untrusted entry bytes were tampered with"
             )
 
     def _verify_walk(
@@ -430,6 +429,7 @@ class ShieldStore:
         self._verify_walk(ctx, walk, by_bucket[bucket])
         if found is None:
             self.stats.misses += 1
+            # shieldlint: ignore[trust-boundary] -- structured miss signal: the key rides as the exception argument, every boundary catches it (execute_request maps it to STATUS_MISS) and only redacted text may enter transported messages
             raise KeyNotFoundError(key)
         self._verify_found(ctx, found, by_bucket[bucket])
         self._charge_copy(ctx, len(found.value), write=True)
@@ -480,6 +480,7 @@ class ShieldStore:
         self._verify_walk(ctx, walk, by_bucket[bucket])
         if found is None:
             self.stats.misses += 1
+            # shieldlint: ignore[trust-boundary] -- structured miss signal: the key rides as the exception argument, every boundary catches it (execute_request maps it to STATUS_MISS) and only redacted text may enter transported messages
             raise KeyNotFoundError(key)
         self._verify_found(ctx, found, by_bucket[bucket])
         self._remove_entry(ctx, bucket, set_id, by_bucket, found)
@@ -550,7 +551,8 @@ class ShieldStore:
                 new_int = int(found.value.decode("ascii")) + delta
             except (UnicodeDecodeError, ValueError):
                 raise StoreError(
-                    f"value under {key!r} is not an ASCII integer"
+                    f"value under {self.keyring.redact(key)} is not an "
+                    "ASCII integer"
                 ) from None
             self._update_entry(
                 ctx, bucket, set_id, by_bucket, found, str(new_int).encode()
@@ -589,6 +591,7 @@ class ShieldStore:
         self._verify_walk(ctx, walk, by_bucket[bucket])
         if walk.found is None:
             self.stats.misses += 1
+            # shieldlint: ignore[trust-boundary] -- structured miss signal: the key rides as the exception argument, every boundary catches it (execute_request maps it to STATUS_MISS) and only redacted text may enter transported messages
             raise KeyNotFoundError(key)
         self._verify_found(ctx, walk.found, by_bucket[bucket])
         if walk.found.value != expected:
@@ -965,22 +968,56 @@ class ShieldStore:
     ) -> Iterator[Tuple[bytes, bytes]]:
         """Decrypt-iterate all (key, value) pairs (charged enclave work).
 
+        Each bucket chain is MAC-verified against its covering set hash
+        before its plaintext is yielded (verify-before-use, §4.3).
         Entries are decrypted through the suite's batched keystream path
         in fixed-size chunks; the per-entry AES cycle charges are
         unchanged (batching saves Python overhead, not modeled work).
         """
         ctx = self._context(ctx)
-        chunk: List[Tuple[EntryHeader, bytes]] = []
-        for _bucket, record in self.iter_raw_entries():
+        chain: List[Tuple[EntryHeader, bytes]] = []
+        current = -1
+        for bucket, record in self.iter_raw_entries():
+            if bucket != current:
+                yield from self._emit_verified_bucket(ctx, current, chain)
+                chain, current = [], bucket
             header = unpack_header(record[:HEADER_SIZE])
             enc_kv = record[HEADER_SIZE : HEADER_SIZE + header.kv_size]
             ctx.charge_aes(len(enc_kv))
-            chunk.append((header, enc_kv))
-            if len(chunk) >= 64:
-                yield from self._decrypt_chunk(chunk)
-                chunk = []
-        if chunk:
-            yield from self._decrypt_chunk(chunk)
+            chain.append((header, enc_kv))
+        yield from self._emit_verified_bucket(ctx, current, chain)
+
+    def _emit_verified_bucket(
+        self,
+        ctx: ExecContext,
+        bucket: int,
+        entries: List[Tuple[EntryHeader, bytes]],
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Authenticate one bucket chain, then decrypt-yield its entries.
+
+        Mirrors the read path: the chain's entry MACs are checked
+        against the covering set hash (and, in MAC-bucket mode, against
+        the authenticated per-entry MAC list) before any plaintext
+        leaves this method — a tampered or truncated chain raises
+        :class:`IntegrityError` instead of yielding forged items.
+        """
+        if not entries:
+            return
+        own_macs: List[bytes] = []
+        for header, enc_kv in entries:
+            ctx.charge_cmac(len(enc_kv) + 25)
+            own_macs.append(self.suite.mac(mac_message(header, enc_kv)))
+        set_id, by_bucket = self._gather_set_macs(
+            ctx, bucket, own_macs if self.macbuckets is None else None
+        )
+        self._verify_set(ctx, set_id, by_bucket)
+        if self.macbuckets is not None and own_macs != by_bucket[bucket]:
+            raise IntegrityError(
+                f"bucket {bucket} chain does not match its authenticated "
+                "MACs: untrusted entries were tampered with or reordered"
+            )
+        for start in range(0, len(entries), 64):
+            yield from self._decrypt_chunk(entries[start : start + 64])
 
     def _decrypt_chunk(self, chunk) -> Iterator[Tuple[bytes, bytes]]:
         plains = self.suite.decrypt_many(

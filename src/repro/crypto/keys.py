@@ -60,3 +60,17 @@ class KeyRing:
     def key_hint(self, key: bytes) -> int:
         """1-byte key hint: keyed hash of the plaintext key (paper §5.4)."""
         return hmac.new(self.hint_key, key, hashlib.sha256).digest()[0]
+
+    def redact(self, key: bytes) -> str:
+        """Short keyed tag standing in for a client key in diagnostics.
+
+        Error messages cross the worker pipe and may end up in host
+        logs, so they must never embed the plaintext key.  The tag is
+        an HMAC under its own domain, so the host cannot invert it, yet
+        two reports about the same key show the same tag and stay
+        correlatable for the operator.
+        """
+        tag = hmac.new(
+            self.hint_key, b"shieldstore/redact\x00" + key, hashlib.sha256
+        ).hexdigest()[:12]
+        return f"<key:{tag}>"

@@ -37,16 +37,14 @@ from repro.core import (
     shield_opt,
 )
 from repro.core.config import StoreConfig
-from repro.sim.cycles import DEFAULT_COST_MODEL, MB, CostModel
+from repro.sim.cycles import DEFAULT_COST_MODEL, MB
 from repro.sim.enclave import Machine
 from repro.workloads import (
     OP_APPEND,
     OP_GET,
     OP_RMW,
     OP_SET,
-    DataSpec,
     OperationStream,
-    WorkloadSpec,
 )
 
 # Paper-scale structure sizes (§6.1/§6.2 defaults).

@@ -20,7 +20,6 @@ from repro.experiments.common import (
     DEFAULT_SCALE,
     SEED,
     TableResult,
-    make_machine,
 )
 from repro.sim.cycles import MB, PAGE_SIZE
 from repro.sim.enclave import Enclave

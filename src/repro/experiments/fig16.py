@@ -21,7 +21,6 @@ from repro.experiments.common import (
     make_machine,
     preload,
     run_workload,
-    scaled,
 )
 from repro.sim.cycles import GB, MB
 from repro.workloads import DataSpec, OperationStream, RD100_Z

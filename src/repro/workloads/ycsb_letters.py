@@ -26,8 +26,6 @@ from repro.util import stable_seed
 from repro.workloads.datasets import DataSpec
 from repro.workloads.distributions import make_distribution
 from repro.workloads.ycsb import (
-    OP_GET,
-    OP_RMW,
     OP_SET,
     RD50_Z,
     RD95_L,

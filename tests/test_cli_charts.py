@@ -1,6 +1,5 @@
 """CLI surface and ASCII chart rendering."""
 
-import pytest
 
 from repro.cli import main
 from repro.experiments.charts import bar_chart, line_chart, render_bars, render_sweep

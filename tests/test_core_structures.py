@@ -13,7 +13,7 @@ from repro.core.entry import (
     pack_header,
     unpack_header,
 )
-from repro.core.hashindex import SLOT_SIZE, BucketTable
+from repro.core.hashindex import BucketTable
 from repro.core.macbucket import MacBucketStore
 from repro.core.mactree import MacTree
 from repro.crypto.suite import make_suite

@@ -1,7 +1,7 @@
 """Extensions: skiplist, verified range store, logged persistence."""
 
 import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import ShieldStore, Snapshotter, shield_opt

@@ -1,0 +1,174 @@
+"""Runtime lock-order verification on the multiprocess partition pool.
+
+shieldlint's lock-order pass pins the acquisition order statically
+(worker locks ascending by partition index, health lock only after
+worker locks).  This module checks the same invariant *dynamically*:
+every pool lock is wrapped in a recording proxy and a concurrent
+scatter/request/snapshot/close stress run must never observe
+
+* a worker lock acquired while a worker lock of an equal or higher
+  partition index is already held by the same thread, or
+* a worker lock acquired while the health lock is held (health is
+  ordered strictly after the worker family).
+"""
+
+import threading
+
+import pytest
+
+from repro.core import process_mode_supported, shield_opt
+from repro.core.procpool import OP_PING, ProcessPartitionPool
+
+SECRET = bytes(range(32))
+WORKERS = 3
+
+needs_processes = pytest.mark.skipif(
+    not process_mode_supported(),
+    reason="platform cannot run the multiprocess engine",
+)
+
+
+class _LockTracker:
+    """Per-thread held-lock stacks plus a shared violation log."""
+
+    def __init__(self):
+        self._local = threading.local()
+        self.violations = []
+        self.acquisitions = 0
+        self._stats_lock = threading.Lock()
+
+    def held(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def on_acquire(self, family: str, index: int) -> None:
+        for held_family, held_index in self.held():
+            if held_family == "health":
+                self._record(
+                    f"{family}:{index} acquired while holding the health "
+                    "lock (health must come after every worker lock)"
+                )
+            elif (
+                held_family == "worker"
+                and family == "worker"
+                and held_index >= index
+            ):
+                self._record(
+                    f"worker:{index} acquired while already holding "
+                    f"worker:{held_index} (must be ascending)"
+                )
+        self.held().append((family, index))
+        with self._stats_lock:
+            self.acquisitions += 1
+
+    def on_release(self, family: str, index: int) -> None:
+        stack = self.held()
+        for pos in range(len(stack) - 1, -1, -1):
+            if stack[pos] == (family, index):
+                del stack[pos]
+                return
+
+    def _record(self, message: str) -> None:
+        with self._stats_lock:
+            self.violations.append(message)
+
+
+class _TrackingLock:
+    """Duck-types threading.Lock for ``with`` and ExitStack use."""
+
+    def __init__(self, inner, family, index, tracker):
+        self._inner = inner
+        self._family = family
+        self._index = index
+        self._tracker = tracker
+
+    def acquire(self, *args, **kwargs):
+        acquired = self._inner.acquire(*args, **kwargs)
+        if acquired:
+            self._tracker.on_acquire(self._family, self._index)
+        return acquired
+
+    def release(self):
+        self._tracker.on_release(self._family, self._index)
+        self._inner.release()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+
+def _instrument(pool: ProcessPartitionPool) -> _LockTracker:
+    tracker = _LockTracker()
+    for handle in pool.workers:
+        handle.lock = _TrackingLock(
+            handle.lock, "worker", handle.index, tracker
+        )
+    pool._health_lock = _TrackingLock(
+        pool._health_lock, "health", -1, tracker
+    )
+    return tracker
+
+
+@needs_processes
+class TestRuntimeLockOrder:
+    def test_concurrent_stress_keeps_ascending_order(self):
+        pool = ProcessPartitionPool(
+            shield_opt(num_buckets=128, num_mac_hashes=32),
+            WORKERS,
+            master_secret=SECRET,
+        )
+        tracker = _instrument(pool)
+        errors = []
+        start = threading.Barrier(4)
+
+        def hammer(seed: int) -> None:
+            try:
+                start.wait()
+                for step in range(12):
+                    action = (seed + step) % 4
+                    if action == 0:
+                        pool.scatter(
+                            {i: b"" for i in range(WORKERS)}, OP_PING
+                        )
+                    elif action == 1:
+                        pool.request(step % WORKERS, OP_PING)
+                    elif action == 2:
+                        pool.snapshot_all(seed * 100 + step)
+                    else:
+                        pool.gather_stats()
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,), daemon=True)
+            for seed in range(4)
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+        finally:
+            pool.close()
+
+        assert not errors, errors
+        assert tracker.violations == [], "\n".join(tracker.violations)
+        # The stress must actually have exercised multi-lock paths.
+        assert tracker.acquisitions > 4 * 12
+
+    def test_close_acquires_every_worker_ascending(self):
+        pool = ProcessPartitionPool(
+            shield_opt(num_buckets=32, num_mac_hashes=8),
+            WORKERS,
+            master_secret=SECRET,
+        )
+        tracker = _instrument(pool)
+        pool.close()
+        assert tracker.violations == [], "\n".join(tracker.violations)
+        assert tracker.acquisitions >= WORKERS

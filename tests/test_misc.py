@@ -1,6 +1,5 @@
 """Utilities, errors, stats — the small shared pieces."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

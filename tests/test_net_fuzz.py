@@ -5,7 +5,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.crypto.suite import make_suite
-from repro.errors import ProtocolError, ReproError
+from repro.errors import ProtocolError
 from repro.net.message import (
     Request,
     SecureChannel,

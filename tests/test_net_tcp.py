@@ -1,6 +1,5 @@
 """Real TCP deployment: attestation handshake, secure session, attacks."""
 
-import socket
 import struct
 
 import pytest

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import PartitionedShieldStore, ShieldStore, shield_opt
+from repro.core import PartitionedShieldStore, shield_opt
 from repro.errors import KeyNotFoundError, StoreError
 from repro.sim import Machine
 

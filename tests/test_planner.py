@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.planner import plan
-from repro.sim.cycles import MB
 
 
 class TestAutoSizing:

@@ -1,7 +1,6 @@
 """Cost-model behaviour of the store: each §5 optimization must actually
 save simulated cycles in the regime the paper claims it helps."""
 
-import pytest
 
 from repro.core import ShieldStore, shield_opt
 from repro.sim import Machine

@@ -1,6 +1,5 @@
 """The experiment suite runner itself."""
 
-import pytest
 
 from repro.experiments.suite import average_kops, run_suite
 from repro.workloads import RD50_Z, RD95_Z, SMALL

@@ -10,7 +10,6 @@ from repro.workloads import (
     MEDIUM,
     SMALL,
     LatestGenerator,
-    Operation,
     OperationStream,
     UniformGenerator,
     WorkloadSpec,

@@ -5,7 +5,6 @@ import pytest
 from repro.ext import RangeShieldStore, ShieldLSM
 from repro.workloads import SMALL
 from repro.workloads.ycsb_letters import (
-    LETTER_SPECS,
     ScanOperation,
     ScanStream,
     letter_stream,

@@ -24,10 +24,12 @@ length-prefixed frame over a ``multiprocessing`` pipe::
     ERR reply payload = class_len(1) | class_name | utf-8 message
 
 Every record is sealed (encrypted + MACed with per-direction sequence
-counters) under a per-worker session key both ends derive from the
-master secret: the pipe crosses the host kernel, which is outside the
-simulated enclave boundary, so plaintext never rides it — same rule as
-the TCP wire.
+counters) under a per-*incarnation* session key both ends derive from
+the master secret and a fresh public nonce drawn at every (re)spawn:
+the pipe crosses the host kernel, which is outside the simulated
+enclave boundary, so plaintext never rides it, and a respawned worker
+never resumes its predecessor's key/sequence space — same rules as the
+TCP wire and its per-session handshake.
 
 Key/value payloads reuse the :mod:`repro.net.message` codecs — the same
 compact framing the wire protocol uses — rather than pickle, so a
@@ -69,11 +71,12 @@ from __future__ import annotations
 import json
 import multiprocessing
 import multiprocessing.connection
+import os
 import struct
 import threading
 import time
 from contextlib import ExitStack
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import repro.errors as _errors
 from repro.core.config import StoreConfig
@@ -190,8 +193,13 @@ def _tamper(store, key: bytes) -> None:
     store.machine.memory.raw_write(offset, bytes([byte ^ 0x01]))
 
 
+def _fresh_nonce() -> bytes:
+    """Public per-spawn freshness value for :func:`_pipe_channel` keys."""
+    return os.urandom(16)
+
+
 def _pipe_channel(
-    master_secret: bytes, index: int, role: str, suite_name: str
+    master_secret: bytes, index: int, nonce: bytes, role: str, suite_name: str
 ) -> SecureChannel:
     """Session channel sealing one worker pipe end (paper §3.2 spirit).
 
@@ -199,11 +207,21 @@ def _pipe_channel(
     enclave boundary — so the data plane is encrypted + MACed end to
     end, exactly like the TCP wire.  Both ends derive the same
     per-worker key from the master secret (parent takes the ``client``
-    role, worker the ``server`` role, fixing disjoint IV domains), and
-    a fresh channel pair is created on every (re)spawn so the sequence
-    counters restart together.
+    role, worker the ``server`` role, fixing disjoint IV domains).
+
+    ``nonce`` is a public per-spawn freshness value the parent draws
+    anew for every (re)spawn and ships in the worker args.  Mixing it
+    into the derivation makes each worker incarnation its own session:
+    the host can kill a worker to force a respawn (and the sequence
+    counters restart at zero with it), but the respawned channel pair
+    holds fresh keys, so records recorded from the previous incarnation
+    never authenticate and (key, IV) pairs are never reused across
+    incarnations — the pipe-session analogue of the per-session DH
+    derivation the TCP wire gets from :mod:`repro.net.sessions`.
     """
-    secret = derive_key(master_secret, f"shieldstore/procpool/{index}", 32)
+    secret = derive_key(
+        master_secret, f"shieldstore/procpool/{index}/{nonce.hex()}", 32
+    )
     return SecureChannel(
         make_suite(
             suite_name,
@@ -219,6 +237,7 @@ def _worker_main(
     index: int,
     config: StoreConfig,
     master_secret: bytes,
+    channel_nonce: bytes,
     platform_secret: Optional[bytes] = None,
 ) -> None:
     """Entry point of one partition worker process.
@@ -257,7 +276,9 @@ def _worker_main(
         if platform_secret is not None
         else default_platform_secret(master_secret)
     )
-    channel = _pipe_channel(master_secret, index, "server", config.suite_name)
+    channel = _pipe_channel(
+        master_secret, index, channel_nonce, "server", config.suite_name
+    )
     while True:
         try:
             frame = channel.open(conn.recv_bytes())
@@ -446,7 +467,13 @@ class ProcessPartitionPool:
             raise
 
     def _spawn(self, index: int):
-        """Start one worker; returns (parent_conn, process, channel)."""
+        """Start one worker; returns (parent_conn, process, channel).
+
+        Each (re)spawn draws a fresh public channel nonce, so a
+        replacement worker's pipe session never shares keys with its
+        dead predecessor — see :func:`_pipe_channel`.
+        """
+        nonce = _fresh_nonce()
         parent_conn, child_conn = self._mp_ctx.Pipe(duplex=True)
         process = self._mp_ctx.Process(
             target=_worker_main,
@@ -455,6 +482,7 @@ class ProcessPartitionPool:
                 index,
                 self._config,
                 self._master_secret,
+                nonce,
                 self._platform_secret,
             ),
             name=f"shieldstore-partition-{index}",
@@ -463,7 +491,7 @@ class ProcessPartitionPool:
         process.start()
         child_conn.close()  # parent keeps only its own end
         channel = _pipe_channel(
-            self._master_secret, index, "client", self._config.suite_name
+            self._master_secret, index, nonce, "client", self._config.suite_name
         )
         return parent_conn, process, channel
 
@@ -689,6 +717,7 @@ class ProcessPartitionPool:
         opcode: int = OP_REQ,
         mutations: Optional[Dict[int, int]] = None,
         reset_counters: bool = False,
+        on_success: Optional[Callable[[Dict[int, bytes]], None]] = None,
     ) -> Dict[int, bytes]:
         """Submit to many workers at once, then gather every reply.
 
@@ -715,6 +744,12 @@ class ProcessPartitionPool:
         ``reset_counters`` (zero each target's counter after a fully
         successful round) run inside the locked region, so the loss
         bound stays consistent under concurrent snapshot/execute races.
+        ``on_success`` also runs inside the locked region, after every
+        reply succeeded and *before* the counters reset — checkpoint
+        installation uses it so {sections, counter, per-worker
+        counters} change as one atom: a worker failing right after the
+        scatter can never pair the old checkpoint with already-zeroed
+        counters (which would undercount ``ops_lost``).
         """
         targets = sorted(payloads)
         with ExitStack() as stack:
@@ -750,6 +785,8 @@ class ProcessPartitionPool:
                 raise worker_error
             if first_error is not None:
                 raise first_error
+            if on_success is not None:
+                on_success(results)
             if reset_counters:
                 for index in targets:
                     self.workers[index].ops_since_snapshot = 0
@@ -786,6 +823,18 @@ class ProcessPartitionPool:
         return {index: decode_response(raw) for index, raw in replies.items()}
 
     # -- snapshots -----------------------------------------------------------
+    def _install_checkpoint(
+        self, sections: Dict[int, bytes], counter: int
+    ) -> None:
+        """Publish a new recovery checkpoint (runs via scatter's
+        ``on_success``, i.e. with every worker lock held, so no recovery
+        can read a half-installed {sections, counter} pair)."""
+        with self._health_lock:
+            self._snapshot_sections = sections
+            self._snapshot_counter = counter
+            self._degraded.clear()
+            self._recovered.clear()
+
     def snapshot_all(self, counter: int) -> Dict[int, bytes]:
         """Have every worker seal + serialize its store (paper §4.4).
 
@@ -793,18 +842,22 @@ class ProcessPartitionPool:
         them as the crash-recovery checkpoint; a previously degraded or
         recovered pool returns to ``ok`` because a fresh checkpoint now
         reflects whatever state the partitions actually hold.
+
+        The checkpoint is installed from inside the scatter's locked
+        region (just before the mutation counters reset), so recovery
+        of a worker that dies right after the snapshot reads the *new*
+        sections with the *new* (already-zeroed) counters — never the
+        old checkpoint against zeroed counters, which would undercount
+        the documented mutation-loss bound.
         """
-        sections = self.scatter(
+        return self.scatter(
             {w.index: _U64.pack(counter) for w in self.workers},
             OP_SNAPSHOT,
             reset_counters=True,
+            on_success=lambda sections: self._install_checkpoint(
+                dict(sections), counter
+            ),
         )
-        with self._health_lock:
-            self._snapshot_sections = dict(sections)
-            self._snapshot_counter = counter
-            self._degraded.clear()
-            self._recovered.clear()
-        return sections
 
     def restore_all(
         self, sections: Sequence[bytes], counter: int, verify: bool = True
@@ -821,21 +874,16 @@ class ProcessPartitionPool:
                 f"{self.num_workers} workers"
             )
         flag = b"\x01" if verify else b"\x00"
+        checkpoint = dict(enumerate(bytes(s) for s in sections))
         self.scatter(
             {
-                index: _U64.pack(counter) + flag + bytes(section)
-                for index, section in enumerate(sections)
+                index: _U64.pack(counter) + flag + section
+                for index, section in checkpoint.items()
             },
             OP_RESTORE,
             reset_counters=True,
+            on_success=lambda _: self._install_checkpoint(checkpoint, counter),
         )
-        with self._health_lock:
-            self._snapshot_sections = dict(
-                enumerate(bytes(s) for s in sections)
-            )
-            self._snapshot_counter = counter
-            self._degraded.clear()
-            self._recovered.clear()
 
     # -- aggregates ---------------------------------------------------------
     def gather_stats(self) -> List[StoreStats]:
@@ -892,7 +940,9 @@ class ProcessPartitionPool:
             if self._broken is None:
                 for handle in self.workers:
                     try:
-                        handle.conn.send_bytes(bytes([OP_SHUTDOWN]))
+                        handle.conn.send_bytes(
+                            handle.channel.seal(bytes([OP_SHUTDOWN]))
+                        )
                     except (BrokenPipeError, OSError):
                         pass
                 for handle in self.workers:

@@ -11,15 +11,40 @@ Three classes of fix are locked in here:
 * **sealed worker pipes** — parent↔worker IPC frames are sealed with a
   per-worker channel, so client keys and values never cross the host
   kernel in the clear, and per-worker mutation counters are maintained
-  under the worker lock.
+  under the worker lock;
+* **per-incarnation pipe keys** — every (re)spawn derives the pipe
+  session keys from a fresh public nonce, so a host that kills a worker
+  to force a respawn cannot replay records recorded from the previous
+  incarnation into the new session (which restarts its sequence
+  counters, i.e. would otherwise reuse (key, IV) pairs);
+* **sealed shutdown** — ``close()`` sends ``OP_SHUTDOWN`` through the
+  session channel like every other frame, so workers exit via the
+  graceful acknowledged branch, not the tampered-frame break;
+* **checkpoint/counter atomicity** — ``snapshot_all``/``restore_all``
+  install the recovery checkpoint *inside* the scatter's locked region,
+  before the per-worker mutation counters reset, so a crash right after
+  a snapshot can never pair the old checkpoint with zeroed counters and
+  undercount ``ops_lost``.
 """
 
 import pytest
 
+import repro.core.procpool as procpool
 from repro.core import ShieldStore, process_mode_supported, shield_opt
-from repro.core.procpool import ProcessPartitionPool
+from repro.core.procpool import (
+    OP_SHUTDOWN,
+    REPLY_OK,
+    ProcessPartitionPool,
+    _pipe_channel,
+)
 from repro.crypto.keys import KeyRing
-from repro.errors import IntegrityError, ReplayError, StoreError
+from repro.errors import (
+    IntegrityError,
+    ProtocolError,
+    ReplayError,
+    StoreError,
+    WorkerError,
+)
 from repro.net.message import STATUS_OK, Request
 from repro.sim import Attacker
 
@@ -195,5 +220,168 @@ class TestSealedWorkerPipes:
             assert all(
                 handle.ops_since_snapshot == 0 for handle in pool.workers
             )
+        finally:
+            pool.close()
+
+
+class TestPerIncarnationPipeKeys:
+    """A respawned worker's pipe session must not share keys with its
+    dead predecessor: the host can kill a worker to force a respawn
+    (which restarts the sequence counters at zero), so static keys
+    would let it replay the previous incarnation's recorded records —
+    and reuse (key, IV) pairs across different plaintexts."""
+
+    def test_channels_from_different_nonces_reject_each_other(self):
+        suite = shield_opt(num_buckets=32, num_mac_hashes=8).suite_name
+        nonce_a, nonce_b = b"A" * 16, b"B" * 16
+        sealed = _pipe_channel(SECRET, 0, nonce_a, "client", suite).seal(
+            b"recorded-from-incarnation-a"
+        )
+        with pytest.raises(ProtocolError):
+            _pipe_channel(SECRET, 0, nonce_b, "server", suite).open(sealed)
+        # Sanity: the same nonce still yields a working channel pair.
+        assert _pipe_channel(SECRET, 0, nonce_a, "server", suite).open(
+            sealed
+        ) == b"recorded-from-incarnation-a"
+
+    @needs_processes
+    def test_respawned_worker_rejects_old_incarnation_records(
+        self, monkeypatch
+    ):
+        config = shield_opt(num_buckets=32, num_mac_hashes=8)
+        nonces = []
+        real_nonce = procpool._fresh_nonce
+
+        def recording_nonce():
+            nonces.append(real_nonce())
+            return nonces[-1]
+
+        monkeypatch.setattr(procpool, "_fresh_nonce", recording_nonce)
+        pool = ProcessPartitionPool(config, 1, SECRET)
+        try:
+            # The attacker's tape: every record incarnation A's parent
+            # could have produced, regenerated from a replica channel
+            # (same master secret, same spawn nonce → same key stream).
+            replica = _pipe_channel(
+                SECRET, 0, nonces[0], "client", config.suite_name
+            )
+            tape = [
+                replica.seal(bytes([procpool.OP_PING])) for _ in range(4)
+            ]
+            # Host kills the worker; the pool respawns it in place.
+            pool.workers[0].process.terminate()
+            with pytest.raises(WorkerError):
+                pool.execute(0, Request("get", b"x"))
+            assert len(nonces) == 2 and nonces[0] != nonces[1]
+            # Replay A's seq-1 record — the sequence number the new
+            # session expects next (its own seq 0 was the recovery
+            # PING).  With static per-index keys this would
+            # authenticate; with per-incarnation keys the worker must
+            # drop the stream without replying.
+            handle = pool.workers[0]
+            with handle.lock:
+                handle.conn.send_bytes(tape[1])
+                handle.process.join(timeout=10)
+                assert not handle.process.is_alive()
+                with pytest.raises(EOFError):
+                    handle.conn.recv_bytes()
+        finally:
+            pool.close()
+
+
+@needs_processes
+class TestSealedShutdown:
+    def test_worker_acks_sealed_shutdown_and_exits_cleanly(self):
+        pool = ProcessPartitionPool(
+            shield_opt(num_buckets=32, num_mac_hashes=8), 1, SECRET
+        )
+        try:
+            handle = pool.workers[0]
+            with handle.lock:
+                handle.conn.send_bytes(
+                    handle.channel.seal(bytes([OP_SHUTDOWN]))
+                )
+                ack = handle.channel.open(handle.conn.recv_bytes())
+            assert ack == bytes([REPLY_OK])
+            handle.process.join(timeout=10)
+            assert handle.process.exitcode == 0
+        finally:
+            pool.close()
+
+    def test_close_sends_sealed_shutdown_frames(self):
+        pool = ProcessPartitionPool(
+            shield_opt(num_buckets=32, num_mac_hashes=8), 2, SECRET
+        )
+        frames = []
+        processes = [handle.process for handle in pool.workers]
+        for handle in pool.workers:
+            handle.conn = _SpyConn(handle.conn, frames)
+        pool.close()
+        assert [p.exitcode for p in processes] == [0, 0]
+        shutdown_frames = frames[-2:]
+        assert len(shutdown_frames) == 2
+        for frame in shutdown_frames:
+            # Sealed records, never the raw opcode byte the worker
+            # would reject as a tampered frame.
+            assert frame != bytes([OP_SHUTDOWN])
+            assert len(frame) > 1
+
+
+@needs_processes
+class TestCheckpointCounterAtomicity:
+    def test_checkpoint_installed_before_counters_reset(self):
+        """The recovery checkpoint and the mutation counters must change
+        as one atom: installing the new sections after the counters were
+        already zeroed (or vice versa) lets a crash in the window pair
+        the old checkpoint with zeroed counters, undercounting the
+        documented ``ops_lost`` bound."""
+        pool = ProcessPartitionPool(
+            shield_opt(num_buckets=32, num_mac_hashes=8), 2, SECRET
+        )
+        try:
+            pool.execute(0, Request("set", b"a", b"1"))
+            pool.execute(1, Request("set", b"b", b"2"))
+            observed = {}
+            real_install = pool._install_checkpoint
+
+            def spying_install(sections, counter):
+                observed["counters_at_install"] = [
+                    handle.ops_since_snapshot for handle in pool.workers
+                ]
+                observed["counter"] = counter
+                real_install(sections, counter)
+
+            pool._install_checkpoint = spying_install
+            pool.snapshot_all(counter=7)
+            # Install ran with the pre-reset counters still in place
+            # (i.e. before the loss-bound was zeroed)...
+            assert observed["counter"] == 7
+            assert observed["counters_at_install"] == [1, 1]
+            # ...and by the time snapshot_all returned, checkpoint and
+            # counters had moved together.
+            assert pool._snapshot_counter == 7
+            assert set(pool._snapshot_sections) == {0, 1}
+            assert all(
+                handle.ops_since_snapshot == 0 for handle in pool.workers
+            )
+        finally:
+            pool.close()
+
+    def test_failed_snapshot_keeps_old_checkpoint_and_counters(self):
+        """A scatter that fails must leave both halves untouched: the
+        previous checkpoint stays installed and the loss-bound counters
+        keep counting from it."""
+        pool = ProcessPartitionPool(
+            shield_opt(num_buckets=32, num_mac_hashes=8), 2, SECRET
+        )
+        try:
+            pool.execute(0, Request("set", b"a", b"1"))
+            pool.snapshot_all(counter=1)
+            pool.execute(0, Request("set", b"c", b"3"))
+            pool.workers[1].process.terminate()
+            with pytest.raises(WorkerError):
+                pool.snapshot_all(counter=2)
+            assert pool._snapshot_counter == 1
+            assert pool.workers[0].ops_since_snapshot == 1
         finally:
             pool.close()

@@ -9,12 +9,17 @@ Commands:
   and its defenses
 * ``serve --port N``            — start a real TCP ShieldStore server
   (``--snapshot-dir``/``--snapshot-interval`` add periodic §4.4
-  checkpoints and restore-on-start)
+  checkpoints and restore-on-start, ``--snapshot-keep`` bounds the
+  retained checkpoints, ``--fault-plan plan.json`` installs a seeded
+  shieldfault schedule for chaos drills)
 * ``snapshot`` / ``restore``    — write / load a sealed multi-partition
   snapshot blob (rollback-protected by a persisted monotonic counter)
 * ``stats``                     — run a seeded batched workload and print
   the store's operation counters, including batch amortization
-  (``--format json`` for machine-readable output)
+  (``--format json`` for machine-readable output); with
+  ``--connect HOST:PORT --measurement HEX`` it instead attests a
+  running ``serve`` deployment and prints its live merged counters,
+  resilience counters included
 * ``lint``                      — shieldlint static analysis: enclave
   trust-boundary taint, verify-before-use and lock-order rules over
   the package tree (exit 0 clean / 1 findings / 2 analyzer error)
@@ -226,8 +231,24 @@ def _cmd_serve(args) -> int:
         print(f"partition engine: {args.workers} workers, mode={store.mode}")
     else:
         store = ShieldStore(config)
+    plan = None
+    if args.fault_plan:
+        from repro.sim import faults as faultsmod
+
+        plan = faultsmod.FaultPlan.from_file(args.fault_plan)
+        faultsmod.install(plan)
+        print(f"fault plan: {len(plan.rules)} rule(s), seed {plan.seed} "
+              f"({args.fault_plan})")
+
     service = AttestationService(args.attestation_secret.encode())
-    server = TCPShieldServer(store, service, host=args.host, port=args.port)
+    server = TCPShieldServer(
+        store,
+        service,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        request_deadline_s=args.request_deadline,
+    )
 
     daemon = None
     if args.snapshot_dir:
@@ -267,6 +288,7 @@ def _cmd_serve(args) -> int:
             args.snapshot_dir,
             args.snapshot_interval,
             lock=server.store_lock,
+            keep=args.snapshot_keep,
         )
         latest = SnapshotDaemon.latest_snapshot(args.snapshot_dir)
         if latest:
@@ -298,6 +320,10 @@ def _cmd_serve(args) -> int:
         server.close()
         if hasattr(store, "close"):
             store.close()
+        if plan is not None:
+            report = plan.snapshot()
+            print(f"faults injected: {report['total_fires']} "
+                  f"across {len(report['fires'])} point/kind pair(s)")
         print("stopped")
     return 0
 
@@ -324,9 +350,47 @@ def _emit_json(payload) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
 
 
+def _cmd_stats_connect(args) -> int:
+    """Attest a running ``repro serve`` and print its live counters."""
+    import os
+
+    from repro.net import TCPShieldClient
+    from repro.sim import AttestationService
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print("--connect needs HOST:PORT", file=sys.stderr)
+        return 2
+    if not args.measurement:
+        print("--connect requires --measurement HEX (printed by "
+              "`repro serve` at startup)", file=sys.stderr)
+        return 2
+    service = AttestationService(args.attestation_secret.encode())
+    client = TCPShieldClient(
+        (host, int(port)),
+        service,
+        bytes.fromhex(args.measurement),
+        os.urandom(32),
+    )
+    try:
+        counters = client.server_stats()
+    finally:
+        client.close()
+    if args.format == "json":
+        _emit_json({"connect": args.connect, "counters": counters})
+        return 0
+    print(f"live counters from {args.connect}:")
+    for name, value in sorted(counters.items()):
+        print(f"  {name:28s} {value}")
+    return 0
+
+
 def _cmd_stats(args) -> int:
     from repro.core import PartitionedShieldStore, shield_opt
     from repro.sim.enclave import Machine
+
+    if args.connect:
+        return _cmd_stats_connect(args)
 
     config = shield_opt(
         num_buckets=64 * args.threads, num_mac_hashes=16 * args.threads
@@ -455,6 +519,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--snapshot-interval", type=float, default=60.0,
                        help="seconds between checkpoints (default 60, "
                             "the paper's §4.4 schedule)")
+    serve.add_argument("--snapshot-keep", type=int, default=5,
+                       help="checkpoints retained in --snapshot-dir; older "
+                            "snapshot-*.bin files are pruned (default 5)")
+    serve.add_argument("--max-connections", type=int, default=64,
+                       help="concurrent session cap; excess accepts are "
+                            "refused and counted (default 64)")
+    serve.add_argument("--request-deadline", type=float, default=30.0,
+                       help="per-request wire deadline in seconds; stalled "
+                            "connections are dropped (default 30)")
+    serve.add_argument("--fault-plan", default=None, metavar="PLAN.json",
+                       help="install a seeded shieldfault injection plan "
+                            "(see repro.sim.faults) for chaos drills")
     serve.set_defaults(func=_cmd_serve)
 
     snapshot = sub.add_parser(
@@ -495,6 +571,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "worker process per partition)")
     stats.add_argument("--format", default="text", choices=["text", "json"],
                        help="output format (json is stable and sorted)")
+    stats.add_argument("--connect", default=None, metavar="HOST:PORT",
+                       help="instead of a local workload, attest a running "
+                            "`repro serve` and print its live counters")
+    stats.add_argument("--measurement", default=None,
+                       help="expected enclave measurement (hex) for "
+                            "--connect; printed by `repro serve`")
+    stats.add_argument("--attestation-secret", default="dev-attestation-secret",
+                       help="attestation service secret for --connect")
     stats.set_defaults(func=_cmd_stats)
 
     lint = sub.add_parser(

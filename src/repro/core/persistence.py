@@ -49,12 +49,26 @@ from repro.core.stats import StoreStats
 from repro.core.store import ShieldStore
 from repro.crypto.keys import derive_key
 from repro.errors import SnapshotError
+from repro.sim import faults
 from repro.sim.counters import MonotonicCounterService
 from repro.sim.enclave import ExecContext
 from repro.sim.sealing import SealingService
 
 _MAGIC = b"SSSNAP1\0"
 _PMAGIC = b"SSPSNP1\0"
+
+
+def _fault_blob(point: str, blob: bytes) -> bytes:
+    """shieldfault hook for snapshot blobs entering/leaving persistence.
+
+    ``tamper`` rules substitute a corrupted blob (exercising the sealed
+    header, section MACs, and rollback checks downstream); ``error`` and
+    ``delay`` are handled inside :func:`repro.sim.faults.check`.
+    """
+    hit = faults.check(point, blob)
+    if hit is not None and hit.payload is not None:
+        return hit.payload
+    return blob
 
 MODE_NONE = "none"
 MODE_NAIVE = "naive"
@@ -257,11 +271,12 @@ class Snapshotter:
     def snapshot_bytes(self, ctx: ExecContext, store: ShieldStore) -> bytes:
         """Produce a snapshot blob; bumps the monotonic counter."""
         counter = self.counters.increment(ctx, self.counter_name)
-        return (
+        blob = (
             _MAGIC
             + struct.pack("<Q", counter)
             + write_section(ctx, store, self.sealing, counter)
         )
+        return _fault_blob("persistence.snapshot", blob)
 
     def restore(
         self,
@@ -277,6 +292,7 @@ class Snapshotter:
         """
         if len(store) != 0:
             raise SnapshotError("restore target store must be empty")
+        blob = _fault_blob("persistence.restore", blob)
         reader = _Reader(blob)
         if reader.take(len(_MAGIC)) != _MAGIC:
             raise SnapshotError("snapshot has wrong magic")
@@ -366,7 +382,7 @@ class PartitionSnapshotter:
         for section in sections:
             parts.append(struct.pack("<Q", len(section)))
             parts.append(section)
-        return b"".join(parts)
+        return _fault_blob("persistence.snapshot", b"".join(parts))
 
     @staticmethod
     def _header(store, counter: int) -> bytes:
@@ -397,6 +413,7 @@ class PartitionSnapshotter:
         worker rebuilds its private store from its own section.
         """
         ctx = store.enclave.context()
+        blob = _fault_blob("persistence.restore", blob)
         reader = _Reader(blob)
         if reader.take(len(_PMAGIC)) != _PMAGIC:
             raise SnapshotError("partition snapshot has wrong magic")

@@ -94,6 +94,7 @@ from repro.net.message import (
     encode_multi_items,
     encode_request,
 )
+from repro.sim import faults
 
 # -- frame opcodes ------------------------------------------------------------
 OP_REQ = 0x01       # execute one Request (single-key or mget/mset/mdelete)
@@ -473,6 +474,9 @@ class ProcessPartitionPool:
         replacement worker's pipe session never shares keys with its
         dead predecessor — see :func:`_pipe_channel`.
         """
+        hit = faults.check("procpool.spawn")
+        if hit is not None and hit.kind == "drop":
+            raise OSError(f"injected spawn failure for partition {index}")
         nonce = _fresh_nonce()
         parent_conn, child_conn = self._mp_ctx.Pipe(duplex=True)
         process = self._mp_ctx.Process(
@@ -609,9 +613,18 @@ class ProcessPartitionPool:
         recover: bool = True,
     ) -> None:
         try:
-            handle.conn.send_bytes(
-                handle.channel.seal(bytes([opcode]) + payload)
+            sealed = handle.channel.seal(bytes([opcode]) + payload)
+            hit = faults.check(
+                "procpool.pipe.send", sealed, on_crash=handle.process.kill
             )
+            if hit is not None:
+                if hit.kind == "drop":
+                    # The frame is lost in the kernel; the reply wait
+                    # will time out and trigger worker recovery.
+                    return
+                if hit.payload is not None:
+                    sealed = hit.payload
+            handle.conn.send_bytes(sealed)
         except (BrokenPipeError, OSError) as exc:
             raise self._worker_failed(
                 handle,
@@ -658,7 +671,16 @@ class ProcessPartitionPool:
                     recover,
                 )
         try:
-            frame = handle.channel.open(handle.conn.recv_bytes())
+            raw = handle.conn.recv_bytes()
+            hit = faults.check(
+                "procpool.pipe.recv", raw, on_crash=handle.process.kill
+            )
+            if hit is not None:
+                if hit.kind == "drop":
+                    raise OSError("injected pipe frame drop")
+                if hit.payload is not None:
+                    raw = hit.payload
+            frame = handle.channel.open(raw)
         except (EOFError, OSError) as exc:
             raise self._worker_failed(
                 handle,

@@ -38,6 +38,16 @@ class StoreStats:
     temp_table_merges: int = 0
     worker_recoveries: int = 0      # dead workers respawned + restored
     worker_ops_lost: int = 0        # upper bound on mutations lost to crashes
+    # Transport resilience (TCP front-end + shieldfault plane):
+    net_retries: int = 0            # client requests retried after a fault
+    net_reconnects: int = 0         # sessions re-attested after a failure
+    net_timeouts: int = 0           # request deadlines that expired
+    tamper_drops: int = 0           # sessions dropped on unauthenticated records
+    idempotent_replays: int = 0     # duplicate write tokens served from cache
+    rejected_connections: int = 0   # accepts refused at the connection cap
+    deadline_drops: int = 0         # connections dropped by the request deadline
+    degraded_replies: int = 0       # STATUS_ERROR replies (serving degraded)
+    faults_injected: int = 0        # shieldfault fires observed process-wide
     # Batch amortization (multi_get / multi_set / multi_delete):
     batches: int = 0                    # batch calls served
     batch_ops: int = 0                  # operations carried by batches

@@ -17,8 +17,11 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from typing import Optional, Tuple
+
 from repro.crypto.suite import CipherSuite
 from repro.errors import ProtocolError
+from repro.sim import faults
 
 OP_CODES = {
     "get": 1,
@@ -33,6 +36,9 @@ OP_CODES = {
     "mget": 7,
     "mset": 8,
     "mdelete": 9,
+    # Introspection: the TCP server answers with its merged StoreStats
+    # (JSON) so ``repro stats --connect`` can read a live deployment.
+    "stats": 10,
 }
 OP_NAMES = {v: k for k, v in OP_CODES.items()}
 BATCH_OPS = frozenset({"mget", "mset", "mdelete"})
@@ -101,6 +107,39 @@ def decode_response(raw: bytes) -> Response:
     if len(raw) != 5 + vlen:
         raise ProtocolError("response length mismatch")
     return Response(status, raw[5:])
+
+
+# -- idempotency envelope -----------------------------------------------------
+#
+# A retried write must apply exactly once even when the first attempt's
+# reply was lost, so the TCP client wraps mutating requests in a sealed
+# envelope carrying a per-request idempotency token::
+#
+#     envelope: 0xE1 | token(16) | request record
+#
+# The magic byte can never collide with a bare request record, whose
+# first byte is an opcode (all < 0x40), so the server accepts both forms
+# and legacy clients keep working.
+ENVELOPE_MAGIC = 0xE1
+TOKEN_SIZE = 16
+
+
+def encode_envelope(token: Optional[bytes], record: bytes) -> bytes:
+    """Prepend an idempotency token to a request record (None = bare)."""
+    if token is None:
+        return record
+    if len(token) != TOKEN_SIZE:
+        raise ProtocolError(f"idempotency token must be {TOKEN_SIZE} bytes")
+    return bytes([ENVELOPE_MAGIC]) + token + record
+
+
+def decode_envelope(raw: bytes) -> Tuple[Optional[bytes], bytes]:
+    """Split a sealed payload into (token or None, request record)."""
+    if not raw or raw[0] != ENVELOPE_MAGIC:
+        return None, raw
+    if len(raw) < 1 + TOKEN_SIZE + 9:
+        raise ProtocolError("enveloped request too short")
+    return raw[1 : 1 + TOKEN_SIZE], raw[1 + TOKEN_SIZE :]
 
 
 def encode_cas_value(expected: bytes, new_value: bytes) -> bytes:
@@ -263,10 +302,17 @@ class SecureChannel:
         header = struct.pack("<Q", seq)
         ciphertext = self.suite.encrypt(self._iv_for(seq, self._send_domain), plaintext)
         tag = self.suite.mac(header + ciphertext)
-        return header + ciphertext + tag
+        sealed = header + ciphertext + tag
+        hit = faults.check(f"channel.{self.role}.seal", sealed)
+        if hit is not None and hit.payload is not None:
+            sealed = hit.payload  # scripted corruption of the sealed record
+        return sealed
 
     def open(self, sealed: bytes) -> bytes:
         """Verify + decrypt one record; enforces sequence monotonicity."""
+        hit = faults.check(f"channel.{self.role}.open", sealed)
+        if hit is not None and hit.payload is not None:
+            sealed = hit.payload  # scripted corruption before authentication
         if len(sealed) < 8 + MAC_SIZE:
             raise ProtocolError("sealed record too short")
         header, ciphertext, tag = (

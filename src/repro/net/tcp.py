@@ -7,27 +7,64 @@ attestation of the server enclave, DH key exchange, then authenticated
 encryption on every record.  Used by the ``networked_cluster`` example
 and the integration tests; the performance experiments use the
 cost-modeled :class:`~repro.net.server.NetworkedServer` instead.
+
+Resilience (shieldfault)
+------------------------
+The §2.3 threat model hands the network to the host, so this transport
+assumes frames get dropped, delayed and corrupted and keeps serving
+anyway:
+
+* :class:`TCPShieldClient` enforces connect and per-request deadlines,
+  transparently re-attests and reconnects after a failure with capped
+  exponential backoff plus seeded jitter, and stamps every mutating
+  request with an idempotency token carried inside the sealed envelope;
+* :class:`TCPShieldServer` deduplicates those tokens per client
+  identity (bounded LRU, replies replayed from cache), so a retried
+  write after a lost reply applies **exactly once**; it also caps
+  concurrent connections, enforces per-request deadlines, reaps
+  finished handler threads, and drains cleanly on :meth:`close`;
+* every socket/frame crossing is a named :mod:`repro.sim.faults`
+  injection point, so all of the above is reproducible on demand.
+
+Failure counters (tampered sessions dropped, idempotent replays,
+rejected connections...) are kept in :class:`~repro.core.stats.StoreStats`
+form and served over the wire by the ``stats`` protocol op
+(``repro stats --connect``).
 """
 
 from __future__ import annotations
 
+import json
+import os
 import socket
 import struct
 import threading
-from typing import Optional
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
-from repro.errors import KeyNotFoundError, ProtocolError, StoreError
+from repro.core.stats import StoreStats
+from repro.errors import (
+    AttestationError,
+    KeyNotFoundError,
+    ProtocolError,
+    StoreError,
+)
 from repro.net.message import (
     STATUS_MISS,
     STATUS_OK,
+    TOKEN_SIZE,
     Request,
+    Response,
     SecureChannel,
+    decode_envelope,
     decode_request,
     decode_response,
+    encode_envelope,
     encode_request,
     encode_response,
-    Response,
 )
+from repro.sim import faults
 from repro.sim.attestation import (
     AttestationService,
     DHKeyPair,
@@ -37,33 +74,152 @@ from repro.sim.sdk import sgx_read_rand
 
 _LEN = struct.Struct("<I")
 
+# Wire ops that mutate the store: these carry idempotency tokens so the
+# server can deduplicate retries.  Reads are naturally idempotent.
+MUTATING_WIRE_OPS = frozenset(
+    {"set", "delete", "append", "increment", "cas", "mset", "mdelete"}
+)
 
-def _send_frame(sock: socket.socket, payload: bytes) -> None:
+
+class _TransientServerError(StoreError):
+    """A STATUS_ERROR reply: the server is degraded, not gone.  Retried."""
+
+
+def _send_frame(
+    sock: socket.socket, payload: bytes, point: Optional[str] = None
+) -> None:
+    if point is not None:
+        hit = faults.check(point, payload)
+        if hit is not None:
+            if hit.kind == "drop":
+                return  # the frame vanishes on the wire
+            if hit.payload is not None:
+                payload = hit.payload
     sock.sendall(_LEN.pack(len(payload)) + payload)
 
 
-def _recv_frame(sock: socket.socket) -> Optional[bytes]:
+def _recv_frame(
+    sock: socket.socket,
+    point: Optional[str] = None,
+    body_timeout: Optional[float] = None,
+) -> Optional[bytes]:
+    """Receive one length-prefixed frame.
+
+    Returns ``None`` on a clean EOF *before any byte of the frame*; a
+    peer dying mid-frame raises :class:`ProtocolError` — a truncated
+    record is a failure, not a graceful close.  ``body_timeout``
+    (seconds) bounds the wait for the body once the header has arrived,
+    so a peer that stalls mid-request cannot wedge a handler forever.
+    """
     header = _recv_exact(sock, 4)
     if header is None:
         return None
     (length,) = _LEN.unpack(header)
     if length > 64 * 1024 * 1024:
         raise ProtocolError("frame too large")
-    return _recv_exact(sock, length)
+    if body_timeout is not None:
+        sock.settimeout(body_timeout)
+    body = _recv_exact(sock, length)
+    if body is None and length > 0:
+        raise ProtocolError(
+            "truncated frame: peer closed after the length header"
+        )
+    if body is None:
+        body = b""
+    if point is not None:
+        hit = faults.check(point, body)
+        if hit is not None:
+            if hit.kind == "drop":
+                # The frame never arrived.  Receivers treat that as a
+                # timeout (the sender will retry or give up), which is
+                # what a genuinely lost frame looks like.
+                raise socket.timeout(f"injected frame drop at {point}")
+            if hit.payload is not None:
+                body = hit.payload
+    return body
 
 
 def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes, or ``None`` on EOF at a boundary.
+
+    EOF after some bytes were already consumed means the peer died
+    mid-record; that is a :class:`ProtocolError`, never mistaken for a
+    graceful close.
+    """
     data = b""
     while len(data) < count:
         chunk = sock.recv(count - len(data))
         if not chunk:
+            if data:
+                raise ProtocolError(
+                    f"truncated frame: peer closed with {len(data)} of "
+                    f"{count} bytes received"
+                )
             return None
         data += chunk
     return data
 
 
+class _IdempotencyCache:
+    """Bounded LRU of applied write tokens, per client identity.
+
+    Maps ``(client_id, token) -> encoded reply`` so a retried write
+    whose first reply was lost is answered from cache instead of being
+    applied twice.  Both dimensions are bounded: the oldest client is
+    evicted past ``max_clients``, the oldest token per client past
+    ``max_tokens`` — retries arrive promptly, so a small window is
+    enough, and memory stays O(clients x tokens).
+    """
+
+    def __init__(self, max_clients: int = 128, max_tokens: int = 1024):
+        self.max_clients = max_clients
+        self.max_tokens = max_tokens
+        self._clients: "OrderedDict[bytes, OrderedDict[bytes, bytes]]" = (
+            OrderedDict()
+        )
+        self._mutex = threading.Lock()
+
+    def lookup(self, client_id: bytes, token: bytes) -> Optional[bytes]:
+        with self._mutex:
+            tokens = self._clients.get(client_id)
+            if tokens is None:
+                return None
+            self._clients.move_to_end(client_id)
+            reply = tokens.get(token)
+            if reply is not None:
+                tokens.move_to_end(token)
+            return reply
+
+    def store(self, client_id: bytes, token: bytes, reply: bytes) -> None:
+        with self._mutex:
+            tokens = self._clients.get(client_id)
+            if tokens is None:
+                tokens = self._clients[client_id] = OrderedDict()
+            self._clients.move_to_end(client_id)
+            tokens[token] = reply
+            tokens.move_to_end(token)
+            while len(tokens) > self.max_tokens:
+                tokens.popitem(last=False)
+            while len(self._clients) > self.max_clients:
+                self._clients.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._mutex:
+            return sum(len(tokens) for tokens in self._clients.values())
+
+
 class TCPShieldServer:
-    """Threaded TCP server fronting one ShieldStore."""
+    """Threaded TCP server fronting one ShieldStore.
+
+    ``max_connections`` caps concurrent sessions (excess accepts are
+    closed immediately and counted).  ``request_deadline_s`` bounds how
+    long one request may take on the wire — a client that stalls
+    mid-frame or cannot take its reply is disconnected, not waited on
+    forever.  ``idle_timeout_s`` (``None`` = unbounded) bounds the wait
+    *between* requests.  :meth:`close` drains: it stops accepting,
+    lets in-flight requests finish within ``drain_timeout_s``, then
+    force-closes stragglers and joins every handler thread.
+    """
 
     def __init__(
         self,
@@ -71,18 +227,37 @@ class TCPShieldServer:
         attestation: AttestationService,
         host: str = "127.0.0.1",
         port: int = 0,
+        max_connections: int = 64,
+        request_deadline_s: Optional[float] = 30.0,
+        idle_timeout_s: Optional[float] = None,
+        drain_timeout_s: float = 10.0,
     ):
         self.store = store
         self.attestation = attestation
+        self.max_connections = max_connections
+        self.request_deadline_s = request_deadline_s
+        self.idle_timeout_s = idle_timeout_s
+        self.drain_timeout_s = drain_timeout_s
         # Serializes store access against snapshot checkpoints: the
         # SnapshotDaemon takes this lock while serializing the store, so
         # a checkpoint is a consistent cut, never a half-applied batch.
         # (Reentrant: a request already holding it may trigger nested
         # store calls.)
         self.store_lock = threading.RLock()
+        # Transport-level failure counters, merged with the store's own
+        # counters by stats_snapshot(); guarded by _stats_mutex because
+        # every handler thread bumps them.
+        self.net_stats = StoreStats()
+        self._stats_mutex = threading.Lock()
+        self._idempotency = _IdempotencyCache()
         self._sock = socket.create_server((host, port))
+        # Poll the listener: a blocking accept() is not reliably woken
+        # by close() from another thread, and shutdown must not hang.
+        self._sock.settimeout(0.25)
         self.address = self._sock.getsockname()
-        self._threads = []
+        self._threads: List[threading.Thread] = []
+        self._conns: Dict[int, socket.socket] = {}
+        self._conns_mutex = threading.Lock()
         self._stop = threading.Event()
         self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
 
@@ -90,72 +265,230 @@ class TCPShieldServer:
         """Begin accepting connections (returns immediately)."""
         self._accept_thread.start()
 
-    def close(self) -> None:
-        """Stop accepting and close the listening socket."""
+    def _bump(self, name: str, amount: int = 1) -> None:
+        with self._stats_mutex:
+            setattr(self.net_stats, name, getattr(self.net_stats, name) + amount)
+
+    def stats_snapshot(self) -> StoreStats:
+        """Store counters merged with the transport's failure counters.
+
+        Includes the shieldfault fire count of this process's active
+        plan, so a chaos run can check observed faults against the
+        scripted schedule.
+        """
+        stats = getattr(self.store, "stats", None)
+        if callable(stats):
+            merged = stats()  # PartitionedShieldStore aggregates on demand
+        elif isinstance(stats, StoreStats):
+            merged = StoreStats().merge(stats)
+        else:
+            merged = StoreStats()
+        with self._stats_mutex:
+            merged = merged.merge(self.net_stats)
+        merged.faults_injected += faults.fires()
+        return merged
+
+    @property
+    def live_connections(self) -> int:
+        with self._conns_mutex:
+            return len(self._conns)
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting, drain in-flight requests, join every handler.
+
+        ``drain=False`` skips the grace period and severs connections
+        immediately (still joins the handlers afterwards).
+        """
         self._stop.set()
         try:
             self._sock.close()
         except OSError:
             pass
+        if self._accept_thread.is_alive():
+            self._accept_thread.join(timeout=self.drain_timeout_s)
+        deadline = time.monotonic() + (self.drain_timeout_s if drain else 0.0)
+        for thread in self._threads:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            thread.join(timeout=remaining)
+        # Whatever is still alive is idle-blocked or wedged: sever its
+        # socket so the handler unblocks, then collect it.
+        with self._conns_mutex:
+            lingering = list(self._conns.values())
+        for conn in lingering:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            if thread.is_alive():
+                thread.join(timeout=1.0)
+        self._threads = [t for t in self._threads if t.is_alive()]
 
     # -- connection handling ----------------------------------------------
     def _accept_loop(self) -> None:
         while not self._stop.is_set():
             try:
                 conn, _addr = self._sock.accept()
+            except socket.timeout:
+                continue
             except OSError:
                 return
+            if self._stop.is_set():
+                self._close_quietly(conn)
+                return
+            # Reap finished handlers so _threads tracks only live ones
+            # instead of growing for the lifetime of the server.
+            self._threads = [t for t in self._threads if t.is_alive()]
+            try:
+                hit = faults.check("tcp.server.accept")
+            except OSError:
+                self._close_quietly(conn)
+                continue
+            if hit is not None and hit.kind in ("drop", "crash"):
+                self._close_quietly(conn)
+                continue
+            if len(self._threads) >= self.max_connections:
+                self._bump("rejected_connections")
+                self._close_quietly(conn)
+                continue
             thread = threading.Thread(
                 target=self._serve_connection, args=(conn,), daemon=True
             )
-            thread.start()
             self._threads.append(thread)
+            thread.start()
 
-    def _handshake(self, conn: socket.socket) -> Optional[SecureChannel]:
-        """Server side of the §3.2 attested handshake."""
+    @staticmethod
+    def _close_quietly(conn: socket.socket) -> None:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+    def _handshake(
+        self, conn: socket.socket
+    ) -> Optional[Tuple[SecureChannel, bytes]]:
+        """Server side of the §3.2 attested handshake.
+
+        Returns the session channel plus the client identity — the hash
+        of the client's DH public key, which is stable across that
+        client's re-attested reconnects and therefore keys the
+        idempotency cache.
+        """
+        import hashlib
+
         ctx = self.store.enclave.context()
         server_dh = DHKeyPair(sgx_read_rand(ctx, 32))
         pub_bytes = server_dh.public.to_bytes(256, "big")
-        import hashlib
-
         quote = self.attestation.quote(
             ctx, self.store.enclave, hashlib.sha256(pub_bytes).digest()
         )
         _send_frame(
             conn,
             quote.measurement + quote.signature + quote.report_data + pub_bytes,
+            point="tcp.server.send",
         )
-        client_pub_raw = _recv_frame(conn)
+        client_pub_raw = _recv_frame(conn, point="tcp.server.recv")
         if client_pub_raw is None:
             return None
         client_pub = int.from_bytes(client_pub_raw, "big")
         suite = derive_session_suite(server_dh.shared_secret(client_pub))
-        return SecureChannel(suite, "server")
+        client_id = hashlib.sha256(client_pub_raw).digest()
+        return SecureChannel(suite, "server"), client_id
+
+    def _register(self, conn: socket.socket) -> None:
+        with self._conns_mutex:
+            self._conns[id(conn)] = conn
+
+    def _deregister(self, conn: socket.socket) -> None:
+        with self._conns_mutex:
+            self._conns.pop(id(conn), None)
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        with conn:
-            try:
-                channel = self._handshake(conn)
-            except (ProtocolError, OSError):
-                return
-            if channel is None:
-                return
-            while not self._stop.is_set():
+        self._register(conn)
+        try:
+            with conn:
+                conn.settimeout(self.idle_timeout_s)
                 try:
-                    frame = _recv_frame(conn)
-                except (OSError, ProtocolError):
+                    session = self._handshake(conn)
+                except (ProtocolError, OSError):
                     return
-                if frame is None:
+                if session is None:
                     return
-                try:
-                    raw = channel.open(frame)
-                    response = self._execute(decode_request(raw))
-                except ProtocolError:
-                    return  # tampered traffic: drop the session
-                try:
-                    _send_frame(conn, channel.seal(encode_response(response)))
-                except OSError:
-                    return
+                channel, client_id = session
+                while not self._stop.is_set():
+                    try:
+                        conn.settimeout(self.idle_timeout_s)
+                        frame = _recv_frame(
+                            conn,
+                            point="tcp.server.recv",
+                            body_timeout=self.request_deadline_s,
+                        )
+                    except socket.timeout:
+                        # Mid-frame stall past the deadline, an injected
+                        # drop, or idle expiry: drop the connection; the
+                        # client reconnects and retries.
+                        self._bump("deadline_drops")
+                        return
+                    except (OSError, ProtocolError):
+                        return
+                    if frame is None:
+                        return
+                    try:
+                        raw = channel.open(frame)
+                    except ProtocolError:
+                        # Tampered traffic: drop the session.  A fresh
+                        # handshake re-admits the client.
+                        self._bump("tamper_drops")
+                        return
+                    try:
+                        out = self._dispatch(client_id, raw)
+                    except ProtocolError:
+                        self._bump("tamper_drops")
+                        return
+                    try:
+                        conn.settimeout(self.request_deadline_s)
+                        _send_frame(
+                            conn, channel.seal(out), point="tcp.server.send"
+                        )
+                    except socket.timeout:
+                        self._bump("deadline_drops")
+                        return
+                    except OSError:
+                        return
+        finally:
+            self._deregister(conn)
+
+    def _dispatch(self, client_id: bytes, raw: bytes) -> bytes:
+        """Decode one opened payload and produce the encoded reply.
+
+        Tokened (mutating) requests are deduplicated: a token already
+        in the cache is answered with its cached reply and never
+        re-executed, so a retry after a lost reply applies exactly
+        once.  Error replies are *not* cached — a retry of a transiently
+        failed write must re-execute, not replay the failure.
+        """
+        token, record = decode_envelope(raw)
+        request = decode_request(record)
+        if request.op == "stats":
+            payload = json.dumps(
+                self.stats_snapshot().snapshot_dict(), sort_keys=True
+            ).encode("ascii")
+            return encode_response(Response(STATUS_OK, payload))
+        if token is not None:
+            cached = self._idempotency.lookup(client_id, token)
+            if cached is not None:
+                self._bump("idempotent_replays")
+                return cached
+        response = self._execute(request)
+        if response.status not in (STATUS_OK, STATUS_MISS):
+            self._bump("degraded_replies")
+            return encode_response(response)
+        out = encode_response(response)
+        if token is not None:
+            self._idempotency.store(client_id, token, out)
+        return out
 
     def _execute(self, request: Request) -> Response:
         from repro.net.server import execute_request
@@ -174,16 +507,26 @@ class SnapshotDaemon:
     blob, and writes it atomically (temp file + ``os.replace``) as
     ``snapshot-<counter>.bin``, so a crash mid-write never leaves a
     truncated latest checkpoint.
+
+    Retention: after each successful write the oldest checkpoints are
+    deleted so at most ``keep`` ``snapshot-*.bin`` files remain.  Only
+    snapshot blobs are touched — the monotonic-counter state file lives
+    in the same directory and must survive every prune, because it is
+    the rollback defense for whatever snapshot remains.
     """
 
-    def __init__(self, take_snapshot, directory, interval_s: float, lock=None):
-        import os
-
+    def __init__(
+        self, take_snapshot, directory, interval_s: float, lock=None, keep: int = 5
+    ):
         self.take_snapshot = take_snapshot
         self.directory = os.fspath(directory)
         self.interval_s = interval_s
         self.lock = lock if lock is not None else threading.RLock()
+        if keep < 1:
+            raise StoreError(f"snapshot retention must keep >= 1, got {keep}")
+        self.keep = keep
         self.snapshots_written = 0
+        self.snapshots_pruned = 0
         self.last_path: Optional[str] = None
         self.last_error: Optional[Exception] = None
         self._stopev = threading.Event()
@@ -210,8 +553,6 @@ class SnapshotDaemon:
 
     def run_once(self) -> str:
         """Take one checkpoint now; returns the file path written."""
-        import os
-
         from repro.core.persistence import snapshot_counter
 
         with self.lock:
@@ -219,6 +560,14 @@ class SnapshotDaemon:
         counter = snapshot_counter(blob)
         path = os.path.join(self.directory, f"snapshot-{counter:012d}.bin")
         tmp = path + ".tmp"
+        hit = faults.check(
+            "snapshot.write", blob, on_crash=lambda: self._crash_write(tmp, blob)
+        )
+        if hit is not None:
+            if hit.kind == "drop":
+                raise StoreError("injected checkpoint drop: nothing written")
+            if hit.payload is not None:
+                blob = hit.payload  # scripted on-disk corruption
         with open(tmp, "wb") as fh:
             fh.write(blob)
             fh.flush()
@@ -227,7 +576,29 @@ class SnapshotDaemon:
         self.snapshots_written += 1
         self.last_path = path
         self.last_error = None
+        self._prune()
         return path
+
+    @staticmethod
+    def _crash_write(tmp: str, blob: bytes) -> None:
+        """Scripted crash mid-write: leave a truncated temp file behind."""
+        with open(tmp, "wb") as fh:
+            fh.write(blob[: max(1, len(blob) // 2)])
+        raise OSError("injected crash during checkpoint write")
+
+    def _prune(self) -> None:
+        """Delete checkpoints beyond the ``keep`` newest (by counter)."""
+        import glob
+
+        paths = sorted(
+            glob.glob(os.path.join(self.directory, "snapshot-*.bin"))
+        )
+        for stale in paths[: -self.keep]:
+            try:
+                os.remove(stale)
+                self.snapshots_pruned += 1
+            except OSError:
+                pass  # already gone or busy; retry at the next prune
 
     @staticmethod
     def latest_snapshot(directory) -> Optional[str]:
@@ -237,16 +608,48 @@ class SnapshotDaemon:
         lexicographically greatest name is the newest snapshot.
         """
         import glob
-        import os
 
         paths = sorted(
             glob.glob(os.path.join(os.fspath(directory), "snapshot-*.bin"))
         )
         return paths[-1] if paths else None
 
+    @staticmethod
+    def load_latest(directory) -> Optional[Tuple[str, bytes]]:
+        """Read the newest checkpoint; ``(path, blob)`` or ``None``.
+
+        The read is a ``snapshot.read`` injection point, so restore-time
+        corruption and I/O failures are scriptable.
+        """
+        path = SnapshotDaemon.latest_snapshot(directory)
+        if path is None:
+            return None
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        hit = faults.check("snapshot.read", blob)
+        if hit is not None:
+            if hit.kind == "drop":
+                return None
+            if hit.payload is not None:
+                blob = hit.payload
+        return path, blob
+
 
 class TCPShieldClient:
-    """Client that attests the server before trusting the session."""
+    """Client that attests the server before trusting the session.
+
+    Resilient by default: connect and per-request deadlines, automatic
+    re-attest + reconnect with capped exponential backoff and seeded
+    jitter, and idempotency tokens on every mutating request so retries
+    after a lost reply are deduplicated server-side.  A request is
+    retried on transport faults (timeout, reset, truncated or
+    unauthenticated frames) and on transient server errors; attestation
+    failures are never retried — a server that fails the measurement
+    check is not a degraded peer, it is the adversary.
+
+    ``stats`` (a :class:`~repro.core.stats.StoreStats`) counts retries,
+    reconnects and timeouts on the client side.
+    """
 
     def __init__(
         self,
@@ -254,21 +657,68 @@ class TCPShieldClient:
         attestation: AttestationService,
         expected_measurement: bytes,
         entropy: bytes,
+        connect_timeout_s: float = 10.0,
+        request_deadline_s: Optional[float] = 10.0,
+        max_retries: int = 4,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        retry_seed: Optional[int] = None,
     ):
-        self._sock = socket.create_connection(address)
-        self._channel = self._handshake(attestation, expected_measurement, entropy)
+        import random
 
-    def _handshake(
-        self,
-        attestation: AttestationService,
-        expected_measurement: bytes,
-        entropy: bytes,
-    ) -> SecureChannel:
+        self.address = address
+        self.attestation = attestation
+        self.expected_measurement = expected_measurement
+        self.entropy = entropy
+        self.connect_timeout_s = connect_timeout_s
+        self.request_deadline_s = request_deadline_s
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.stats = StoreStats()
+        if retry_seed is None:
+            retry_seed = int.from_bytes(entropy[:8], "big")
+        self._rng = random.Random(retry_seed)
+        self._sock: Optional[socket.socket] = None
+        self._channel: Optional[SecureChannel] = None
+        self._sessions = 0
+        self._retry_loop(lambda: None, "connect")
+
+    # -- connection lifecycle -----------------------------------------------
+    def _ensure_connected(self) -> None:
+        if self._channel is not None:
+            return
+        hit = faults.check("tcp.client.connect", on_crash=self._teardown)
+        if hit is not None and hit.kind == "drop":
+            raise socket.timeout("injected connect drop")
+        self._sock = socket.create_connection(
+            self.address, timeout=self.connect_timeout_s
+        )
+        try:
+            self._channel = self._handshake()
+        except BaseException:
+            self._teardown()
+            raise
+        self._sessions += 1
+        if self._sessions > 1:
+            self.stats.net_reconnects += 1
+
+    def _teardown(self) -> None:
+        self._channel = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _handshake(self) -> SecureChannel:
         import hashlib
 
         from repro.sim.attestation import Quote
 
-        frame = _recv_frame(self._sock)
+        assert self._sock is not None
+        frame = _recv_frame(self._sock, point="tcp.client.recv")
         if frame is None or len(frame) < 32 + 32 + 32 + 256:
             raise ProtocolError("handshake frame truncated")
         measurement = frame[:32]
@@ -276,28 +726,89 @@ class TCPShieldClient:
         report_data = frame[64:96]
         pub_bytes = frame[96:]
         quote = Quote(measurement, report_data, signature)
-        attestation.verify(quote, expected_measurement)
+        self.attestation.verify(quote, self.expected_measurement)
         if hashlib.sha256(pub_bytes).digest() != report_data:
             raise ProtocolError("quote does not bind the server DH key")
-        client_dh = DHKeyPair(entropy)
-        _send_frame(self._sock, client_dh.public.to_bytes(256, "big"))
+        client_dh = DHKeyPair(self.entropy)
+        _send_frame(
+            self._sock,
+            client_dh.public.to_bytes(256, "big"),
+            point="tcp.client.send",
+        )
         server_pub = int.from_bytes(pub_bytes, "big")
         suite = derive_session_suite(client_dh.shared_secret(server_pub))
         return SecureChannel(suite, "client")
 
+    # -- retry machinery -----------------------------------------------------
+    def _backoff(self, attempt: int) -> None:
+        """Capped exponential backoff with seeded jitter."""
+        base = min(
+            self.backoff_max_s, self.backoff_base_s * (2 ** (attempt - 1))
+        )
+        time.sleep(base * (0.5 + 0.5 * self._rng.random()))
+
+    def _retry_loop(self, body, what: str):
+        """Run ``body`` with reconnect-and-retry on transport faults."""
+        attempt = 0
+        while True:
+            try:
+                self._ensure_connected()
+                return body()
+            except AttestationError:
+                # Never retried: a failed measurement check means the
+                # peer is not the enclave we were told to trust.
+                self._teardown()
+                raise
+            except _TransientServerError as exc:
+                self._teardown()
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise StoreError(
+                        f"{what} failed after {attempt} attempt(s): "
+                        "server kept reporting an error"
+                    ) from exc
+                self.stats.net_retries += 1
+                self._backoff(attempt)
+            except (KeyNotFoundError, StoreError):
+                raise
+            except (OSError, ProtocolError) as exc:
+                if isinstance(exc, socket.timeout):
+                    self.stats.net_timeouts += 1
+                self._teardown()
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise StoreError(
+                        f"{what} failed after {attempt} attempt(s): {exc}"
+                    ) from exc
+                self.stats.net_retries += 1
+                self._backoff(attempt)
+
     def _call(self, op: str, key: bytes, value: bytes = b"") -> bytes:
-        frame = self._channel.seal(encode_request(Request(op, bytes(key), bytes(value))))
-        _send_frame(self._sock, frame)
-        reply = _recv_frame(self._sock)
+        record = encode_request(Request(op, bytes(key), bytes(value)))
+        token = os.urandom(TOKEN_SIZE) if op in MUTATING_WIRE_OPS else None
+        payload = encode_envelope(token, record)
+        return self._retry_loop(lambda: self._roundtrip(op, payload), op)
+
+    def _roundtrip(self, op: str, payload: bytes) -> bytes:
+        assert self._sock is not None and self._channel is not None
+        self._sock.settimeout(self.request_deadline_s)
+        _send_frame(
+            self._sock, self._channel.seal(payload), point="tcp.client.send"
+        )
+        reply = _recv_frame(self._sock, point="tcp.client.recv")
         if reply is None:
             raise ProtocolError("server closed the connection")
         response = decode_response(self._channel.open(reply))
         if response.status == STATUS_MISS:
-            raise KeyNotFoundError(key)
+            raise KeyNotFoundError(f"no such key (op {op})")
         if response.status != STATUS_OK:
-            raise StoreError(f"server error for {op}")
+            # Transient server-side degradation (e.g. a partition worker
+            # mid-recovery).  Retried with backoff; error replies are
+            # not cached server-side, so the retry re-executes.
+            raise _TransientServerError(f"server error for {op}")
         return response.value
 
+    # -- operations ----------------------------------------------------------
     def get(self, key: bytes) -> bytes:
         return self._call("get", key)
 
@@ -317,6 +828,10 @@ class TCPShieldClient:
         from repro.net.message import encode_cas_value
 
         return self._call("cas", key, encode_cas_value(expected, new_value)) == b"1"
+
+    def server_stats(self) -> dict:
+        """The server's merged operation + resilience counters."""
+        return json.loads(self._call("stats", b"").decode("ascii"))
 
     def multi_get(self, keys) -> dict:
         """Pipelined MGET: many keys, one wire round trip."""
@@ -344,7 +859,6 @@ class TCPShieldClient:
         }
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._teardown()
+
+

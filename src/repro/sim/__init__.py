@@ -30,6 +30,13 @@ from repro.sim.cycles import (
 )
 from repro.sim.enclave import Enclave, ExecContext, Machine
 from repro.sim.epc import EPCDevice
+from repro.sim.faults import (
+    FAULT_KINDS,
+    INJECTION_POINTS,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+)
 from repro.sim.memory import (
     ENCLAVE_BASE,
     REGION_ENCLAVE,
@@ -53,7 +60,12 @@ __all__ = [
     "Enclave",
     "EPCDevice",
     "ExecContext",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
     "GB",
+    "INJECTION_POINTS",
     "KB",
     "MB",
     "Machine",

@@ -1,0 +1,400 @@
+"""shieldfault: deterministic fault injection at every boundary crossing.
+
+ShieldStore's design lives on hostile boundaries — untrusted memory,
+OCALLs, worker pipes, a network the §2.3 threat model hands to the
+adversary outright.  This module makes every failure mode of those
+boundaries *reproducible on demand*: each crossing in the codebase
+calls :func:`check` with a **named injection point**, and an installed
+:class:`FaultPlan` decides — from a seeded, scripted schedule — whether
+that particular crossing drops, delays, tampers, crashes or errors.
+
+Nothing here simulates enclave semantics; it scripts the *host's*
+misbehavior, which the threat model already grants.  With no plan
+installed every hook is a near-free ``None`` check, so production paths
+pay one attribute load.
+
+Injection points (the registry)
+-------------------------------
+========================  ====================================================
+point                     crossing
+========================  ====================================================
+``tcp.client.connect``    client TCP connect + attested handshake
+``tcp.client.send``       client -> server wire frame (handshake + requests)
+``tcp.client.recv``       server -> client wire frame
+``tcp.server.accept``     server accepting one connection
+``tcp.server.send``       server -> client wire frame (replies)
+``tcp.server.recv``       client -> server wire frame
+``channel.client.seal``   SecureChannel.seal on a ``client``-role channel
+``channel.client.open``   SecureChannel.open on a ``client``-role channel
+``channel.server.seal``   SecureChannel.seal on a ``server``-role channel
+``channel.server.open``   SecureChannel.open on a ``server``-role channel
+``procpool.spawn``        parent spawning one partition worker process
+``procpool.pipe.send``    parent -> worker sealed pipe frame
+``procpool.pipe.recv``    worker -> parent sealed pipe frame
+``snapshot.write``        SnapshotDaemon writing one checkpoint file
+``snapshot.read``         reading a checkpoint file back from disk
+``persistence.snapshot``  serializing a store into a snapshot blob
+``persistence.restore``   restoring a store from a snapshot blob
+========================  ====================================================
+
+Fault kinds
+-----------
+* ``delay``  — sleep ``delay_s`` at the crossing, then proceed
+  (handled entirely inside :func:`check`);
+* ``error``  — raise the exception class named by the rule's ``error``
+  field (default ``OSError``), handled inside :func:`check`;
+* ``tamper`` — flip ``flips`` bit(s) of the crossing's payload at
+  rule-RNG-chosen positions; :func:`check` returns the mutated bytes
+  and the call site sends/consumes them in place of the original;
+* ``drop``   — the call site discards the payload (a sender skips the
+  send, a receiver treats the frame as never having arrived);
+* ``crash``  — the call site invokes its ``on_crash`` callback (kill
+  the worker process, sever the socket, truncate the half-written
+  file...) and then lets its ordinary failure handling observe the
+  wreckage.  Sites without a callback get ``ConnectionResetError``.
+
+``drop`` and ``crash`` need site cooperation, so :func:`check` returns
+a :class:`Hit` describing them; ``delay``/``error``/``tamper`` need
+none beyond using the returned payload.
+
+Determinism
+-----------
+Every rule owns a private ``random.Random`` seeded from the plan seed
+and the rule's index, and its own hit counter; with a fixed seed and a
+single-client drive the full fire sequence is reproducible run to run.
+The plan is per-process: spawned partition workers do not inherit it
+(their faults are injected from the parent side of the pipe, which is
+where the §2.3 adversary sits anyway).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProtocolError, SnapshotError, StoreError
+
+INJECTION_POINTS = frozenset(
+    {
+        "tcp.client.connect",
+        "tcp.client.send",
+        "tcp.client.recv",
+        "tcp.server.accept",
+        "tcp.server.send",
+        "tcp.server.recv",
+        "channel.client.seal",
+        "channel.client.open",
+        "channel.server.seal",
+        "channel.server.open",
+        "procpool.spawn",
+        "procpool.pipe.send",
+        "procpool.pipe.recv",
+        "snapshot.write",
+        "snapshot.read",
+        "persistence.snapshot",
+        "persistence.restore",
+    }
+)
+
+FAULT_KINDS = ("drop", "delay", "tamper", "crash", "error")
+
+# Exception classes a rule's ``error`` field may name.  Transport-ish
+# classes for socket/pipe points, protocol/snapshot classes for codec
+# and persistence points.
+ERROR_CLASSES = {
+    "OSError": OSError,
+    "ConnectionError": ConnectionResetError,
+    "TimeoutError": TimeoutError,
+    "ProtocolError": ProtocolError,
+    "SnapshotError": SnapshotError,
+    "StoreError": StoreError,
+}
+
+
+class FaultPlanError(StoreError):
+    """A fault plan is malformed (bad point, kind, or schedule)."""
+
+
+@dataclass
+class FaultRule:
+    """One scripted fault: where, what, and on which hits.
+
+    ``point`` is an ``fnmatch`` pattern over the registry (so
+    ``tcp.client.*`` scripts every client-side crossing).  The schedule
+    fields compose: a hit must clear ``after``, then fire if it is in
+    ``hits``, or lands on an ``every`` multiple, or wins the seeded
+    ``probability`` roll; a rule with no schedule fields fires on every
+    hit.  ``limit`` caps total fires.
+    """
+
+    point: str
+    kind: str
+    hits: Optional[Sequence[int]] = None   # explicit 0-based hit indices
+    every: Optional[int] = None            # fire each Nth hit (1-based)
+    probability: Optional[float] = None    # seeded per-rule RNG roll
+    after: int = 0                         # ignore this many leading hits
+    limit: Optional[int] = None            # max total fires
+    delay_s: float = 0.05                  # for ``delay``
+    error: str = "OSError"                 # class name for ``error``
+    flips: int = 1                         # bits flipped by ``tamper``
+
+    def validate(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if not any(fnmatch.fnmatch(p, self.point) for p in INJECTION_POINTS):
+            raise FaultPlanError(
+                f"pattern {self.point!r} matches no registered injection "
+                f"point; see repro.sim.faults.INJECTION_POINTS"
+            )
+        if self.error not in ERROR_CLASSES:
+            raise FaultPlanError(
+                f"unknown error class {self.error!r}; "
+                f"known: {sorted(ERROR_CLASSES)}"
+            )
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError(
+                f"probability {self.probability} outside [0, 1]"
+            )
+        if self.every is not None and self.every <= 0:
+            raise FaultPlanError(f"every={self.every} must be positive")
+        if self.flips <= 0:
+            raise FaultPlanError(f"flips={self.flips} must be positive")
+
+
+@dataclass
+class Hit:
+    """What :func:`check` decided for one crossing."""
+
+    kind: str
+    point: str
+    payload: Optional[bytes] = None
+
+
+@dataclass
+class _RuleState:
+    """Mutable per-rule bookkeeping (separate so rules stay declarative)."""
+
+    rng: random.Random
+    hits: int = 0
+    fires: int = 0
+
+
+class FaultPlan:
+    """A seeded, scripted schedule of boundary faults.
+
+    Thread-safe: schedule decisions and counters sit behind one mutex,
+    so concurrent handler threads draw from the same deterministic
+    sequence (their interleaving is the only nondeterminism, and a
+    single synchronous client removes even that).
+    """
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0):
+        self.seed = seed
+        self.rules: List[FaultRule] = list(rules)
+        for rule in self.rules:
+            rule.validate()
+        self._states = [
+            _RuleState(rng=random.Random((seed * 1_000_003 + i) ^ 0xFA01F))
+            for i, rule in enumerate(self.rules)
+        ]
+        self._mutex = threading.Lock()
+        self.point_hits: Dict[str, int] = {}
+        self.fired: Dict[Tuple[str, str], int] = {}
+
+    # -- construction --------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        if not isinstance(data, dict) or "rules" not in data:
+            raise FaultPlanError("fault plan must be an object with 'rules'")
+        known = {f.name for f in FaultRule.__dataclass_fields__.values()}
+        rules = []
+        for i, raw in enumerate(data["rules"]):
+            if not isinstance(raw, dict):
+                raise FaultPlanError(f"rule {i} is not an object")
+            unknown = set(raw) - known
+            if unknown:
+                raise FaultPlanError(
+                    f"rule {i} has unknown field(s) {sorted(unknown)}"
+                )
+            try:
+                rules.append(FaultRule(**raw))
+            except TypeError as exc:
+                raise FaultPlanError(f"rule {i}: {exc}") from None
+        return cls(rules, seed=int(data.get("seed", 0)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from None
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path) -> "FaultPlan":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    # -- the decision --------------------------------------------------------
+    def decide(self, point: str) -> Optional[Tuple[FaultRule, _RuleState]]:
+        """Count one hit at ``point``; first matching rule that fires wins."""
+        with self._mutex:
+            self.point_hits[point] = self.point_hits.get(point, 0) + 1
+            for rule, state in zip(self.rules, self._states):
+                if not fnmatch.fnmatch(point, rule.point):
+                    continue
+                index = state.hits
+                state.hits += 1
+                if index < rule.after:
+                    continue
+                if rule.limit is not None and state.fires >= rule.limit:
+                    continue
+                scheduled = rule.hits is None and rule.every is None and (
+                    rule.probability is None
+                )
+                if rule.hits is not None and (index - rule.after) in set(rule.hits):
+                    scheduled = True
+                if rule.every is not None and (
+                    (index - rule.after + 1) % rule.every == 0
+                ):
+                    scheduled = True
+                if rule.probability is not None and (
+                    state.rng.random() < rule.probability
+                ):
+                    scheduled = True
+                if not scheduled:
+                    continue
+                state.fires += 1
+                key = (point, rule.kind)
+                self.fired[key] = self.fired.get(key, 0) + 1
+                return rule, state
+            return None
+
+    @staticmethod
+    def tamper_bytes(rule: FaultRule, state: _RuleState, payload: bytes) -> bytes:
+        """Flip ``rule.flips`` bits of ``payload`` deterministically."""
+        mutated = bytearray(payload)
+        for _ in range(rule.flips):
+            position = state.rng.randrange(len(mutated))
+            mutated[position] ^= 1 << state.rng.randrange(8)
+        return bytes(mutated)
+
+    # -- reporting -----------------------------------------------------------
+    def fires(self, point: Optional[str] = None, kind: Optional[str] = None) -> int:
+        """Total fires, optionally filtered by point and/or kind."""
+        with self._mutex:
+            return sum(
+                count
+                for (p, k), count in self.fired.items()
+                if (point is None or p == point) and (kind is None or k == kind)
+            )
+
+    def snapshot(self) -> dict:
+        """Stable dict of hits and fires for reports and ``repro stats``."""
+        with self._mutex:
+            return {
+                "seed": self.seed,
+                "rules": len(self.rules),
+                "hits": dict(sorted(self.point_hits.items())),
+                "fires": {
+                    f"{point}:{kind}": count
+                    for (point, kind), count in sorted(self.fired.items())
+                },
+                "total_fires": sum(self.fired.values()),
+            }
+
+
+# ---------------------------------------------------------------------------
+# the ambient (per-process) plane
+# ---------------------------------------------------------------------------
+_ACTIVE: Optional[FaultPlan] = None
+_INSTALL_MUTEX = threading.Lock()
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Make ``plan`` the process's active fault plan (replaces any)."""
+    global _ACTIVE
+    with _INSTALL_MUTEX:
+        _ACTIVE = plan
+    return plan
+
+
+def uninstall() -> None:
+    """Remove the active plan; every hook returns to its no-op path."""
+    global _ACTIVE
+    with _INSTALL_MUTEX:
+        _ACTIVE = None
+
+
+def active() -> Optional[FaultPlan]:
+    return _ACTIVE
+
+
+@contextmanager
+def injected(plan: FaultPlan):
+    """Install ``plan`` for the duration of a ``with`` block (tests)."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()
+
+
+def check(
+    point: str,
+    payload: Optional[bytes] = None,
+    on_crash=None,
+) -> Optional[Hit]:
+    """The hook every boundary crossing calls.
+
+    Returns ``None`` to proceed normally (the overwhelmingly common
+    case), or a :class:`Hit` the site must act on:
+
+    * ``Hit("tamper", ...)`` — use ``hit.payload`` instead of the
+      original bytes;
+    * ``Hit("drop", ...)``   — discard the payload (skip the send /
+      pretend the frame never arrived);
+    * ``Hit("crash", ...)``  — ``on_crash`` already ran; proceed and
+      let ordinary failure handling observe the damage.
+
+    ``delay`` sleeps here; ``error`` raises here; ``crash`` with no
+    ``on_crash`` raises ``ConnectionResetError``.
+    """
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    if point not in INJECTION_POINTS:
+        raise FaultPlanError(f"unregistered injection point {point!r}")
+    decision = plan.decide(point)
+    if decision is None:
+        return None
+    rule, state = decision
+    if rule.kind == "delay":
+        time.sleep(rule.delay_s)
+        return Hit("delay", point, payload)
+    if rule.kind == "error":
+        raise ERROR_CLASSES[rule.error](f"injected {rule.error} at {point}")
+    if rule.kind == "tamper":
+        if not payload:
+            return None  # nothing to corrupt at this crossing
+        return Hit("tamper", point, plan.tamper_bytes(rule, state, payload))
+    if rule.kind == "crash":
+        if on_crash is None:
+            raise ConnectionResetError(f"injected crash at {point}")
+        on_crash()
+        return Hit("crash", point, payload)
+    return Hit("drop", point, payload)
+
+
+def fires(point: Optional[str] = None, kind: Optional[str] = None) -> int:
+    """Fire count of the active plan (0 when none is installed)."""
+    plan = _ACTIVE
+    return 0 if plan is None else plan.fires(point, kind)

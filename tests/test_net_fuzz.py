@@ -7,10 +7,14 @@ from hypothesis import strategies as st
 from repro.crypto.suite import make_suite
 from repro.errors import ProtocolError
 from repro.net.message import (
+    ENVELOPE_MAGIC,
+    TOKEN_SIZE,
     Request,
     SecureChannel,
+    decode_envelope,
     decode_request,
     decode_response,
+    encode_envelope,
     encode_request,
 )
 
@@ -57,6 +61,78 @@ class TestCodecFuzz:
     def test_request_roundtrip_property(self, op, key, value):
         request = Request(op, key, value)
         assert decode_request(encode_request(request)) == request
+
+
+class TestEnvelopeFuzz:
+    """The idempotency-token envelope wrapping mutating requests."""
+
+    @given(raw=st.binary(max_size=256))
+    @_FUZZ_SETTINGS
+    def test_decode_envelope_never_crashes_unexpectedly(self, raw):
+        """Arbitrary bytes either split cleanly or raise ProtocolError."""
+        try:
+            token, record = decode_envelope(raw)
+            if token is None:
+                assert record == raw  # bare records pass through verbatim
+            else:
+                assert len(token) == TOKEN_SIZE
+                assert bytes([ENVELOPE_MAGIC]) + token + record == raw
+        except ProtocolError:
+            pass
+
+    @given(
+        token=st.binary(min_size=TOKEN_SIZE, max_size=TOKEN_SIZE),
+        op=st.sampled_from(["get", "set", "append", "delete", "increment"]),
+        key=st.binary(max_size=64),
+        value=st.binary(max_size=128),
+    )
+    @_FUZZ_SETTINGS
+    def test_envelope_roundtrip_property(self, token, op, key, value):
+        record = encode_request(Request(op, key, value))
+        got_token, got_record = decode_envelope(encode_envelope(token, record))
+        assert got_token == token
+        assert got_record == record
+
+    @given(
+        token=st.binary(min_size=TOKEN_SIZE, max_size=TOKEN_SIZE),
+        key=st.binary(max_size=32),
+        position=st.integers(min_value=0, max_value=TOKEN_SIZE - 1),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    @_FUZZ_SETTINGS
+    def test_corrupted_token_is_a_different_token_or_rejected(
+        self, token, key, position, flip
+    ):
+        """Flipping token bytes never bleeds into the request record.
+
+        Server-side dedup keys on the token, so a corrupted token must
+        either surface as a *different* token (a cache miss — the write
+        re-executes, which is safe) or fail parsing — never as the same
+        token paired with altered request bytes.
+        """
+        record = encode_request(Request("set", key, b"v"))
+        wire = bytearray(encode_envelope(token, record))
+        wire[1 + position] ^= flip
+        try:
+            got_token, got_record = decode_envelope(bytes(wire))
+        except ProtocolError:
+            return
+        assert got_token != token
+        assert got_record == record
+
+    @given(record=st.binary(max_size=128))
+    @_FUZZ_SETTINGS
+    def test_bare_record_survives_unless_it_collides_with_magic(self, record):
+        try:
+            token, out = decode_envelope(encode_envelope(None, record))
+        except ProtocolError:
+            # Only reachable when the bare record itself starts with the
+            # envelope magic; real request records never do (opcodes are
+            # all < 0x40).
+            assert record[:1] == bytes([ENVELOPE_MAGIC])
+            return
+        if record[:1] != bytes([ENVELOPE_MAGIC]):
+            assert token is None and out == record
 
 
 class TestChannelFuzz:

@@ -7,19 +7,23 @@ Drives the same seeded YCSB-B mix as ``bench_batch_pipeline.py``
   4-partition store (the ``batched`` row of BENCH_batch_pipeline.json);
 * ``N process workers`` for N in 1/2/4/8 — the shared-nothing
   :class:`~repro.core.procpool.ProcessPartitionPool` engine, one
-  long-lived worker process per partition, batches shipped over pipes
-  as length-prefixed wire frames and executed via ``multi_get`` /
-  ``multi_set``.
+  long-lived worker process per partition — measured on **both data
+  planes**: ``pipe`` (portable length-prefixed pipe frames) and ``shm``
+  (sealed shared-memory rings, the HotCalls-style switchless crossing).
+
+Every process point also records the **per-stage breakdown** of where
+the round trip went: ``serialize_s`` (parent-side sealing + codec),
+``ipc_wait_s`` (parent blocked on the plane) and ``worker_compute_s``
+(the workers' own request clocks), plus the ring counters for the shm
+plane (frames, bytes, doorbell activity, peak occupancy).
 
 Total store geometry (buckets, MAC hashes) is held constant across the
 worker counts — partitions divide the structure, they don't grow it —
 so the curve isolates parallel speedup from capacity effects.
 
-Scaling is bounded by physical cores: the JSON records ``cpus`` and the
-per-point ``kops`` so a 1-core container (no real parallelism, IPC
-overhead only) and a 4-vCPU CI runner (near-linear to 4 workers) can be
-told apart.  The operation sequence is seeded and deterministic; only
-``wall_s`` / ``kops`` / speedups vary run to run.
+Scaling is bounded by physical cores: worker counts above ``cpus``
+measure IPC overhead, not parallel speedup, and the run says so loudly
+(stderr warning + a structured ``cpu_warning`` object in the JSON).
 
 Results land in ``BENCH_mp_scaling.json`` (override with ``--out``).
 Run ``python benchmarks/bench_mp_scaling.py`` for the full measurement
@@ -41,6 +45,8 @@ from repro.core import (
     process_mode_supported,
     shield_opt,
 )
+from repro.core.procpool import DATA_PLANES, default_data_plane
+from repro.core.shmring import shm_supported
 from repro.sim import Machine
 from repro.workloads import SMALL, OperationStream, workload
 
@@ -63,12 +69,13 @@ def _build_single(pairs: int) -> PartitionedShieldStore:
     )
 
 
-def _build_procs(workers: int, pairs: int) -> PartitionedShieldStore:
+def _build_procs(workers: int, pairs: int, plane: str) -> PartitionedShieldStore:
     buckets, hashes = _geometry(pairs)
     return PartitionedShieldStore(
         shield_opt(num_buckets=buckets, num_mac_hashes=hashes),
         num_partitions=workers,
         mode=MODE_PROCESSES,
+        data_plane=plane,
     )
 
 
@@ -103,38 +110,65 @@ def _measure(store, label: str, pairs: int, ops: int, batch: int, seed: int) -> 
         "batch_ops": stats.batch_ops,
         "set_verifications_saved": stats.batch_verifications_saved,
     }
+    stages = store.stage_timings()
+    if stages is not None:
+        # Where the round trip went: parent-side sealing/codec, parent
+        # blocked on the crossing, and the workers' own request clocks.
+        result["stages"] = {k: round(v, 4) for k, v in sorted(stages.items())}
+    transport = store.transport_stats()
+    if transport.ring_frames:
+        result["transport"] = transport.snapshot_dict()
     store.close()
     return result
 
 
-def run(pairs: int, ops: int, batch_size: int, seed: int, worker_counts) -> dict:
+def run(pairs: int, ops: int, batch_size: int, seed: int, worker_counts,
+        planes) -> dict:
     cpus = os.cpu_count() or 1
     baseline = _measure(
         _build_single(pairs), "single-process batched", pairs, ops, batch_size, seed
     )
-    print(f"{baseline['label']:24s} {baseline['wall_s']:8.3f} s  "
+    print(f"{baseline['label']:30s} {baseline['wall_s']:8.3f} s  "
           f"{baseline['kops']:8.1f} Kop/s")
     points = []
     for workers in worker_counts:
-        point = _measure(
-            _build_procs(workers, pairs),
-            f"{workers} process workers",
-            pairs, ops, batch_size, seed,
-        )
-        point["workers"] = workers
-        point["speedup_vs_single"] = round(
-            baseline["wall_s"] / point["wall_s"], 2
-        )
-        points.append(point)
-        print(f"{point['label']:24s} {point['wall_s']:8.3f} s  "
-              f"{point['kops']:8.1f} Kop/s  "
-              f"({point['speedup_vs_single']:.2f}x vs single)")
+        for plane in planes:
+            point = _measure(
+                _build_procs(workers, pairs, plane),
+                f"{workers} process workers [{plane}]",
+                pairs, ops, batch_size, seed,
+            )
+            point["workers"] = workers
+            point["data_plane"] = plane
+            point["speedup_vs_single"] = round(
+                baseline["wall_s"] / point["wall_s"], 2
+            )
+            points.append(point)
+            stages = point.get("stages", {})
+            breakdown = (
+                f"  [ser {stages.get('serialize_s', 0):.2f}"
+                f" ipc {stages.get('ipc_wait_s', 0):.2f}"
+                f" cpu {stages.get('worker_compute_s', 0):.2f}]"
+                if stages else ""
+            )
+            print(f"{point['label']:30s} {point['wall_s']:8.3f} s  "
+                  f"{point['kops']:8.1f} Kop/s  "
+                  f"({point['speedup_vs_single']:.2f}x vs single)"
+                  + breakdown)
     notes = []
-    if cpus < max(worker_counts):
-        notes.append(
-            f"host has {cpus} cpu(s); worker counts above that measure "
-            f"IPC overhead, not parallel speedup"
-        )
+    cpu_warning = None
+    oversubscribed = [w for w in worker_counts if w > cpus]
+    if oversubscribed:
+        cpu_warning = {
+            "cpus": cpus,
+            "oversubscribed_worker_counts": oversubscribed,
+            "message": (
+                f"host has {cpus} cpu(s); worker counts {oversubscribed} "
+                "measure IPC overhead, not parallel speedup"
+            ),
+        }
+        notes.append(cpu_warning["message"])
+        print(f"warning: {cpu_warning['message']}", file=sys.stderr)
     return {
         "benchmark": "mp_scaling",
         "workload": "RD95_Z (YCSB-B: 95% read / 5% update, zipfian 0.99)",
@@ -144,8 +178,11 @@ def run(pairs: int, ops: int, batch_size: int, seed: int, worker_counts) -> dict
             "batch_size": batch_size,
             "seed": seed,
             "worker_counts": list(worker_counts),
+            "data_planes": list(planes),
+            "default_data_plane": default_data_plane(),
         },
         "cpus": cpus,
+        "cpu_warning": cpu_warning,
         "baseline": baseline,
         "workers": points,
         "notes": notes,
@@ -159,6 +196,10 @@ def main(argv=None) -> int:
     parser.add_argument("--batch-size", type=int, default=256)
     parser.add_argument("--seed", type=int, default=2019)
     parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4, 8])
+    parser.add_argument("--data-planes", nargs="+", choices=list(DATA_PLANES),
+                        default=None,
+                        help="planes to measure (default: pipe and, where "
+                             "supported, shm)")
     parser.add_argument("--quick", action="store_true",
                         help="CI-sized run (fewer pairs/ops, workers 1+2)")
     parser.add_argument("--out", default=None,
@@ -166,20 +207,21 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.quick:
         args.pairs, args.ops, args.workers = 1000, 4000, [1, 2]
+    if args.data_planes is None:
+        args.data_planes = ["pipe"] + (["shm"] if shm_supported() else [])
 
     if not process_mode_supported():
         print("process mode unsupported on this platform; nothing to measure")
         return 0
 
-    report = run(args.pairs, args.ops, args.batch_size, args.seed, args.workers)
+    report = run(args.pairs, args.ops, args.batch_size, args.seed,
+                 args.workers, args.data_planes)
     out = pathlib.Path(
         args.out
         or pathlib.Path(__file__).resolve().parent.parent
         / "BENCH_mp_scaling.json"
     )
     out.write_text(json.dumps(report, indent=2) + "\n")
-    for note in report["notes"]:
-        print(f"note: {note}")
     print(f"wrote {out}")
     return 0
 

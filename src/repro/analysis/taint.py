@@ -15,6 +15,8 @@ argument of an untrusted sink:
 * pipe/socket sends (``send_bytes``, ``sendall``, ``_send_frame``...);
 * writes into simulated memory (``mem.write`` / ``raw_write`` — the
   store's table lives in the untrusted region);
+* subscript stores into SharedMemory segments (``shm.buf[a:b] = x`` —
+  the ring buffers of the shm data plane are host-visible);
 * host-visible output (``print``, ``logging``);
 * exception constructors — raised errors cross the worker pipe and can
   reach logs, so their messages must not embed plaintext.
@@ -99,6 +101,20 @@ def _sink_label(call: ast.Call) -> Optional[str]:
         lowered = receiver.lower()
         if any(hint in lowered for hint in trustmap.WRITE_SINK_RECEIVER_HINT):
             return f"{receiver}.write"
+    return None
+
+
+def _shm_store_label(target: ast.expr) -> Optional[str]:
+    """Non-None when an assignment target stores into shared memory."""
+    if not isinstance(target, ast.Subscript):
+        return None
+    try:
+        receiver = ast.unparse(target.value)
+    except Exception:  # pragma: no cover - unparse is total on asts
+        return None
+    lowered = receiver.lower()
+    if any(hint in lowered for hint in trustmap.SHM_SINK_RECEIVER_HINT):
+        return receiver
     return None
 
 
@@ -196,6 +212,22 @@ class _FunctionTaint:
                         )
                     )
 
+    def check_shm_store(self, targets: List[ast.expr], value: ast.expr) -> None:
+        """Flag tainted subscript stores into SharedMemory buffers."""
+        for target in targets:
+            label = _shm_store_label(target)
+            if label is not None and self.is_tainted(value):
+                self.findings.append(
+                    Finding(
+                        RULE,
+                        self.path,
+                        target.lineno,
+                        f"plaintext-bearing value stored into host-visible "
+                        f"shared memory `{label}[...]` without passing "
+                        "through an encrypt/seal/MAC call",
+                    )
+                )
+
     def check_raise(self, stmt: ast.Raise) -> None:
         exc = stmt.exc
         if exc is None:
@@ -238,13 +270,16 @@ class _FunctionTaint:
             self.check_raise(stmt)
             return
         if isinstance(stmt, ast.Assign):
+            self.check_shm_store(stmt.targets, stmt.value)
             tainted = self.is_tainted(stmt.value)
             for target in stmt.targets:
                 self._assign_target(target, tainted)
         elif isinstance(stmt, ast.AnnAssign):
             if stmt.value is not None:
+                self.check_shm_store([stmt.target], stmt.value)
                 self._assign_target(stmt.target, self.is_tainted(stmt.value))
         elif isinstance(stmt, ast.AugAssign):
+            self.check_shm_store([stmt.target], stmt.value)
             already = self.is_tainted(stmt.target)
             self._assign_target(
                 stmt.target, already or self.is_tainted(stmt.value)

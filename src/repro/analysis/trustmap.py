@@ -42,6 +42,7 @@ BOUNDARY_MODULES: Tuple[str, ...] = (
     "net/server.py",
     "net/client.py",
     "core/procpool.py",
+    "core/shmring.py",
 )
 
 # Modules whose lock discipline the lock-order pass analyzes.
@@ -125,6 +126,12 @@ SINK_METHODS = frozenset({"send_bytes", "sendall", "send", "raw_write"})
 # ``.write(...)`` is a sink only when the receiver looks like memory, a
 # file or a socket — plenty of innocent ``write`` methods exist.
 WRITE_SINK_RECEIVER_HINT = ("mem", "stdout", "stderr", "sock", "conn", "fh", "file")
+
+# Subscript stores whose receiver looks like a SharedMemory segment are
+# sinks: the ring buffers live in host-visible shared memory, so only
+# sealed bytes may be stored there (``self.shm.buf[a:b] = plaintext`` is
+# an enclave leak even though no call is involved).
+SHM_SINK_RECEIVER_HINT = ("shm", "shared_memory")
 
 # Plain-name calls that are sinks (host-visible output).
 SINK_FUNCTIONS = frozenset({"print", "_send_frame", "send_frame"})

@@ -227,8 +227,15 @@ def _cmd_serve(args) -> int:
         # Shared-nothing partition engine: one worker process per
         # partition, each with its own enclave sim (auto mode picks
         # processes; falls back in-process on exotic platforms).
-        store = PartitionedShieldStore(config, num_partitions=args.workers)
-        print(f"partition engine: {args.workers} workers, mode={store.mode}")
+        store = PartitionedShieldStore(
+            config,
+            num_partitions=args.workers,
+            data_plane=args.data_plane,
+        )
+        plane = getattr(store, "data_plane", None)
+        print(f"partition engine: {args.workers} workers, "
+              f"mode={store.mode}"
+              + (f", data-plane={plane}" if plane else ""))
     else:
         store = ShieldStore(config)
     plan = None
@@ -513,6 +520,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--workers", type=int, default=1,
                        help="partition worker processes (>1 enables the "
                             "process-parallel partition engine)")
+    serve.add_argument("--data-plane", choices=["pipe", "shm"], default=None,
+                       help="worker crossing transport: 'shm' = sealed "
+                            "shared-memory rings (switchless, default where "
+                            "supported), 'pipe' = portable pipes")
     serve.add_argument("--snapshot-dir", default=None,
                        help="directory for periodic sealed checkpoints; "
                             "the newest one is restored on startup")

@@ -92,6 +92,10 @@ class PartitionedShieldStore:
     num_partitions:
         Partition count when no ``machine`` is given (the store then
         builds its own ``Machine`` with that many simulated threads).
+    data_plane:
+        Worker IPC transport for ``processes`` mode: ``"shm"``
+        (sealed shared-memory rings, the default where supported) or
+        ``"pipe"`` (the portable multiprocessing pipe).
     """
 
     def __init__(
@@ -104,6 +108,7 @@ class PartitionedShieldStore:
         mode: str = MODE_AUTO,
         num_partitions: Optional[int] = None,
         platform_secret: Optional[bytes] = None,
+        data_plane: Optional[str] = None,
     ):
         self.config = config
         self.parallel = parallel
@@ -161,6 +166,7 @@ class PartitionedShieldStore:
                 self._num_partitions,
                 master_secret,
                 platform_secret=platform_secret,
+                data_plane=data_plane,
             )
         else:
             self.partitions = [
@@ -210,6 +216,27 @@ class PartitionedShieldStore:
         return self._num_partitions
 
     @property
+    def data_plane(self) -> Optional[str]:
+        """Worker IPC transport (``shm``/``pipe``); ``None`` in-process."""
+        if self._pool is not None:
+            return self._pool.data_plane
+        return None
+
+    def transport_stats(self):
+        """Data-plane counters (empty object for in-process modes)."""
+        from repro.core.stats import TransportStats
+
+        if self._pool is not None:
+            return self._pool.transport_stats()
+        return TransportStats()
+
+    def stage_timings(self) -> Optional[Dict[str, float]]:
+        """Serialize / IPC-wait / worker-compute seconds (pool mode only)."""
+        if self._pool is not None:
+            return self._pool.stage_timings()
+        return None
+
+    @property
     def partition_state(self) -> str:
         """Health of the partition engine.
 
@@ -233,6 +260,8 @@ class PartitionedShieldStore:
 
     def partition_index_of(self, key: bytes) -> int:
         """Owning partition index (hash-disjoint, mode-independent)."""
+        if self._num_partitions == 1:
+            return 0  # every keyed hash maps to the only partition
         h = self._keyring.keyed_bucket_hash(bytes(key), 1 << 30)
         return h * self._num_partitions >> 30
 
@@ -332,6 +361,10 @@ class PartitionedShieldStore:
         key must win), and slices come back in partition order so
         sequential routing is deterministic.
         """
+        if self._num_partitions == 1:
+            # Routing is the identity with one partition: skip the
+            # per-key keyed hash (it dominates single-worker batches).
+            return [(0, list(keyed_items))]
         grouped: Dict[int, list] = {}
         for key, payload in keyed_items:
             grouped.setdefault(self.partition_index_of(key), []).append(

@@ -15,7 +15,7 @@ Data plane
 ----------
 The parent routes operations by key (the same keyed hash the in-process
 router uses) and ships each worker its slice of a batch as one
-length-prefixed frame over a ``multiprocessing`` pipe::
+length-prefixed frame over a pluggable **data plane**::
 
     record   := SecureChannel.seal(frame)   # per-worker session channel
     frame    := opcode(1) | payload
@@ -23,13 +23,28 @@ length-prefixed frame over a ``multiprocessing`` pipe::
     OK reply payload = net.message.encode_response(...)
     ERR reply payload = class_len(1) | class_name | utf-8 message
 
+Two planes carry those records (``data_plane=`` selects one):
+
+* ``"shm"`` (default) — per-worker sealed shared-memory ring buffers
+  (:mod:`repro.core.shmring`): one request ring + one reply ring, with
+  ``Connection``-based doorbells for readiness.  This is the paper's
+  switchless/HotCalls idea applied to worker IPC: the hot path moves
+  sealed bytes through shared memory with a single ``memoryview`` copy
+  per side and usually no syscall at all.
+* ``"pipe"`` — the original ``multiprocessing`` pipe (two kernel
+  copies and a wakeup per direction); kept as the portable fallback
+  and selected automatically where shared memory is unavailable.
+
 Every record is sealed (encrypted + MACed with per-direction sequence
 counters) under a per-*incarnation* session key both ends derive from
 the master secret and a fresh public nonce drawn at every (re)spawn:
-the pipe crosses the host kernel, which is outside the simulated
-enclave boundary, so plaintext never rides it, and a respawned worker
+both planes cross host-visible memory, which is outside the simulated
+enclave boundary, so plaintext never rides them, and a respawned worker
 never resumes its predecessor's key/sequence space — same rules as the
-TCP wire and its per-session handshake.
+TCP wire and its per-session handshake.  A respawn also gets *fresh
+rings*, so a reply left over from a dead incarnation physically cannot
+arrive — and if its bytes were replayed anyway, the stale-nonce channel
+would refuse to authenticate them.
 
 Key/value payloads reuse the :mod:`repro.net.message` codecs — the same
 compact framing the wire protocol uses — rather than pickle, so a
@@ -81,7 +96,14 @@ from typing import Callable, Dict, List, Optional, Sequence
 import repro.errors as _errors
 from repro.core.config import StoreConfig
 from repro.core.entry import TAMPER_PROBE_OFFSET
-from repro.core.stats import StoreStats
+from repro.core.shmring import (
+    DEFAULT_NUM_SLOTS,
+    DEFAULT_SLOT_SIZE,
+    Doorbell,
+    ShmRing,
+    shm_supported,
+)
+from repro.core.stats import StoreStats, TransportStats
 from repro.crypto.keys import derive_key
 from repro.crypto.suite import make_suite
 from repro.errors import ProtocolError, ReproError, StoreError, WorkerError
@@ -108,6 +130,7 @@ OP_TAMPER = 0x08    # flip one bit of an entry's untrusted bytes (tests)
 OP_SHUTDOWN = 0x09  # -> empty OK, then the worker exits cleanly
 OP_SNAPSHOT = 0x0A  # u64 counter -> sealed snapshot section (§4.4)
 OP_RESTORE = 0x0B   # u64 counter | u8 verify | section -> empty OK
+OP_TIMING = 0x0C    # -> JSON per-stage timing (worker compute seconds)
 
 REPLY_OK = 0x80
 REPLY_ERR = 0xFF
@@ -233,8 +256,240 @@ def _pipe_channel(
     )
 
 
+# ---------------------------------------------------------------------------
+# data planes
+# ---------------------------------------------------------------------------
+DATA_PLANE_SHM = "shm"
+DATA_PLANE_PIPE = "pipe"
+DATA_PLANES = (DATA_PLANE_SHM, DATA_PLANE_PIPE)
+
+
+def default_data_plane() -> str:
+    """``shm`` where shared memory exists, else the portable pipe."""
+    return DATA_PLANE_SHM if shm_supported() else DATA_PLANE_PIPE
+
+
+class _PipeWorkerEnd:
+    """Worker-side endpoint of the pipe plane (picklable spawn arg)."""
+
+    kind = DATA_PLANE_PIPE
+
+    def __init__(self, conn):
+        self.conn = conn
+
+    def open(self) -> "_PipeWorkerEnd":
+        return self
+
+    def recv_bytes(self) -> bytes:
+        return self.conn.recv_bytes()
+
+    def send_bytes(self, raw: bytes) -> None:
+        self.conn.send_bytes(raw)
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class _ShmWorkerEnd:
+    """Worker-side endpoint of the shm plane (picklable spawn arg).
+
+    Carries the ring names and geometry plus the worker's doorbell
+    ``Connection``; :meth:`open` attaches the rings with the roles
+    mirrored (the worker consumes requests and produces replies).
+    """
+
+    kind = DATA_PLANE_SHM
+
+    def __init__(self, req_name, rep_name, conn, num_slots, slot_size):
+        self.req_name = req_name
+        self.rep_name = rep_name
+        self.conn = conn
+        self.num_slots = num_slots
+        self.slot_size = slot_size
+        self.req = None
+        self.rep = None
+
+    def open(self) -> "_ShmWorkerEnd":
+        self.req = ShmRing.attach(
+            self.req_name, "consumer", self.num_slots, self.slot_size
+        )
+        self.rep = ShmRing.attach(
+            self.rep_name, "producer", self.num_slots, self.slot_size
+        )
+        doorbell = Doorbell(self.conn)
+        self.req.doorbell = doorbell
+        self.rep.doorbell = doorbell
+        return self
+
+    def recv_bytes(self) -> bytes:
+        # Blocks on the doorbell; the parent dying surfaces as the
+        # doorbell's EOF (RingPeerGone is an OSError), which the serve
+        # loop treats exactly like a closed pipe.
+        return self.req.read()
+
+    def send_bytes(self, raw: bytes) -> None:
+        self.rep.write(raw)
+
+    def close(self) -> None:
+        if self.req is not None:
+            self.req.close()
+        if self.rep is not None:
+            self.rep.close()
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class _PipePlane:
+    """Parent-side pipe data plane (the portable fallback)."""
+
+    kind = DATA_PLANE_PIPE
+
+    def __init__(self, ctx, index: int):
+        self.index = index
+        self.conn, self._child_conn = ctx.Pipe(duplex=True)
+
+    def worker_end(self) -> _PipeWorkerEnd:
+        return _PipeWorkerEnd(self._child_conn)
+
+    def finish_spawn(self, process) -> None:
+        self._child_conn.close()  # parent keeps only its own end
+        self._child_conn = None
+
+    def send(self, raw, on_crash, deadline=None, alive=None) -> None:
+        hit = faults.check("procpool.pipe.send", raw, on_crash=on_crash)
+        if hit is not None:
+            if hit.kind == "drop":
+                # The frame is lost in the kernel; the reply wait
+                # will time out and trigger worker recovery.
+                return
+            if hit.payload is not None:
+                raw = hit.payload
+        self.conn.send_bytes(raw)
+
+    def send_raw(self, raw) -> None:
+        """Fault-free send for the shutdown control path."""
+        self.conn.send_bytes(raw)
+
+    def poll(self, timeout: float) -> bool:
+        return self.conn.poll(timeout)
+
+    def recv(self, on_crash, deadline=None, alive=None) -> bytes:
+        raw = self.conn.recv_bytes()
+        hit = faults.check("procpool.pipe.recv", raw, on_crash=on_crash)
+        if hit is not None:
+            if hit.kind == "drop":
+                raise OSError("injected pipe frame drop")
+            if hit.payload is not None:
+                raw = hit.payload
+        return raw
+
+    def transport_stats(self) -> TransportStats:
+        return TransportStats()
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class _ShmPlane:
+    """Parent-side shared-memory ring plane (the switchless hot path).
+
+    Owns both rings (request: parent produces; reply: parent consumes)
+    and the doorbell pipe.  Faults inject here — parent-side, where the
+    §2.3 host adversary sits — under the ``shmring.*`` points.
+    """
+
+    kind = DATA_PLANE_SHM
+
+    def __init__(self, ctx, index: int, num_slots: int, slot_size: int):
+        self.index = index
+        self.num_slots = num_slots
+        self.slot_size = slot_size
+        self.req = ShmRing.create("producer", num_slots, slot_size)
+        self.rep = ShmRing.create("consumer", num_slots, slot_size)
+        self.conn, self._child_conn = ctx.Pipe(duplex=True)
+        self._doorbell = Doorbell(self.conn, fault_point="shmring.doorbell")
+        self.req.doorbell = self._doorbell
+        self.rep.doorbell = self._doorbell
+
+    def worker_end(self) -> _ShmWorkerEnd:
+        return _ShmWorkerEnd(
+            self.req.name,
+            self.rep.name,
+            self._child_conn,
+            self.num_slots,
+            self.slot_size,
+        )
+
+    def finish_spawn(self, process) -> None:
+        self._child_conn.close()  # parent keeps only its own end
+        self._child_conn = None
+        # An injected doorbell "crash" should kill the worker like any
+        # other crossing crash.
+        self._doorbell.on_crash = process.kill
+
+    def send(self, raw, on_crash, deadline=None, alive=None) -> None:
+        hit = faults.check("shmring.write", raw, on_crash=on_crash)
+        if hit is not None:
+            if hit.kind == "drop":
+                # The frame is never written; the reply wait will time
+                # out and trigger worker recovery.
+                return
+            if hit.payload is not None:
+                raw = hit.payload
+        self.req.write(raw, deadline=deadline, alive=alive)
+
+    def send_raw(self, raw) -> None:
+        self.req.write(raw)
+
+    def poll(self, timeout: float) -> bool:
+        return self.rep.poll(timeout)
+
+    def recv(self, on_crash, deadline=None, alive=None) -> bytes:
+        raw = self.rep.read(deadline=deadline, alive=alive)
+        hit = faults.check("shmring.read", raw, on_crash=on_crash)
+        if hit is not None:
+            if hit.kind == "drop":
+                raise OSError("injected ring frame drop")
+            if hit.payload is not None:
+                raw = hit.payload
+        return raw
+
+    def transport_stats(self) -> TransportStats:
+        stats = TransportStats()
+        stats.ring_frames = self.req.frames + self.rep.frames
+        stats.ring_bytes = self.req.bytes_moved + self.rep.bytes_moved
+        stats.ring_full_waits = self.req.full_waits + self.rep.full_waits
+        stats.ring_doorbell_waits = (
+            self.req.doorbell_waits + self.rep.doorbell_waits
+        )
+        stats.ring_doorbell_rings = self._doorbell.rings
+        stats.ring_max_occupancy = max(
+            self.req.max_occupancy, self.rep.max_occupancy
+        )
+        return stats
+
+    def close(self) -> None:
+        self.req.close()
+        self.rep.close()
+        self._doorbell.close()
+
+
+def _make_plane(plane: str, ctx, index: int, num_slots: int, slot_size: int):
+    if plane == DATA_PLANE_SHM:
+        return _ShmPlane(ctx, index, num_slots, slot_size)
+    return _PipePlane(ctx, index)
+
+
 def _worker_main(
-    conn: multiprocessing.connection.Connection,
+    end,
     index: int,
     config: StoreConfig,
     master_secret: bytes,
@@ -243,11 +498,13 @@ def _worker_main(
 ) -> None:
     """Entry point of one partition worker process.
 
-    Builds a private machine + enclave + store, then serves frames until
-    shutdown or EOF.  Clean :class:`ReproError` failures are reported
-    and the loop continues — the store flushes its dirty sets before the
-    exception escapes ``multi_set``/``multi_delete``, so the partition
-    stays consistent and serviceable.
+    ``end`` is the worker-side data-plane endpoint (pipe connection or
+    shared-memory ring pair).  Builds a private machine + enclave +
+    store, then serves frames until shutdown or EOF.  Clean
+    :class:`ReproError` failures are reported and the loop continues —
+    the store flushes its dirty sets before the exception escapes
+    ``multi_set``/``multi_delete``, so the partition stays consistent
+    and serviceable.
 
     ``platform_secret`` keys the sealing service used by
     ``OP_SNAPSHOT``/``OP_RESTORE``; the parent derives it from the
@@ -280,9 +537,11 @@ def _worker_main(
     channel = _pipe_channel(
         master_secret, index, channel_nonce, "server", config.suite_name
     )
+    plane = end.open()
+    compute_s = 0.0  # seconds spent executing OP_REQ work (stage timing)
     while True:
         try:
-            frame = channel.open(conn.recv_bytes())
+            frame = channel.open(plane.recv_bytes())
         except (EOFError, OSError, ProtocolError):
             # A frame that fails authentication means the parent-side
             # channel is gone or desynced; the stream is unusable.
@@ -290,9 +549,15 @@ def _worker_main(
         opcode, payload = frame[0], frame[1:]
         try:
             if opcode == OP_REQ:
+                started = time.perf_counter()
                 reply = bytes([REPLY_OK]) + _encode_resp(
                     execute_request(store, decode_request(payload))
                 )
+                compute_s += time.perf_counter() - started
+            elif opcode == OP_TIMING:
+                reply = bytes([REPLY_OK]) + json.dumps(
+                    {"compute_s": compute_s}
+                ).encode("ascii")
             elif opcode == OP_STATS:
                 reply = bytes([REPLY_OK]) + json.dumps(
                     store.stats.snapshot_dict()
@@ -335,7 +600,7 @@ def _worker_main(
                 store = replacement
                 reply = bytes([REPLY_OK])
             elif opcode == OP_SHUTDOWN:
-                conn.send_bytes(channel.seal(bytes([REPLY_OK])))
+                plane.send_bytes(channel.seal(bytes([REPLY_OK])))
                 break
             else:
                 # shieldlint: ignore[trust-boundary] -- one protocol opcode byte from the authenticated frame header, not client key/value plaintext
@@ -345,10 +610,10 @@ def _worker_main(
         except Exception as exc:  # keep the worker alive; report faithfully
             reply = _encode_error(StoreError(f"{type(exc).__name__}: {exc}"))
         try:
-            conn.send_bytes(channel.seal(reply))
+            plane.send_bytes(channel.seal(reply))
         except (BrokenPipeError, OSError):
             break
-    conn.close()
+    plane.close()
 
 
 def _encode_resp(response: Response) -> bytes:
@@ -361,9 +626,9 @@ def _encode_resp(response: Response) -> bytes:
 # parent side
 # ---------------------------------------------------------------------------
 class _WorkerHandle:
-    """Parent-side view of one worker: its process, pipe end and lock.
+    """Parent-side view of one worker: its process, data plane and lock.
 
-    The pipe pairs requests with replies purely by position, so the
+    The plane pairs requests with replies purely by position, so the
     send/recv round-trip must be atomic per worker: ``lock`` serializes
     concurrent parent threads (e.g. one per TCP connection) that would
     otherwise interleave frames and read each other's replies.
@@ -372,23 +637,41 @@ class _WorkerHandle:
     the pool last snapshotted it — the upper bound on what a crash of
     this worker can lose.  It is read, updated and reset under ``lock``.
 
-    ``channel`` is the parent end of the pipe's session channel; its
+    ``channel`` is the parent end of the plane's session channel; its
     sequence counters advance on every frame, so it is only touched
     under ``lock`` (which already serializes the round-trips) and is
-    replaced together with ``conn`` when the worker is respawned.
+    replaced together with ``plane`` when the worker is respawned.
+
+    ``serialize_s``/``ipc_wait_s`` accumulate this worker's parent-side
+    stage timings (sealing vs waiting on the plane); they are only
+    touched under ``lock``.
     """
 
     __slots__ = (
-        "index", "process", "conn", "channel", "lock", "ops_since_snapshot"
+        "index", "process", "plane", "channel", "lock",
+        "ops_since_snapshot", "serialize_s", "ipc_wait_s",
     )
 
-    def __init__(self, index, process, conn, channel):
+    def __init__(self, index, process, plane, channel):
         self.index = index
         self.process = process
-        self.conn = conn
+        self.plane = plane
         self.channel = channel
         self.lock = threading.Lock()
         self.ops_since_snapshot = 0
+        self.serialize_s = 0.0
+        self.ipc_wait_s = 0.0
+
+    @property
+    def conn(self):
+        """The plane's parent-side ``Connection`` (the data pipe for
+        the pipe plane, the doorbell for the shm plane).  Settable so
+        tests can interpose spies on the pipe plane."""
+        return self.plane.conn
+
+    @conn.setter
+    def conn(self, value):
+        self.plane.conn = value
 
 
 class ProcessPartitionPool:
@@ -415,15 +698,31 @@ class ProcessPartitionPool:
         master_secret: bytes,
         request_timeout: Optional[float] = None,
         platform_secret: Optional[bytes] = None,
+        data_plane: Optional[str] = None,
+        ring_slots: int = DEFAULT_NUM_SLOTS,
+        ring_slot_size: int = DEFAULT_SLOT_SIZE,
     ):
         if num_workers <= 0:
             raise StoreError("process pool needs at least one worker")
         if not process_mode_supported():
             raise StoreError("platform cannot run the multiprocess engine")
+        if data_plane is None:
+            data_plane = default_data_plane()
+        if data_plane not in DATA_PLANES:
+            raise StoreError(
+                f"unknown data plane {data_plane!r}; known: {DATA_PLANES}"
+            )
+        if data_plane == DATA_PLANE_SHM and not shm_supported():
+            raise StoreError(
+                "data_plane='shm' needs multiprocessing.shared_memory"
+            )
         from repro.core.persistence import default_platform_secret
 
         self.num_workers = num_workers
         self.request_timeout = request_timeout
+        self.data_plane = data_plane
+        self._ring_slots = ring_slots
+        self._ring_slot_size = ring_slot_size
         self._broken: Optional[str] = None
         self._closed = False
         self._config = config
@@ -449,9 +748,9 @@ class ProcessPartitionPool:
         self.workers: List[_WorkerHandle] = []
         try:
             for index in range(num_workers):
-                conn, process, channel = self._spawn(index)
+                plane, process, channel = self._spawn(index)
                 self.workers.append(
-                    _WorkerHandle(index, process, conn, channel)
+                    _WorkerHandle(index, process, plane, channel)
                 )
             # Handshake: every worker must come up and answer a PING.
             # Spawning an interpreter takes far longer than a request
@@ -468,36 +767,48 @@ class ProcessPartitionPool:
             raise
 
     def _spawn(self, index: int):
-        """Start one worker; returns (parent_conn, process, channel).
+        """Start one worker; returns (plane, process, channel).
 
-        Each (re)spawn draws a fresh public channel nonce, so a
-        replacement worker's pipe session never shares keys with its
-        dead predecessor — see :func:`_pipe_channel`.
+        Each (re)spawn draws a fresh public channel nonce — so a
+        replacement worker's session never shares keys with its dead
+        predecessor (see :func:`_pipe_channel`) — and, on the shm
+        plane, fresh rings: a reply queued by the dead incarnation can
+        never physically reach the new session.
         """
         hit = faults.check("procpool.spawn")
         if hit is not None and hit.kind == "drop":
             raise OSError(f"injected spawn failure for partition {index}")
         nonce = _fresh_nonce()
-        parent_conn, child_conn = self._mp_ctx.Pipe(duplex=True)
-        process = self._mp_ctx.Process(
-            target=_worker_main,
-            args=(
-                child_conn,
-                index,
-                self._config,
-                self._master_secret,
-                nonce,
-                self._platform_secret,
-            ),
-            name=f"shieldstore-partition-{index}",
-            daemon=True,
+        plane = _make_plane(
+            self.data_plane,
+            self._mp_ctx,
+            index,
+            self._ring_slots,
+            self._ring_slot_size,
         )
-        process.start()
-        child_conn.close()  # parent keeps only its own end
+        try:
+            process = self._mp_ctx.Process(
+                target=_worker_main,
+                args=(
+                    plane.worker_end(),
+                    index,
+                    self._config,
+                    self._master_secret,
+                    nonce,
+                    self._platform_secret,
+                ),
+                name=f"shieldstore-partition-{index}",
+                daemon=True,
+            )
+            process.start()
+        except BaseException:
+            plane.close()
+            raise
+        plane.finish_spawn(process)
         channel = _pipe_channel(
             self._master_secret, index, nonce, "client", self._config.suite_name
         )
-        return parent_conn, process, channel
+        return plane, process, channel
 
     # -- health -------------------------------------------------------------
     @property
@@ -562,14 +873,14 @@ class ProcessPartitionPool:
         replacement worker.
         """
         try:
-            handle.conn.close()
+            handle.plane.close()
         except OSError:
             pass
         if handle.process.is_alive():
             handle.process.terminate()
         handle.process.join(timeout=5)
         lost = handle.ops_since_snapshot
-        handle.conn, handle.process, handle.channel = self._spawn(handle.index)
+        handle.plane, handle.process, handle.channel = self._spawn(handle.index)
         handle.ops_since_snapshot = 0
         with self._health_lock:
             self.recoveries += 1
@@ -613,22 +924,25 @@ class ProcessPartitionPool:
         recover: bool = True,
     ) -> None:
         try:
+            started = time.perf_counter()
             sealed = handle.channel.seal(bytes([opcode]) + payload)
-            hit = faults.check(
-                "procpool.pipe.send", sealed, on_crash=handle.process.kill
+            handle.serialize_s += time.perf_counter() - started
+            deadline = (
+                None
+                if self.request_timeout is None
+                else time.monotonic() + self.request_timeout
             )
-            if hit is not None:
-                if hit.kind == "drop":
-                    # The frame is lost in the kernel; the reply wait
-                    # will time out and trigger worker recovery.
-                    return
-                if hit.payload is not None:
-                    sealed = hit.payload
-            handle.conn.send_bytes(sealed)
+            handle.plane.send(
+                sealed,
+                on_crash=handle.process.kill,
+                deadline=deadline,
+                alive=handle.process.is_alive,
+            )
         except (BrokenPipeError, OSError) as exc:
             raise self._worker_failed(
                 handle,
-                f"partition {handle.index}: worker pipe broke on send ({exc})",
+                f"partition {handle.index}: worker data plane broke "
+                f"on send ({exc})",
                 recover,
             ) from exc
 
@@ -649,50 +963,51 @@ class ProcessPartitionPool:
         if timeout == -1.0:
             timeout = self.request_timeout
         deadline = None if timeout is None else time.monotonic() + timeout
-        while True:
-            interval = _POLL_INTERVAL
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
+        wait_started = time.perf_counter()
+        try:
+            while True:
+                interval = _POLL_INTERVAL
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise self._worker_failed(
+                            handle,
+                            f"partition {handle.index}: no reply within "
+                            f"{timeout:.3g}s",
+                            recover,
+                        )
+                    interval = min(interval, remaining)
+                if handle.plane.poll(interval):
+                    break
+                if not handle.process.is_alive():
                     raise self._worker_failed(
                         handle,
-                        f"partition {handle.index}: no reply within "
-                        f"{timeout:.3g}s",
+                        f"partition {handle.index}: worker process died "
+                        f"(exit code {handle.process.exitcode})",
                         recover,
                     )
-                interval = min(interval, remaining)
-            if handle.conn.poll(interval):
-                break
-            if not handle.process.is_alive():
-                raise self._worker_failed(
-                    handle,
-                    f"partition {handle.index}: worker process died "
-                    f"(exit code {handle.process.exitcode})",
-                    recover,
-                )
+        finally:
+            handle.ipc_wait_s += time.perf_counter() - wait_started
         try:
-            raw = handle.conn.recv_bytes()
-            hit = faults.check(
-                "procpool.pipe.recv", raw, on_crash=handle.process.kill
+            raw = handle.plane.recv(
+                on_crash=handle.process.kill,
+                deadline=deadline,
+                alive=handle.process.is_alive,
             )
-            if hit is not None:
-                if hit.kind == "drop":
-                    raise OSError("injected pipe frame drop")
-                if hit.payload is not None:
-                    raw = hit.payload
             frame = handle.channel.open(raw)
         except (EOFError, OSError) as exc:
             raise self._worker_failed(
                 handle,
-                f"partition {handle.index}: worker pipe broke on receive ({exc})",
+                f"partition {handle.index}: worker data plane broke "
+                f"on receive ({exc})",
                 recover,
             ) from exc
         except ProtocolError as exc:
-            # Tampered or desynced pipe record: the channel state is
-            # unrecoverable, treat it like a dead worker.
+            # Tampered or desynced data-plane record: the channel state
+            # is unrecoverable, treat it like a dead worker.
             raise self._worker_failed(
                 handle,
-                f"partition {handle.index}: pipe record failed "
+                f"partition {handle.index}: data-plane record failed "
                 f"authentication ({exc})",
                 recover,
             ) from exc
@@ -915,6 +1230,33 @@ class ProcessPartitionPool:
             for raw in self.broadcast(OP_STATS)
         ]
 
+    def transport_stats(self) -> TransportStats:
+        """Merged data-plane counters across every worker's plane."""
+        merged = TransportStats()
+        for handle in self.workers:
+            with handle.lock:
+                merged = merged.merge(handle.plane.transport_stats())
+        return merged
+
+    def stage_timings(self) -> Dict[str, float]:
+        """Per-stage seconds: serialize / IPC wait / worker compute.
+
+        ``serialize_s`` and ``ipc_wait_s`` are parent-side (sealing and
+        blocked-on-plane time); ``worker_compute_s`` is fetched from
+        the workers' own ``OP_REQ`` clocks, so the three stages
+        attribute where a batch round-trip actually went.
+        """
+        timings = {"serialize_s": 0.0, "ipc_wait_s": 0.0}
+        for handle in self.workers:
+            with handle.lock:
+                timings["serialize_s"] += handle.serialize_s
+                timings["ipc_wait_s"] += handle.ipc_wait_s
+        compute = 0.0
+        for raw in self.broadcast(OP_TIMING):
+            compute += float(json.loads(raw.decode("ascii"))["compute_s"])
+        timings["worker_compute_s"] = compute
+        return timings
+
     def total_len(self) -> int:
         return sum(_U64.unpack(raw)[0] for raw in self.broadcast(OP_LEN))
 
@@ -942,7 +1284,7 @@ class ProcessPartitionPool:
             if handle.process.is_alive():
                 handle.process.terminate()
             handle.process.join(timeout=5)
-            handle.conn.close()
+            handle.plane.close()
 
     def close(self) -> None:
         """Shut every worker down (idempotent).
@@ -962,7 +1304,7 @@ class ProcessPartitionPool:
             if self._broken is None:
                 for handle in self.workers:
                     try:
-                        handle.conn.send_bytes(
+                        handle.plane.send_raw(
                             handle.channel.seal(bytes([OP_SHUTDOWN]))
                         )
                     except (BrokenPipeError, OSError):

@@ -9,6 +9,7 @@ walk lengths, search-path decryptions (Fig. 9), allocator OCALLs
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import ClassVar, FrozenSet
 
 
 @dataclass
@@ -89,3 +90,49 @@ class StoreStats:
     def operations(self) -> int:
         """Total client-visible operations served."""
         return self.gets + self.sets + self.deletes + self.appends + self.increments
+
+
+@dataclass
+class TransportStats:
+    """Data-plane counters: ring occupancy, doorbell traffic, shedding.
+
+    Deliberately separate from :class:`StoreStats`: these describe the
+    *transport* an engine happens to run on (shared-memory rings vs
+    pipes, event-loop admission), not store semantics — keeping them
+    out of the operation counters is what lets the mode-equivalence
+    tests demand identical :class:`StoreStats` across engines.
+    """
+
+    # Shared-memory ring plane (repro.core.shmring):
+    ring_frames: int = 0            # sealed frames moved through rings
+    ring_bytes: int = 0             # prefix + payload bytes moved
+    ring_full_waits: int = 0        # producer found a ring full
+    ring_doorbell_waits: int = 0    # waits that armed the doorbell
+    ring_doorbell_rings: int = 0    # doorbell bytes actually sent
+    ring_max_occupancy: int = 0     # gauge: in-flight high-water mark (bytes)
+    # Event-loop admission (repro.net.tcp):
+    busy_sheds: int = 0             # sealed STATUS_BUSY replies shed
+    busy_retries: int = 0           # client retries after STATUS_BUSY
+
+    # Gauges keep their max under merge instead of summing.
+    _GAUGES: ClassVar[FrozenSet[str]] = frozenset({"ring_max_occupancy"})
+
+    def merge(self, other: "TransportStats") -> "TransportStats":
+        """Combine counters across workers/planes; returns a new object."""
+        result = TransportStats()
+        for name in vars(result):
+            a, b = getattr(self, name), getattr(other, name)
+            setattr(result, name, max(a, b) if name in self._GAUGES else a + b)
+        return result
+
+    def snapshot_dict(self) -> dict:
+        return dict(vars(self))
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TransportStats":
+        stats = cls()
+        fields = vars(stats)
+        for name, value in data.items():
+            if name in fields:
+                setattr(stats, name, value)
+        return stats

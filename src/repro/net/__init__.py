@@ -12,6 +12,7 @@ from repro.net.message import (
     Request,
     Response,
     SecureChannel,
+    STATUS_BUSY,
     STATUS_ERROR,
     STATUS_MISS,
     STATUS_OK,
@@ -37,6 +38,7 @@ __all__ = [
     "NetworkedServer",
     "Request",
     "Response",
+    "STATUS_BUSY",
     "STATUS_ERROR",
     "STATUS_MISS",
     "STATUS_OK",

@@ -46,6 +46,10 @@ BATCH_OPS = frozenset({"mget", "mset", "mdelete"})
 STATUS_OK = 0
 STATUS_MISS = 1
 STATUS_ERROR = 2
+# Load shed: the server is at its admission limits and refused to queue
+# the request.  Sealed like every reply (a host observer cannot tell
+# shed from served), retryable with backoff, never cached.
+STATUS_BUSY = 3
 
 MAC_SIZE = 16
 

@@ -20,30 +20,51 @@ anyway:
   request with an idempotency token carried inside the sealed envelope;
 * :class:`TCPShieldServer` deduplicates those tokens per client
   identity (bounded LRU, replies replayed from cache), so a retried
-  write after a lost reply applies **exactly once**; it also caps
-  concurrent connections, enforces per-request deadlines, reaps
-  finished handler threads, and drains cleanly on :meth:`close`;
+  write after a lost reply applies **exactly once**;
 * every socket/frame crossing is a named :mod:`repro.sim.faults`
   injection point, so all of the above is reproducible on demand.
+
+Event-loop front end
+--------------------
+The server is a single :mod:`selectors` event loop over non-blocking
+sockets: per-connection input/output buffers, frame reassembly and
+session crypto run on the loop thread, while store execution is handed
+to a small thread pool (one request in flight per connection, so sealed
+replies stream back in FIFO order under the channel's sequence
+numbers).  Clients may pipeline — many sealed requests on the wire
+before the first reply lands.
+
+Admission control is real load shedding, not a silent close:
+connections beyond ``max_connections`` (and requests beyond
+``max_inflight_requests``) are answered with a **sealed STATUS_BUSY**
+reply the resilient client treats as retryable-with-backoff.  Shed
+connections are promoted in arrival order as admitted ones leave.
+Store execution takes the reader side of a reader-writer gate
+(``store_lock``): requests share, the :class:`SnapshotDaemon`'s
+checkpoint cut is exclusive.
 
 Failure counters (tampered sessions dropped, idempotent replays,
 rejected connections...) are kept in :class:`~repro.core.stats.StoreStats`
 form and served over the wire by the ``stats`` protocol op
-(``repro stats --connect``).
+(``repro stats --connect``), alongside the data-plane's
+:class:`~repro.core.stats.TransportStats` (ring occupancy, doorbell
+traffic, busy sheds).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import selectors
 import socket
 import struct
 import threading
 import time
-from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.core.stats import StoreStats
+from repro.core.stats import StoreStats, TransportStats
 from repro.errors import (
     AttestationError,
     KeyNotFoundError,
@@ -51,6 +72,7 @@ from repro.errors import (
     StoreError,
 )
 from repro.net.message import (
+    STATUS_BUSY,
     STATUS_MISS,
     STATUS_OK,
     TOKEN_SIZE,
@@ -83,6 +105,15 @@ MUTATING_WIRE_OPS = frozenset(
 
 class _TransientServerError(StoreError):
     """A STATUS_ERROR reply: the server is degraded, not gone.  Retried."""
+
+
+class _ServerBusyError(StoreError):
+    """A STATUS_BUSY reply: the server shed the request under load.
+
+    Retryable with backoff on the *same* session (the server keeps shed
+    connections open and promotes them as capacity frees up); counted
+    separately from transport-fault retries.
+    """
 
 
 def _send_frame(
@@ -208,17 +239,118 @@ class _IdempotencyCache:
             return sum(len(tokens) for tokens in self._clients.values())
 
 
-class TCPShieldServer:
-    """Threaded TCP server fronting one ShieldStore.
+class _RWGate:
+    """Reader-writer gate between request execution and checkpoints.
 
-    ``max_connections`` caps concurrent sessions (excess accepts are
-    closed immediately and counted).  ``request_deadline_s`` bounds how
-    long one request may take on the wire — a client that stalls
-    mid-frame or cannot take its reply is disconnected, not waited on
-    forever.  ``idle_timeout_s`` (``None`` = unbounded) bounds the wait
-    *between* requests.  :meth:`close` drains: it stops accepting,
-    lets in-flight requests finish within ``drain_timeout_s``, then
-    force-closes stragglers and joins every handler thread.
+    Requests acquire the *shared* side (:meth:`shared`); the
+    :class:`SnapshotDaemon` uses the gate as a plain context manager,
+    which is the *exclusive* side — so a checkpoint is still a
+    consistent cut across every in-flight request, but requests no
+    longer serialize against each other.  Writer-preference: once a
+    checkpoint is waiting, new readers queue behind it.  Not reentrant.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_shared(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_shared(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def shared(self) -> "_SharedSide":
+        return _SharedSide(self)
+
+    # Context-manager protocol = exclusive (checkpoint) side.
+    def __enter__(self) -> "_RWGate":
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+
+class _SharedSide:
+    """Context manager for the reader side of a :class:`_RWGate`."""
+
+    def __init__(self, gate: _RWGate):
+        self._gate = gate
+
+    def __enter__(self) -> "_SharedSide":
+        self._gate.acquire_shared()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._gate.release_shared()
+
+
+class _Conn:
+    """Per-connection state of the event loop."""
+
+    __slots__ = (
+        "sock", "order", "inbuf", "outbuf", "channel", "client_id",
+        "dh", "shed", "pending", "inflight", "last_progress", "closing",
+    )
+
+    def __init__(self, sock: socket.socket, order: int):
+        self.sock = sock
+        self.order = order          # accept order, for shed promotion
+        self.inbuf = bytearray()
+        self.outbuf = bytearray()
+        self.channel: Optional[SecureChannel] = None
+        self.client_id: Optional[bytes] = None
+        self.dh: Optional[DHKeyPair] = None  # pending handshake keypair
+        self.shed = False           # over the cap: answer sealed BUSY
+        self.pending: Deque[bytes] = deque()  # opened payloads, FIFO
+        self.inflight = False       # one executor task at a time
+        self.last_progress = time.monotonic()
+        self.closing = False        # close once outbuf drains
+
+    @property
+    def busy(self) -> bool:
+        """Whether the connection has work in motion (not idle)."""
+        return bool(
+            self.inbuf or self.outbuf or self.pending or self.inflight
+        )
+
+
+class TCPShieldServer:
+    """Event-loop TCP server fronting one ShieldStore.
+
+    One :mod:`selectors` loop owns every socket: non-blocking accepts,
+    per-connection buffers, frame reassembly and channel crypto.  Store
+    execution runs on a small thread pool, one request in flight per
+    connection (FIFO seal order), many connections in parallel when the
+    store's engine allows it (process workers have per-handle locks; the
+    in-process engines serialize on the exclusive gate instead).
+
+    ``max_connections`` is backpressure, not a silent refusal: excess
+    connections still get the attested handshake, but every request is
+    answered with a **sealed STATUS_BUSY** until an admitted connection
+    leaves and the oldest shed one is promoted.  ``max_inflight_requests``
+    (``None`` = unbounded) sheds the same way when the executor queue is
+    full.  ``request_deadline_s`` bounds how long one request may take on
+    the wire; ``idle_timeout_s`` (``None`` = unbounded) bounds the wait
+    *between* requests.  :meth:`close` drains: it stops accepting, lets
+    in-flight requests finish within ``drain_timeout_s``, then severs
+    stragglers and joins the loop thread.
     """
 
     def __init__(
@@ -231,6 +363,8 @@ class TCPShieldServer:
         request_deadline_s: Optional[float] = 30.0,
         idle_timeout_s: Optional[float] = None,
         drain_timeout_s: float = 10.0,
+        max_inflight_requests: Optional[int] = None,
+        executor_threads: int = 8,
     ):
         self.store = store
         self.attestation = attestation
@@ -238,32 +372,49 @@ class TCPShieldServer:
         self.request_deadline_s = request_deadline_s
         self.idle_timeout_s = idle_timeout_s
         self.drain_timeout_s = drain_timeout_s
-        # Serializes store access against snapshot checkpoints: the
-        # SnapshotDaemon takes this lock while serializing the store, so
-        # a checkpoint is a consistent cut, never a half-applied batch.
-        # (Reentrant: a request already holding it may trigger nested
-        # store calls.)
-        self.store_lock = threading.RLock()
+        self.max_inflight_requests = max_inflight_requests
+        # Reader-writer gate against snapshot checkpoints: requests take
+        # the shared side, the SnapshotDaemon's `with server.store_lock:`
+        # is the exclusive side — a checkpoint is a consistent cut,
+        # never a half-applied batch.
+        self.store_lock = _RWGate()
+        # Process-worker engines are safe for concurrent parent-side
+        # callers (per-handle locks); the in-process engines are not, so
+        # their requests take the exclusive side instead of the shared.
+        self._parallel_requests = getattr(store, "data_plane", None) is not None
         # Transport-level failure counters, merged with the store's own
         # counters by stats_snapshot(); guarded by _stats_mutex because
-        # every handler thread bumps them.
+        # executor threads bump them too.
         self.net_stats = StoreStats()
+        self.transport = TransportStats()
         self._stats_mutex = threading.Lock()
         self._idempotency = _IdempotencyCache()
         self._sock = socket.create_server((host, port))
-        # Poll the listener: a blocking accept() is not reliably woken
-        # by close() from another thread, and shutdown must not hang.
-        self._sock.settimeout(0.25)
+        self._sock.setblocking(False)
         self.address = self._sock.getsockname()
-        self._threads: List[threading.Thread] = []
-        self._conns: Dict[int, socket.socket] = {}
-        self._conns_mutex = threading.Lock()
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._sock, selectors.EVENT_READ, "accept")
+        # Self-pipe: executor completions nudge the loop out of select().
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._wake_send.setblocking(False)
+        self._selector.register(self._wake_recv, selectors.EVENT_READ, "wakeup")
+        self._conns: Dict[int, _Conn] = {}
+        self._accepted = 0
+        self._completions: Deque[Tuple[int, object]] = deque()
+        self._completions_mutex = threading.Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, executor_threads),
+            thread_name_prefix="shieldstore-exec",
+        )
         self._stop = threading.Event()
-        self._accept_thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._loop_thread = threading.Thread(
+            target=self._loop, name="shieldstore-eventloop", daemon=True
+        )
 
     def start(self) -> None:
-        """Begin accepting connections (returns immediately)."""
-        self._accept_thread.start()
+        """Start the event loop (returns immediately)."""
+        self._loop_thread.start()
 
     def _bump(self, name: str, amount: int = 1) -> None:
         with self._stats_mutex:
@@ -288,178 +439,392 @@ class TCPShieldServer:
         merged.faults_injected += faults.fires()
         return merged
 
+    def transport_snapshot(self) -> TransportStats:
+        """Admission counters merged with the store's data-plane stats."""
+        with self._stats_mutex:
+            merged = TransportStats().merge(self.transport)
+        plane = getattr(self.store, "transport_stats", None)
+        if callable(plane):
+            merged = merged.merge(plane())
+        return merged
+
     @property
     def live_connections(self) -> int:
-        with self._conns_mutex:
-            return len(self._conns)
+        return len(self._conns)
 
     def close(self, drain: bool = True) -> None:
-        """Stop accepting, drain in-flight requests, join every handler.
+        """Stop accepting, drain in-flight requests, join the loop.
 
         ``drain=False`` skips the grace period and severs connections
-        immediately (still joins the handlers afterwards).
+        immediately.
         """
         self._stop.set()
+        self._wakeup()
+        if self._loop_thread.is_alive():
+            self._loop_thread.join(timeout=self.drain_timeout_s)
+        self._executor.shutdown(wait=drain, cancel_futures=not drain)
+        # The loop closed everything on its way out; sweep whatever is
+        # left if it never started or got wedged.
+        for conn in list(self._conns.values()):
+            self._close_quietly(conn.sock)
+        self._conns.clear()
+        self._close_quietly(self._sock)
+        self._close_quietly(self._wake_recv)
+        self._close_quietly(self._wake_send)
         try:
-            self._sock.close()
+            self._selector.close()
+        except (OSError, RuntimeError):
+            pass
+
+    @staticmethod
+    def _close_quietly(sock) -> None:
+        try:
+            sock.close()
         except OSError:
             pass
-        if self._accept_thread.is_alive():
-            self._accept_thread.join(timeout=self.drain_timeout_s)
-        deadline = time.monotonic() + (self.drain_timeout_s if drain else 0.0)
-        for thread in self._threads:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                break
-            thread.join(timeout=remaining)
-        # Whatever is still alive is idle-blocked or wedged: sever its
-        # socket so the handler unblocks, then collect it.
-        with self._conns_mutex:
-            lingering = list(self._conns.values())
-        for conn in lingering:
-            try:
-                conn.close()
-            except OSError:
-                pass
-        for thread in self._threads:
-            if thread.is_alive():
-                thread.join(timeout=1.0)
-        self._threads = [t for t in self._threads if t.is_alive()]
 
-    # -- connection handling ----------------------------------------------
-    def _accept_loop(self) -> None:
-        while not self._stop.is_set():
-            try:
-                conn, _addr = self._sock.accept()
-            except socket.timeout:
+    def _wakeup(self) -> None:
+        try:
+            self._wake_send.send(b"\x01")
+        except (BlockingIOError, OSError):
+            pass  # wake buffer full means a wakeup is already pending
+
+    # -- the event loop -----------------------------------------------------
+    def _loop(self) -> None:
+        try:
+            while not self._stop.is_set():
+                timeout = self._next_deadline()
+                events = self._selector.select(timeout)
+                for key, mask in events:
+                    if key.data == "accept":
+                        self._accept()
+                    elif key.data == "wakeup":
+                        self._drain_wakeups()
+                    else:
+                        conn = key.data
+                        if mask & selectors.EVENT_READ:
+                            self._readable(conn)
+                        if (
+                            mask & selectors.EVENT_WRITE
+                            and conn.sock.fileno() != -1
+                        ):
+                            self._writable(conn)
+                self._apply_completions()
+                self._sweep_deadlines()
+        finally:
+            for conn in list(self._conns.values()):
+                self._drop(conn)
+            self._close_quietly(self._sock)
+
+    def _next_deadline(self) -> float:
+        """Select timeout: the nearest per-connection deadline, capped."""
+        timeout = 0.25
+        now = time.monotonic()
+        for conn in self._conns.values():
+            limit = (
+                self.request_deadline_s if conn.busy else self.idle_timeout_s
+            )
+            if limit is None:
                 continue
-            except OSError:
+            timeout = min(timeout, max(0.0, conn.last_progress + limit - now))
+        return timeout
+
+    def _sweep_deadlines(self) -> None:
+        now = time.monotonic()
+        for conn in list(self._conns.values()):
+            if conn.inflight:
+                # The store is still working; that is not a wire stall.
+                conn.last_progress = now
+                continue
+            limit = (
+                self.request_deadline_s if conn.busy else self.idle_timeout_s
+            )
+            if limit is not None and now - conn.last_progress > limit:
+                # Mid-frame stall past the deadline or idle expiry: drop
+                # the connection; the client reconnects and retries.
+                self._bump("deadline_drops")
+                self._drop(conn)
+
+    def _drain_wakeups(self) -> None:
+        try:
+            while self._wake_recv.recv(4096):
+                pass
+        except (BlockingIOError, OSError):
+            pass
+
+    # -- accept + admission --------------------------------------------------
+    def _accept(self) -> None:
+        while True:
+            try:
+                sock, _addr = self._sock.accept()
+            except (BlockingIOError, OSError):
                 return
             if self._stop.is_set():
-                self._close_quietly(conn)
+                self._close_quietly(sock)
                 return
-            # Reap finished handlers so _threads tracks only live ones
-            # instead of growing for the lifetime of the server.
-            self._threads = [t for t in self._threads if t.is_alive()]
             try:
                 hit = faults.check("tcp.server.accept")
             except OSError:
-                self._close_quietly(conn)
+                self._close_quietly(sock)
                 continue
             if hit is not None and hit.kind in ("drop", "crash"):
-                self._close_quietly(conn)
+                self._close_quietly(sock)
                 continue
-            if len(self._threads) >= self.max_connections:
+            sock.setblocking(False)
+            self._accepted += 1
+            conn = _Conn(sock, self._accepted)
+            if self._admitted_count() >= self.max_connections:
+                # Over the cap: keep the connection, shed its requests
+                # with sealed BUSY replies until a slot frees up.
+                conn.shed = True
                 self._bump("rejected_connections")
-                self._close_quietly(conn)
+            self._conns[id(conn)] = conn
+            try:
+                self._enqueue_frame(conn, self._handshake_frame(conn))
+            except (OSError, StoreError):
+                self._drop(conn)
                 continue
-            thread = threading.Thread(
-                target=self._serve_connection, args=(conn,), daemon=True
-            )
-            self._threads.append(thread)
-            thread.start()
+            if id(conn) in self._conns:
+                self._register_events(conn)
 
-    @staticmethod
-    def _close_quietly(conn: socket.socket) -> None:
-        try:
-            conn.close()
-        except OSError:
-            pass
+    def _admitted_count(self) -> int:
+        return sum(1 for c in self._conns.values() if not c.shed)
 
-    def _handshake(
-        self, conn: socket.socket
-    ) -> Optional[Tuple[SecureChannel, bytes]]:
-        """Server side of the §3.2 attested handshake.
+    def _promote_shed(self) -> None:
+        """Admit the oldest shed connection once a slot frees up."""
+        free = self.max_connections - self._admitted_count()
+        if free <= 0:
+            return
+        shed = sorted(
+            (c for c in self._conns.values() if c.shed),
+            key=lambda c: c.order,
+        )
+        for conn in shed[:free]:
+            conn.shed = False
 
-        Returns the session channel plus the client identity — the hash
-        of the client's DH public key, which is stable across that
-        client's re-attested reconnects and therefore keys the
-        idempotency cache.
+    def _handshake_frame(self, conn: _Conn) -> bytes:
+        """Server side of the §3.2 attested handshake: the quote frame.
+
+        Sent eagerly on accept; the client answers with its DH public
+        key, whose hash becomes the client identity keying the
+        idempotency cache (stable across re-attested reconnects).
         """
         import hashlib
 
         ctx = self.store.enclave.context()
-        server_dh = DHKeyPair(sgx_read_rand(ctx, 32))
-        pub_bytes = server_dh.public.to_bytes(256, "big")
+        conn.dh = DHKeyPair(sgx_read_rand(ctx, 32))
+        pub_bytes = conn.dh.public.to_bytes(256, "big")
         quote = self.attestation.quote(
             ctx, self.store.enclave, hashlib.sha256(pub_bytes).digest()
         )
-        _send_frame(
-            conn,
-            quote.measurement + quote.signature + quote.report_data + pub_bytes,
-            point="tcp.server.send",
+        return (
+            quote.measurement + quote.signature + quote.report_data + pub_bytes
         )
-        client_pub_raw = _recv_frame(conn, point="tcp.server.recv")
-        if client_pub_raw is None:
-            return None
+
+    def _finish_handshake(self, conn: _Conn, client_pub_raw: bytes) -> None:
+        import hashlib
+
+        if conn.dh is None:
+            raise ProtocolError("handshake reply before quote was sent")
         client_pub = int.from_bytes(client_pub_raw, "big")
-        suite = derive_session_suite(server_dh.shared_secret(client_pub))
-        client_id = hashlib.sha256(client_pub_raw).digest()
-        return SecureChannel(suite, "server"), client_id
+        suite = derive_session_suite(conn.dh.shared_secret(client_pub))
+        conn.dh = None
+        conn.client_id = hashlib.sha256(client_pub_raw).digest()
+        conn.channel = SecureChannel(suite, "server")
 
-    def _register(self, conn: socket.socket) -> None:
-        with self._conns_mutex:
-            self._conns[id(conn)] = conn
-
-    def _deregister(self, conn: socket.socket) -> None:
-        with self._conns_mutex:
-            self._conns.pop(id(conn), None)
-
-    def _serve_connection(self, conn: socket.socket) -> None:
-        self._register(conn)
+    # -- socket readiness ----------------------------------------------------
+    def _register_events(self, conn: _Conn) -> None:
+        mask = selectors.EVENT_READ
+        if conn.outbuf:
+            mask |= selectors.EVENT_WRITE
         try:
-            with conn:
-                conn.settimeout(self.idle_timeout_s)
-                try:
-                    session = self._handshake(conn)
-                except (ProtocolError, OSError):
-                    return
-                if session is None:
-                    return
-                channel, client_id = session
-                while not self._stop.is_set():
-                    try:
-                        conn.settimeout(self.idle_timeout_s)
-                        frame = _recv_frame(
-                            conn,
-                            point="tcp.server.recv",
-                            body_timeout=self.request_deadline_s,
-                        )
-                    except socket.timeout:
-                        # Mid-frame stall past the deadline, an injected
-                        # drop, or idle expiry: drop the connection; the
-                        # client reconnects and retries.
-                        self._bump("deadline_drops")
-                        return
-                    except (OSError, ProtocolError):
-                        return
-                    if frame is None:
-                        return
-                    try:
-                        raw = channel.open(frame)
-                    except ProtocolError:
-                        # Tampered traffic: drop the session.  A fresh
-                        # handshake re-admits the client.
-                        self._bump("tamper_drops")
-                        return
-                    try:
-                        out = self._dispatch(client_id, raw)
-                    except ProtocolError:
-                        self._bump("tamper_drops")
-                        return
-                    try:
-                        conn.settimeout(self.request_deadline_s)
-                        _send_frame(
-                            conn, channel.seal(out), point="tcp.server.send"
-                        )
-                    except socket.timeout:
-                        self._bump("deadline_drops")
-                        return
-                    except OSError:
-                        return
-        finally:
-            self._deregister(conn)
+            self._selector.modify(conn.sock, mask, conn)
+        except KeyError:
+            try:
+                self._selector.register(conn.sock, mask, conn)
+            except (KeyError, ValueError, OSError):
+                pass
 
+    def _readable(self, conn: _Conn) -> None:
+        try:
+            chunk = conn.sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._drop(conn)
+            return
+        if not chunk:
+            if 0 < len(conn.inbuf):
+                # Peer died mid-record; nothing to salvage either way.
+                pass
+            self._drop(conn)
+            return
+        conn.inbuf += chunk
+        conn.last_progress = time.monotonic()
+        self._parse_frames(conn)
+
+    def _writable(self, conn: _Conn) -> None:
+        if conn.outbuf:
+            try:
+                sent = conn.sock.send(conn.outbuf)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._drop(conn)
+                return
+            del conn.outbuf[:sent]
+            conn.last_progress = time.monotonic()
+        if not conn.outbuf:
+            if conn.closing:
+                self._drop(conn)
+            else:
+                self._register_events(conn)
+
+    def _parse_frames(self, conn: _Conn) -> None:
+        while len(conn.inbuf) >= 4:
+            (length,) = _LEN.unpack_from(conn.inbuf, 0)
+            if length > 64 * 1024 * 1024:
+                self._drop(conn)  # oversized frame: protocol violation
+                return
+            if len(conn.inbuf) < 4 + length:
+                return  # partial frame: wait for more bytes
+            body = bytes(conn.inbuf[4 : 4 + length])
+            del conn.inbuf[: 4 + length]
+            try:
+                hit = faults.check("tcp.server.recv", body)
+            except OSError:
+                self._drop(conn)
+                return
+            if hit is not None:
+                if hit.kind == "drop":
+                    # The frame never arrived: to the peer this is a
+                    # stalled request, so it costs the connection.
+                    self._bump("deadline_drops")
+                    self._drop(conn)
+                    return
+                if hit.payload is not None:
+                    body = hit.payload
+            if not self._handle_frame(conn, body):
+                return
+
+    def _handle_frame(self, conn: _Conn, body: bytes) -> bool:
+        """Process one complete inbound frame; False if conn dropped."""
+        if conn.channel is None:
+            try:
+                self._finish_handshake(conn, body)
+            except (ProtocolError, OSError, OverflowError, ValueError):
+                self._drop(conn)
+                return False
+            return True
+        try:
+            raw = conn.channel.open(body)
+        except ProtocolError:
+            # Tampered traffic: drop the session.  A fresh handshake
+            # re-admits the client.
+            self._bump("tamper_drops")
+            self._drop(conn)
+            return False
+        if conn.shed or self._over_inflight_limit():
+            self._shed_reply(conn)
+            return True
+        conn.pending.append(raw)
+        self._pump(conn)
+        return True
+
+    def _over_inflight_limit(self) -> bool:
+        if self.max_inflight_requests is None:
+            return False
+        inflight = sum(
+            len(c.pending) + (1 if c.inflight else 0)
+            for c in self._conns.values()
+        )
+        return inflight >= self.max_inflight_requests
+
+    def _shed_reply(self, conn: _Conn) -> None:
+        """Answer with a sealed STATUS_BUSY instead of executing."""
+        with self._stats_mutex:
+            self.transport.busy_sheds += 1
+        out = encode_response(Response(STATUS_BUSY))
+        self._seal_and_send(conn, out)
+
+    # -- request execution ---------------------------------------------------
+    def _pump(self, conn: _Conn) -> None:
+        """Submit the next pending request (one in flight per conn)."""
+        if conn.inflight or not conn.pending:
+            return
+        raw = conn.pending.popleft()
+        conn.inflight = True
+        conn_id = id(conn)
+        future = self._executor.submit(self._dispatch, conn.client_id, raw)
+        future.add_done_callback(
+            lambda fut: self._complete(conn_id, fut)
+        )
+
+    def _complete(self, conn_id: int, future) -> None:
+        """Executor thread: queue the result for the loop to seal."""
+        with self._completions_mutex:
+            self._completions.append((conn_id, future))
+        self._wakeup()
+
+    def _apply_completions(self) -> None:
+        while True:
+            with self._completions_mutex:
+                if not self._completions:
+                    return
+                conn_id, future = self._completions.popleft()
+            conn = self._conns.get(conn_id)
+            if conn is None:
+                continue  # connection died while the store worked
+            conn.inflight = False
+            conn.last_progress = time.monotonic()
+            try:
+                out = future.result()
+            except ProtocolError:
+                self._bump("tamper_drops")
+                self._drop(conn)
+                continue
+            except Exception:
+                self._drop(conn)
+                continue
+            self._seal_and_send(conn, out)
+            if id(conn) in self._conns:
+                self._pump(conn)
+
+    def _seal_and_send(self, conn: _Conn, out: bytes) -> None:
+        if conn.channel is None:
+            self._drop(conn)
+            return
+        self._enqueue_frame(conn, conn.channel.seal(out))
+
+    def _enqueue_frame(self, conn: _Conn, payload: bytes) -> None:
+        """Queue one length-prefixed frame (the tcp.server.send point)."""
+        try:
+            hit = faults.check("tcp.server.send", payload)
+        except OSError:
+            self._drop(conn)
+            return
+        if hit is not None:
+            if hit.kind == "drop":
+                return  # the frame vanishes on the wire
+            if hit.payload is not None:
+                payload = hit.payload
+        conn.outbuf += _LEN.pack(len(payload)) + payload
+        # Opportunistic flush: most replies fit the socket buffer, so
+        # skipping the selector round trip saves a syscall per request.
+        self._writable(conn)
+        if id(conn) in self._conns:
+            self._register_events(conn)
+
+    def _drop(self, conn: _Conn) -> None:
+        self._conns.pop(id(conn), None)
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        self._close_quietly(conn.sock)
+        self._promote_shed()
+
+    # -- request dispatch (executor threads) ---------------------------------
     def _dispatch(self, client_id: bytes, raw: bytes) -> bytes:
         """Decode one opened payload and produce the encoded reply.
 
@@ -472,9 +837,9 @@ class TCPShieldServer:
         token, record = decode_envelope(raw)
         request = decode_request(record)
         if request.op == "stats":
-            payload = json.dumps(
-                self.stats_snapshot().snapshot_dict(), sort_keys=True
-            ).encode("ascii")
+            counters = self.stats_snapshot().snapshot_dict()
+            counters.update(self.transport_snapshot().snapshot_dict())
+            payload = json.dumps(counters, sort_keys=True).encode("ascii")
             return encode_response(Response(STATUS_OK, payload))
         if token is not None:
             cached = self._idempotency.lookup(client_id, token)
@@ -493,7 +858,12 @@ class TCPShieldServer:
     def _execute(self, request: Request) -> Response:
         from repro.net.server import execute_request
 
-        with self.store_lock:
+        gate = (
+            self.store_lock.shared()
+            if self._parallel_requests
+            else self.store_lock
+        )
+        with gate:
             return execute_request(self.store, request)
 
 
@@ -676,6 +1046,7 @@ class TCPShieldClient:
         self.backoff_base_s = backoff_base_s
         self.backoff_max_s = backoff_max_s
         self.stats = StoreStats()
+        self.transport = TransportStats()
         if retry_seed is None:
             retry_seed = int.from_bytes(entropy[:8], "big")
         self._rng = random.Random(retry_seed)
@@ -759,6 +1130,18 @@ class TCPShieldClient:
                 # peer is not the enclave we were told to trust.
                 self._teardown()
                 raise
+            except _ServerBusyError as exc:
+                # Load shed, not a fault: the session stays up (the
+                # server keeps shed connections and promotes them when
+                # capacity frees), so back off without tearing down.
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise StoreError(
+                        f"{what} failed after {attempt} attempt(s): "
+                        "server kept shedding load"
+                    ) from exc
+                self.transport.busy_retries += 1
+                self._backoff(attempt)
             except _TransientServerError as exc:
                 self._teardown()
                 attempt += 1
@@ -801,6 +1184,8 @@ class TCPShieldClient:
         response = decode_response(self._channel.open(reply))
         if response.status == STATUS_MISS:
             raise KeyNotFoundError(f"no such key (op {op})")
+        if response.status == STATUS_BUSY:
+            raise _ServerBusyError(f"server shed {op} under load")
         if response.status != STATUS_OK:
             # Transient server-side degradation (e.g. a partition worker
             # mid-recovery).  Retried with backoff; error replies are

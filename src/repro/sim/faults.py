@@ -29,8 +29,11 @@ point                     crossing
 ``channel.server.seal``   SecureChannel.seal on a ``server``-role channel
 ``channel.server.open``   SecureChannel.open on a ``server``-role channel
 ``procpool.spawn``        parent spawning one partition worker process
-``procpool.pipe.send``    parent -> worker sealed pipe frame
-``procpool.pipe.recv``    worker -> parent sealed pipe frame
+``procpool.pipe.send``    parent -> worker sealed pipe frame (pipe data plane)
+``procpool.pipe.recv``    worker -> parent sealed pipe frame (pipe data plane)
+``shmring.write``         parent -> worker sealed shared-memory ring frame
+``shmring.read``          worker -> parent sealed shared-memory ring frame
+``shmring.doorbell``      ring readiness doorbell (drop = wake via poll only)
 ``snapshot.write``        SnapshotDaemon writing one checkpoint file
 ``snapshot.read``         reading a checkpoint file back from disk
 ``persistence.snapshot``  serializing a store into a snapshot blob
@@ -95,6 +98,9 @@ INJECTION_POINTS = frozenset(
         "procpool.spawn",
         "procpool.pipe.send",
         "procpool.pipe.recv",
+        "shmring.write",
+        "shmring.read",
+        "shmring.doorbell",
         "snapshot.write",
         "snapshot.read",
         "persistence.snapshot",

@@ -188,7 +188,11 @@ class TestIdempotentReplay:
 # server limits: connection cap, thread reaping, drain on close
 # ---------------------------------------------------------------------------
 class TestServerLimits:
-    def test_connection_cap_refuses_excess(self, service):
+    def test_connection_cap_sheds_with_sealed_busy(self, service):
+        # Over-cap connections are not silently refused: they complete
+        # the attested handshake and every request is answered with a
+        # *sealed* STATUS_BUSY until a slot frees up.  A client with no
+        # retry budget surfaces that as a StoreError.
         from repro.core import ShieldStore
 
         store = ShieldStore(shield_opt(num_buckets=64, num_mac_hashes=32))
@@ -197,45 +201,62 @@ class TestServerLimits:
         first = resilient_client(server, service)
         try:
             first.set(b"k", b"v")  # the one admitted session works
-            with pytest.raises((StoreError, OSError)):
-                resilient_client(
-                    server,
-                    service,
-                    entropy=bytes(range(32, 64)),
-                    max_retries=1,
-                )
+            second = resilient_client(
+                server,
+                service,
+                entropy=bytes(range(32, 64)),
+                max_retries=1,
+                backoff_base_s=0.01,
+            )
+            try:
+                with pytest.raises(StoreError, match="shedding"):
+                    second.get(b"k")
+                assert second.transport.busy_retries >= 1
+                # Shed was load-shedding, never a transport fault.
+                assert second.stats.net_retries == 0
+            finally:
+                second.close()
             assert server.stats_snapshot().rejected_connections >= 1
+            assert server.transport_snapshot().busy_sheds >= 1
             assert first.get(b"k") == b"v"  # cap never hurt the admitted one
         finally:
             first.close()
             server.close()
 
-    def test_handler_threads_are_reaped(self, service):
+    def test_shed_connection_is_promoted_when_slot_frees(self, service):
+        # The oldest shed connection becomes a first-class session as
+        # soon as an admitted connection leaves — the client's backoff
+        # retry then succeeds on the *same* session, no reconnect.
         from repro.core import ShieldStore
 
         store = ShieldStore(shield_opt(num_buckets=64, num_mac_hashes=32))
-        server = TCPShieldServer(store, service)
+        server = TCPShieldServer(store, service, max_connections=1)
         server.start()
+        first = resilient_client(server, service)
+        first.set(b"k", b"v")
+        second = resilient_client(
+            server,
+            service,
+            entropy=bytes(range(32, 64)),
+            max_retries=8,
+            backoff_base_s=0.05,
+        )
         try:
-            for i in range(6):
-                client = resilient_client(
-                    server, service, entropy=bytes(range(i, i + 32))
-                )
-                client.set(b"k%d" % i, b"v")
-                client.close()
-            # One extra connection forces a reap pass in the accept loop.
-            last = resilient_client(server, service, entropy=bytes(range(7, 39)))
-            last.close()
-            deadline = threading.Event()
-            for _ in range(50):
-                if len(server._threads) <= 2:
-                    break
-                deadline.wait(0.05)
-            assert len(server._threads) <= 2
+            releaser = threading.Timer(0.2, first.close)
+            releaser.start()
+            try:
+                assert second.get(b"k") == b"v"
+            finally:
+                releaser.cancel()
+            assert second.transport.busy_retries >= 1
+            assert second.stats.net_reconnects == 0, (
+                "promotion must reuse the shed session, not re-handshake"
+            )
         finally:
+            second.close()
             server.close()
 
-    def test_close_drains_and_joins_every_handler(self, service):
+    def test_close_drains_and_joins_the_loop(self, service):
         from repro.core import ShieldStore
 
         store = ShieldStore(shield_opt(num_buckets=64, num_mac_hashes=32))
@@ -243,11 +264,29 @@ class TestServerLimits:
         server.start()
         client = resilient_client(server, service)
         client.set(b"k", b"v")
-        server.close()  # client still connected and idle-blocked
-        assert not server._accept_thread.is_alive()
-        assert all(not t.is_alive() for t in server._threads)
+        server.close()  # client still connected and idle
+        assert not server._loop_thread.is_alive()
         assert server.live_connections == 0
         client.close()
+
+    def test_pipelined_requests_on_one_connection(self, service):
+        # The event loop parses back-to-back frames from one socket
+        # buffer and answers them in FIFO order under the channel's
+        # sequence discipline.
+        from repro.core import ShieldStore
+
+        store = ShieldStore(shield_opt(num_buckets=64, num_mac_hashes=32))
+        server = TCPShieldServer(store, service)
+        server.start()
+        client = resilient_client(server, service)
+        try:
+            for i in range(8):
+                client.set(b"pipe%d" % i, b"v%d" % i)
+            values = client.multi_get([b"pipe%d" % i for i in range(8)])
+            assert values == {b"pipe%d" % i: b"v%d" % i for i in range(8)}
+        finally:
+            client.close()
+            server.close()
 
 
 # ---------------------------------------------------------------------------
@@ -331,10 +370,10 @@ class TestChaosYCSB:
     def _chaos_plan(self, seed):
         return FaultPlan(
             [
-                # SIGKILL one partition worker: first data-plane pipe
-                # send after the checkpoint (the checkpoint itself is 4
+                # SIGKILL one partition worker: first data-plane ring
+                # write after the checkpoint (the checkpoint itself is 4
                 # OP_SNAPSHOT sends, hence after=4).
-                FaultRule(point="procpool.pipe.send", kind="crash",
+                FaultRule(point="shmring.write", kind="crash",
                           after=4, hits=[0]),
                 # Stall one snapshot write.
                 FaultRule(point="snapshot.write", kind="delay",
@@ -415,7 +454,7 @@ class TestChaosYCSB:
             assert live["worker_recoveries"] >= 1
             assert live["degraded_replies"] >= 1
             assert live["faults_injected"] >= 4
-            assert plan.fires("procpool.pipe.send", "crash") == 1
+            assert plan.fires("shmring.write", "crash") == 1
             assert plan.fires("snapshot.write", "delay") == 1
             assert plan.fires(kind="drop") >= 1
             assert plan.fires(kind="tamper") >= 1

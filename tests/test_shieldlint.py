@@ -100,6 +100,36 @@ class TestTrustBoundaryRule:
         )
         assert _lint(tmp_path).active == []
 
+    def test_unsealed_write_into_shared_memory_is_flagged(self, tmp_path):
+        # The shm data plane's ring buffers are host-visible: a
+        # subscript store of plaintext into a SharedMemory buffer is a
+        # leak even though no call is involved.
+        _write(
+            tmp_path,
+            "core/shmring.py",
+            """
+            def stage(shm, channel, blob):
+                plain = channel.open(blob)
+                shm.buf[0 : len(plain)] = plain
+            """,
+        )
+        report = _lint(tmp_path)
+        assert [f.rule for f in report.active] == ["trust-boundary"]
+        assert "shared memory" in report.active[0].message
+
+    def test_sealed_write_into_shared_memory_is_clean(self, tmp_path):
+        _write(
+            tmp_path,
+            "core/shmring.py",
+            """
+            def stage(shm, channel, blob):
+                plain = channel.open(blob)
+                sealed = channel.seal(plain)
+                shm.buf[0 : len(sealed)] = sealed
+            """,
+        )
+        assert _lint(tmp_path).active == []
+
     def test_decrypt_result_is_a_source(self, tmp_path):
         _write(
             tmp_path,

@@ -184,7 +184,8 @@ class TestSealedWorkerPipes:
 
     def test_no_plaintext_crosses_the_pipe(self):
         pool = ProcessPartitionPool(
-            shield_opt(num_buckets=32, num_mac_hashes=8), 2, SECRET
+            shield_opt(num_buckets=32, num_mac_hashes=8), 2, SECRET,
+            data_plane="pipe",
         )
         frames = []
         try:
@@ -257,7 +258,7 @@ class TestPerIncarnationPipeKeys:
             return nonces[-1]
 
         monkeypatch.setattr(procpool, "_fresh_nonce", recording_nonce)
-        pool = ProcessPartitionPool(config, 1, SECRET)
+        pool = ProcessPartitionPool(config, 1, SECRET, data_plane="pipe")
         try:
             # The attacker's tape: every record incarnation A's parent
             # could have produced, regenerated from a replica channel
@@ -293,7 +294,8 @@ class TestPerIncarnationPipeKeys:
 class TestSealedShutdown:
     def test_worker_acks_sealed_shutdown_and_exits_cleanly(self):
         pool = ProcessPartitionPool(
-            shield_opt(num_buckets=32, num_mac_hashes=8), 1, SECRET
+            shield_opt(num_buckets=32, num_mac_hashes=8), 1, SECRET,
+            data_plane="pipe",
         )
         try:
             handle = pool.workers[0]
@@ -310,7 +312,8 @@ class TestSealedShutdown:
 
     def test_close_sends_sealed_shutdown_frames(self):
         pool = ProcessPartitionPool(
-            shield_opt(num_buckets=32, num_mac_hashes=8), 2, SECRET
+            shield_opt(num_buckets=32, num_mac_hashes=8), 2, SECRET,
+            data_plane="pipe",
         )
         frames = []
         processes = [handle.process for handle in pool.workers]

@@ -17,6 +17,13 @@ the round trip went: ``serialize_s`` (parent-side sealing + codec),
 (the workers' own request clocks), plus the ring counters for the shm
 plane (frames, bytes, doorbell activity, peak occupancy).
 
+Each point is measured twice — with the enclave-resident verified-MAC
+cache off and on (sized to the working set; per-worker caches need no
+cross-process coherence because partitions are disjoint) — and carries
+the store-side ``op_stages`` wall split (chain walk / per-entry MAC
+crypto / set gather+verify) so the JSON shows the verification time the
+cache removes at every worker count.
+
 Total store geometry (buckets, MAC hashes) is held constant across the
 worker counts — partitions divide the structure, they don't grow it —
 so the curve isolates parallel speedup from capacity effects.
@@ -59,20 +66,36 @@ def _geometry(pairs: int):
     return max(_BASE_PARTITIONS * 64, pairs // 2), _BASE_PARTITIONS * 4
 
 
-def _build_single(pairs: int) -> PartitionedShieldStore:
+def _mac_cache_budget(pairs: int) -> int:
+    # Working-set-sized budget, as in bench_batch_pipeline: one 16 B MAC
+    # per resident pair plus bookkeeping, rounded up generously.
+    return max(256 * 1024, pairs * 64)
+
+
+def _build_single(pairs: int, mac_cache_bytes: int = 0) -> PartitionedShieldStore:
     buckets, hashes = _geometry(pairs)
     machine = Machine(num_threads=_BASE_PARTITIONS)
     return PartitionedShieldStore(
-        shield_opt(num_buckets=buckets, num_mac_hashes=hashes),
+        shield_opt(
+            num_buckets=buckets,
+            num_mac_hashes=hashes,
+            mac_cache_bytes=mac_cache_bytes,
+        ),
         machine=machine,
         parallel=False,
     )
 
 
-def _build_procs(workers: int, pairs: int, plane: str) -> PartitionedShieldStore:
+def _build_procs(
+    workers: int, pairs: int, plane: str, mac_cache_bytes: int = 0
+) -> PartitionedShieldStore:
     buckets, hashes = _geometry(pairs)
     return PartitionedShieldStore(
-        shield_opt(num_buckets=buckets, num_mac_hashes=hashes),
+        shield_opt(
+            num_buckets=buckets,
+            num_mac_hashes=hashes,
+            mac_cache_bytes=mac_cache_bytes,
+        ),
         num_partitions=workers,
         mode=MODE_PROCESSES,
         data_plane=plane,
@@ -109,6 +132,16 @@ def _measure(store, label: str, pairs: int, ops: int, batch: int, seed: int) -> 
         "batches": stats.batches,
         "batch_ops": stats.batch_ops,
         "set_verifications_saved": stats.batch_verifications_saved,
+        "mac_cache_hits": stats.mac_cache_hits,
+        "mac_cache_misses": stats.mac_cache_misses,
+        "mac_cache_evictions": stats.mac_cache_evictions,
+        # Store-side wall split (summed across workers); distinct from
+        # the transport "stages" below, which time the IPC round trip.
+        "op_stages": {
+            "walk_s": round(stats.stage_walk_s, 4),
+            "crypto_s": round(stats.stage_crypto_s, 4),
+            "verify_s": round(stats.stage_verify_s, 4),
+        },
     }
     stages = store.stage_timings()
     if stages is not None:
@@ -125,36 +158,56 @@ def _measure(store, label: str, pairs: int, ops: int, batch: int, seed: int) -> 
 def run(pairs: int, ops: int, batch_size: int, seed: int, worker_counts,
         planes) -> dict:
     cpus = os.cpu_count() or 1
-    baseline = _measure(
-        _build_single(pairs), "single-process batched", pairs, ops, batch_size, seed
-    )
-    print(f"{baseline['label']:30s} {baseline['wall_s']:8.3f} s  "
-          f"{baseline['kops']:8.1f} Kop/s")
+    budget = _mac_cache_budget(pairs)
+    baselines = {}
+    for cache_on in (False, True):
+        suffix = "+maccache" if cache_on else ""
+        baselines[cache_on] = _measure(
+            _build_single(pairs, budget if cache_on else 0),
+            f"single-process batched{suffix}",
+            pairs, ops, batch_size, seed,
+        )
+        print(f"{baselines[cache_on]['label']:34s} "
+              f"{baselines[cache_on]['wall_s']:8.3f} s  "
+              f"{baselines[cache_on]['kops']:8.1f} Kop/s")
+    baseline = baselines[False]
     points = []
     for workers in worker_counts:
         for plane in planes:
-            point = _measure(
-                _build_procs(workers, pairs, plane),
-                f"{workers} process workers [{plane}]",
-                pairs, ops, batch_size, seed,
+            pair_points = {}
+            for cache_on in (False, True):
+                suffix = ", maccache" if cache_on else ""
+                point = _measure(
+                    _build_procs(
+                        workers, pairs, plane, budget if cache_on else 0
+                    ),
+                    f"{workers} process workers [{plane}{suffix}]",
+                    pairs, ops, batch_size, seed,
+                )
+                point["workers"] = workers
+                point["data_plane"] = plane
+                point["mac_cache"] = cache_on
+                point["speedup_vs_single"] = round(
+                    baseline["wall_s"] / point["wall_s"], 2
+                )
+                pair_points[cache_on] = point
+                points.append(point)
+            # Cache-on vs cache-off at the same worker count and plane.
+            pair_points[True]["speedup_maccache"] = round(
+                pair_points[False]["wall_s"] / pair_points[True]["wall_s"], 2
             )
-            point["workers"] = workers
-            point["data_plane"] = plane
-            point["speedup_vs_single"] = round(
-                baseline["wall_s"] / point["wall_s"], 2
-            )
-            points.append(point)
-            stages = point.get("stages", {})
-            breakdown = (
-                f"  [ser {stages.get('serialize_s', 0):.2f}"
-                f" ipc {stages.get('ipc_wait_s', 0):.2f}"
-                f" cpu {stages.get('worker_compute_s', 0):.2f}]"
-                if stages else ""
-            )
-            print(f"{point['label']:30s} {point['wall_s']:8.3f} s  "
-                  f"{point['kops']:8.1f} Kop/s  "
-                  f"({point['speedup_vs_single']:.2f}x vs single)"
-                  + breakdown)
+            for point in pair_points.values():
+                stages = point.get("stages", {})
+                breakdown = (
+                    f"  [ser {stages.get('serialize_s', 0):.2f}"
+                    f" ipc {stages.get('ipc_wait_s', 0):.2f}"
+                    f" cpu {stages.get('worker_compute_s', 0):.2f}]"
+                    if stages else ""
+                )
+                print(f"{point['label']:34s} {point['wall_s']:8.3f} s  "
+                      f"{point['kops']:8.1f} Kop/s  "
+                      f"({point['speedup_vs_single']:.2f}x vs single)"
+                      + breakdown)
     notes = []
     cpu_warning = None
     oversubscribed = [w for w in worker_counts if w > cpus]
@@ -180,10 +233,12 @@ def run(pairs: int, ops: int, batch_size: int, seed: int, worker_counts,
             "worker_counts": list(worker_counts),
             "data_planes": list(planes),
             "default_data_plane": default_data_plane(),
+            "mac_cache_bytes": budget,
         },
         "cpus": cpus,
         "cpu_warning": cpu_warning,
         "baseline": baseline,
+        "baseline_maccache": baselines[True],
         "workers": points,
         "notes": notes,
     }

@@ -54,7 +54,13 @@ def expect(exc_types, action, label):
 
 
 def main() -> None:
-    store = ShieldStore(shield_opt(num_buckets=64, num_mac_hashes=32))
+    # MAC cache on: hot reads verify against the enclave-cached MAC
+    # lists in O(1).  Every attack below must still be detected — a
+    # replay may surface as IntegrityError instead of ReplayError when
+    # the stale entry is compared against the cached (current) MAC.
+    store = ShieldStore(
+        shield_opt(num_buckets=64, num_mac_hashes=32, mac_cache_bytes=64 * 1024)
+    )
     attacker = Attacker(store.machine.memory)
     store.set(b"victim-key", b"medical-record: [REDACTED]")
     addr, header = find_entry(store, b"victim-key")
@@ -82,7 +88,8 @@ def main() -> None:
     store.set(b"victim-key", b"medical-record: updated-v2")
     attacker.replay(snapshot_entry)
     attacker.replay(snapshot_macb)
-    expect(ReplayError, lambda: store.get(b"victim-key"), "stale-entry replay")
+    expect((ReplayError, IntegrityError),
+           lambda: store.get(b"victim-key"), "stale-entry replay")
 
     print("4. hiding an entry by truncating its chain")
     fresh = ShieldStore(shield_opt(num_buckets=4, num_mac_hashes=2))
@@ -110,6 +117,13 @@ def main() -> None:
     expect(EnclaveError,
            lambda: attacker.read(store.mactree.base, 16),
            "EPC read attempt")
+
+    print("7. reading the enclave's verified-MAC cache")
+    expect(EnclaveError,
+           lambda: attacker.read(store.maccache.base, 16),
+           "MAC-cache EPC read attempt")
+    print(f"  (cache served {store.stats.mac_cache_hits} verified hits "
+          f"during the attacks above)")
 
 
 if __name__ == "__main__":

@@ -33,6 +33,7 @@ TRUSTED_MODULES: Tuple[str, ...] = (
     "core/mactree.py",
     "core/macbucket.py",
     "core/cache.py",
+    "core/maccache.py",
     "sim/enclave.py",
     "sim/sealing.py",
 )

@@ -222,7 +222,14 @@ def _cmd_serve(args) -> int:
     from repro.core import PartitionedShieldStore
     from repro.net import SnapshotDaemon, TCPShieldServer
 
-    config = shield_opt(num_buckets=8192, num_mac_hashes=4096)
+    from repro.sim.cycles import MB
+
+    config = shield_opt(
+        num_buckets=8192,
+        num_mac_hashes=4096,
+        cache_bytes=int(args.cache_mb * MB),
+        mac_cache_bytes=int(args.mac_cache_mb * MB),
+    )
     if args.workers > 1:
         # Shared-nothing partition engine: one worker process per
         # partition, each with its own enclave sim (auto mode picks
@@ -399,8 +406,13 @@ def _cmd_stats(args) -> int:
     if args.connect:
         return _cmd_stats_connect(args)
 
+    from repro.sim.cycles import MB
+
     config = shield_opt(
-        num_buckets=64 * args.threads, num_mac_hashes=16 * args.threads
+        num_buckets=64 * args.threads,
+        num_mac_hashes=16 * args.threads,
+        cache_bytes=int(args.cache_mb * MB),
+        mac_cache_bytes=int(args.mac_cache_mb * MB),
     )
     if args.mode == "processes":
         store = PartitionedShieldStore(
@@ -542,6 +554,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--fault-plan", default=None, metavar="PLAN.json",
                        help="install a seeded shieldfault injection plan "
                             "(see repro.sim.faults) for chaos drills")
+    serve.add_argument("--cache-mb", type=float, default=0.0,
+                       help="in-enclave plaintext value cache budget in MB "
+                            "(§6.3 ShieldOpt+cache; split across workers; "
+                            "0 disables)")
+    serve.add_argument("--mac-cache-mb", type=float, default=0.0,
+                       help="enclave-resident verified MAC-list cache "
+                            "budget in MB (O(1) hit-path verification; "
+                            "split across workers; 0 disables)")
     serve.set_defaults(func=_cmd_serve)
 
     snapshot = sub.add_parser(
@@ -580,6 +600,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                        choices=["auto", "sequential", "threads", "processes"],
                        help="partition execution engine (processes = one "
                             "worker process per partition)")
+    stats.add_argument("--cache-mb", type=float, default=0.0,
+                       help="in-enclave value cache budget in MB (0 off)")
+    stats.add_argument("--mac-cache-mb", type=float, default=0.0,
+                       help="verified MAC-list cache budget in MB (0 off)")
     stats.add_argument("--format", default="text", choices=["text", "json"],
                        help="output format (json is stable and sorted)")
     stats.add_argument("--connect", default=None, metavar="HOST:PORT",

@@ -26,6 +26,7 @@ from repro.core.entry import (
 )
 from repro.core.hashindex import BucketTable
 from repro.core.macbucket import MacBucketStore
+from repro.core.maccache import MacSetCache
 from repro.core.mactree import MacTree
 from repro.core.partition import (
     MODE_PROCESSES,
@@ -66,6 +67,7 @@ __all__ = [
     "MODE_SEQUENTIAL",
     "MODE_THREADS",
     "MacBucketStore",
+    "MacSetCache",
     "MacTree",
     "OcallAllocator",
     "PartitionSnapshotter",

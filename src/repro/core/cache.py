@@ -17,6 +17,18 @@ from typing import Optional
 from repro.sim.enclave import Enclave, ExecContext
 
 
+def clamp_touch_offset(offset: int, size: int, capacity_bytes: int) -> int:
+    """Clamp a notional cache offset so [offset, offset+size) stays
+    inside a ``capacity_bytes`` allocation.
+
+    Wraps first (cursors run past the end by design), then pins the
+    span's tail to the allocation's end.  Entries as large as the whole
+    capacity map to offset 0 rather than degenerating.
+    """
+    offset %= capacity_bytes
+    return min(offset, max(0, capacity_bytes - size))
+
+
 class EnclaveCache:
     """Byte-budgeted LRU of plaintext values, resident in enclave memory."""
 
@@ -36,8 +48,8 @@ class EnclaveCache:
         return len(key) + len(value) + 32  # bookkeeping overhead
 
     def _touch(self, ctx: ExecContext, offset: int, size: int, write: bool) -> None:
-        addr = self.base + (offset % max(1, self.capacity_bytes - size - 1))
-        self._memory.touch(ctx, addr, size, write)
+        offset = clamp_touch_offset(offset, size, self.capacity_bytes)
+        self._memory.touch(ctx, self.base + offset, size, write)
 
     def lookup(self, ctx: ExecContext, key: bytes) -> Optional[bytes]:
         """Return the cached value or None; charges an EPC access."""
@@ -71,6 +83,12 @@ class EnclaveCache:
         old = self._entries.pop(key, None)
         if old is not None:
             self.bytes_used -= self._entry_cost_bytes(key, old[0])
+
+    def clear(self) -> None:
+        """Flush everything (snapshot restore replaces the whole table)."""
+        self._entries.clear()
+        self.bytes_used = 0
+        self._cursor = 0
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -49,6 +49,12 @@ class StoreConfig:
     cache_bytes:
         §6.3 — optional in-enclave LRU cache over hot entries
         (ShieldOpt+cache in Fig. 17).  0 disables.
+    mac_cache_bytes:
+        Optional enclave-resident cache of verified bucket-set MAC
+        lists (:mod:`repro.core.maccache`): point reads verify against
+        the in-enclave ground-truth copy in O(1) instead of regathering
+        the whole set and recomputing the keyed hash (§4.3 cost traded
+        against spare EPC, cf. Fig. 15).  0 disables.
     suite_name:
         Cipher suite backend; "aes-reference" is the faithful one,
         "fast-hashlib" keeps big benches quick (identical semantics).
@@ -68,6 +74,7 @@ class StoreConfig:
     heap_chunk_bytes: int = 16 * MB
     pointer_check: bool = True
     cache_bytes: int = 0
+    mac_cache_bytes: int = 0
     suite_name: str = "fast-hashlib"
     seed: int = 2019
     scale: float = 1.0
@@ -86,6 +93,8 @@ class StoreConfig:
             raise ValueError("mac_bucket_capacity must be positive")
         if self.heap_chunk_bytes < 4096:
             raise ValueError("heap_chunk_bytes must be at least one page")
+        if self.cache_bytes < 0 or self.mac_cache_bytes < 0:
+            raise ValueError("cache budgets cannot be negative")
 
     def with_(self, **changes) -> "StoreConfig":
         """Functional update (alias for :func:`dataclasses.replace`)."""

@@ -150,8 +150,16 @@ class PartitionedShieldStore:
         per_hashes = max(
             1, min(config.num_mac_hashes // self._num_partitions, per_buckets)
         )
+        # Cache byte budgets are whole-store knobs too: each partition
+        # (and each worker process, which receives part_config at spawn)
+        # gets an equal slice of the §6.3 value cache and the verified
+        # MAC-list cache.  Per-worker caches need no cross-process
+        # coherence — partitions are disjoint key spaces.
         part_config = config.with_(
-            num_buckets=per_buckets, num_mac_hashes=per_hashes
+            num_buckets=per_buckets,
+            num_mac_hashes=per_hashes,
+            cache_bytes=config.cache_bytes // self._num_partitions,
+            mac_cache_bytes=config.mac_cache_bytes // self._num_partitions,
         )
         self._part_config = part_config
         if self.mode == MODE_PROCESSES:

@@ -32,6 +32,17 @@ class StoreStats:
     integrity_checks: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    # Enclave-resident verified-MAC cache (repro.core.maccache):
+    mac_cache_hits: int = 0         # ops verified against the cached lists
+    mac_cache_misses: int = 0       # ops that fell back to full §4.3 verify
+    mac_cache_evictions: int = 0    # sets evicted at the byte budget
+    # Per-op wall-clock stage attribution (seconds, host time — not the
+    # simulated clocks): chain walk + candidate decryption, per-entry
+    # MAC authentication, and covering-set gathering/verification (the
+    # stage the MAC cache removes).
+    stage_walk_s: float = 0.0
+    stage_crypto_s: float = 0.0
+    stage_verify_s: float = 0.0
     alloc_ocalls: int = 0
     alloc_requests: int = 0
     snapshots: int = 0
@@ -55,6 +66,13 @@ class StoreStats:
     batch_sets_verified: int = 0        # set hashes verified inside batches
     batch_verifications_saved: int = 0  # ops that reused an already-verified set
     batch_set_updates_saved: int = 0    # set-hash recomputes avoided by dirty tracking
+
+    # Host wall-clock accumulators: meaningful to report and to sum
+    # across workers, but never reproducible run-to-run — equivalence
+    # tests comparing stats across engines must exclude these.
+    WALL_CLOCK_FIELDS: ClassVar[FrozenSet[str]] = frozenset(
+        {"stage_walk_s", "stage_crypto_s", "stage_verify_s"}
+    )
 
     def merge(self, other: "StoreStats") -> "StoreStats":
         """Sum counters across partitions; returns a new object."""

@@ -15,11 +15,18 @@ Operation anatomy (``get``; ``set``/``delete`` add a mutation phase):
    (§5.2) or by pointer-chasing chains — and verify the in-enclave
    bucket-set hash (§4.3, replay defense);
 4. verify the found entry's own MAC, then return the plaintext value.
+
+With ``mac_cache_bytes`` configured, step 3's O(bucket-set) gather +
+keyed-hash recompute collapses to an O(1) lookup in an enclave-resident
+cache of already-verified MAC lists (:mod:`repro.core.maccache`); step 4
+then compares against that in-enclave ground truth directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from hmac import compare_digest
+from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.allocator import make_allocator
@@ -35,6 +42,7 @@ from repro.core.entry import (
 )
 from repro.core.hashindex import BucketTable
 from repro.core.macbucket import MacBucketStore
+from repro.core.maccache import MacSetCache
 from repro.core.mactree import MacTree
 from repro.core.stats import StoreStats
 from repro.crypto.ctr import increment_iv_ctr
@@ -142,6 +150,11 @@ class ShieldStore:
             if config.cache_bytes > 0
             else None
         )
+        self.maccache = (
+            MacSetCache(self.enclave, config.mac_cache_bytes)
+            if config.mac_cache_bytes > 0
+            else None
+        )
         self.stats = StoreStats()
         self.count = 0
 
@@ -232,11 +245,16 @@ class ShieldStore:
 
         ``macs`` is only populated when ``collect_macs`` (the
         non-MAC-bucket integrity path, which must pointer-chase every
-        entry anyway).
+        entry anyway).  That path defers candidate decryption and runs
+        it through the suite's batched keystream primitive
+        (:meth:`_decrypt_candidates`); the MAC-bucket path keeps inline
+        per-entry decryption so the §5.2 early exit still skips the
+        chain tail.
         """
         use_hints = self.config.key_hint_enabled and not decrypt_all
         macs: List[bytes] = []
         candidates: List[Tuple[int, EntryHeader, bytes]] = []
+        pending: List[Tuple[int, int, int, EntryHeader]] = []
         found: Optional[FoundEntry] = None
         prev = 0
         addr = self.buckets.read_head(ctx, bucket, self.config.pointer_check)
@@ -248,7 +266,12 @@ class ShieldStore:
             self.stats.chain_steps += 1
             if collect_macs:
                 macs.append(self._read_entry_mac(ctx, addr, header))
-            if found is None and header.key_size == len(key):
+                if header.key_size == len(key):
+                    if not use_hints or header.key_hint == hint:
+                        pending.append((index, addr, prev, header))
+                    else:
+                        self.stats.hint_skips += 1
+            elif found is None and header.key_size == len(key):
                 if not use_hints or header.key_hint == hint:
                     enc_kv = self._read_enc_kv(ctx, addr, header)
                     plain_key, plain_val = self._decrypt_kv(ctx, header, enc_kv)
@@ -256,18 +279,71 @@ class ShieldStore:
                         found = FoundEntry(
                             addr, prev, index, header, plain_key, plain_val, enc_kv
                         )
-                        if not collect_macs:
-                            # MAC buckets provide the remaining MACs; the
-                            # chain walk can stop at the match (§5.2).
-                            return WalkResult(found, macs, -1, candidates)
-                    else:
-                        candidates.append((index, header, enc_kv))
+                        # MAC buckets provide the remaining MACs; the
+                        # chain walk can stop at the match (§5.2).
+                        return WalkResult(found, macs, -1, candidates)
+                    candidates.append((index, header, enc_kv))
                 elif use_hints:
                     self.stats.hint_skips += 1
             prev = addr
             addr = header.next_ptr
             index += 1
+        if pending:
+            found = self._decrypt_candidates(ctx, key, pending, candidates)
         return WalkResult(found, macs, index, candidates)
+
+    # Candidates decrypted per batched-keystream call; chunking keeps
+    # the early stop at a match from speculating far past it.
+    _DECRYPT_CHUNK = 8
+
+    def _decrypt_candidates(
+        self,
+        ctx: ExecContext,
+        key: bytes,
+        pending: List[Tuple[int, int, int, EntryHeader]],
+        candidates: List[Tuple[int, EntryHeader, bytes]],
+    ) -> Optional[FoundEntry]:
+        """Decrypt deferred walk candidates through ``decrypt_many``.
+
+        Candidates are processed in chain order, one fixed-size chunk
+        per batched keystream call, stopping after the chunk containing
+        the plaintext key match.  Ciphertext reads and AES cycles are
+        charged per decrypted entry, exactly as the inline path would
+        charge them; every decrypted non-match lands in ``candidates``
+        so :meth:`_verify_walk` authenticates it before a miss or hit
+        is reported.
+        """
+        for start in range(0, len(pending), self._DECRYPT_CHUNK):
+            chunk = pending[start : start + self._DECRYPT_CHUNK]
+            enc_kvs = [
+                self._read_enc_kv(ctx, addr, header)
+                for _index, addr, _prev, header in chunk
+            ]
+            for (_i, _a, _p, header), enc_kv in zip(chunk, enc_kvs):
+                ctx.charge_aes(len(enc_kv))
+                self.machine.counters.decryptions += 1
+                self.stats.search_decryptions += 1
+            plains = self.suite.decrypt_many(
+                [
+                    (header.iv_ctr, enc_kv)
+                    for (_i, _a, _p, header), enc_kv in zip(chunk, enc_kvs)
+                ]
+            )
+            found: Optional[FoundEntry] = None
+            for (index, addr, prev, header), enc_kv, plain in zip(
+                chunk, enc_kvs, plains
+            ):
+                plain_key = plain[: header.key_size]
+                if found is None and plain_key == key:
+                    found = FoundEntry(
+                        addr, prev, index, header,
+                        plain_key, plain[header.key_size :], enc_kv,
+                    )
+                else:
+                    candidates.append((index, header, enc_kv))
+            if found is not None:
+                return found
+        return None
 
     def _search(self, ctx: ExecContext, bucket: int, key: bytes, hint: int) -> WalkResult:
         """Hint-guided search with the §5.4 two-step fallback.
@@ -275,6 +351,7 @@ class ShieldStore:
         The MAC list in the result is populated only in the
         pointer-chasing (no MAC bucket) configuration.
         """
+        start = perf_counter()
         collect = self.macbuckets is None
         walk = self._walk(
             ctx, bucket, key, hint, decrypt_all=False, collect_macs=collect
@@ -290,6 +367,7 @@ class ShieldStore:
             walk = self._walk(
                 ctx, bucket, key, hint, decrypt_all=True, collect_macs=collect
             )
+        self.stats.stage_walk_s += perf_counter() - start
         return walk
 
     # ------------------------------------------------------------------
@@ -319,6 +397,7 @@ class ShieldStore:
         own_macs: Optional[List[bytes]] = None,
     ) -> Tuple[int, Dict[int, List[bytes]]]:
         """MACs of every bucket in the covering set, keyed by bucket."""
+        start = perf_counter()
         set_id = self.mactree.set_of(bucket)
         by_bucket: Dict[int, List[bytes]] = {}
         for member in self.mactree.buckets_of(set_id):
@@ -326,6 +405,7 @@ class ShieldStore:
                 by_bucket[member] = own_macs
             else:
                 by_bucket[member] = self._collect_bucket_macs(ctx, member)
+        self.stats.stage_verify_s += perf_counter() - start
         return set_id, by_bucket
 
     @staticmethod
@@ -335,13 +415,67 @@ class ShieldStore:
     def _verify_set(
         self, ctx: ExecContext, set_id: int, by_bucket: Dict[int, List[bytes]]
     ) -> None:
+        start = perf_counter()
         self.stats.integrity_checks += 1
         self.mactree.verify_set(ctx, self.suite, set_id, self._flatten(by_bucket))
+        self.stats.stage_verify_s += perf_counter() - start
 
     def _update_set(
         self, ctx: ExecContext, set_id: int, by_bucket: Dict[int, List[bytes]]
     ) -> None:
         self.mactree.update_set(ctx, self.suite, set_id, self._flatten(by_bucket))
+        if self.maccache is not None:
+            # Write-through: every mutation path funnels here, so the
+            # enclave-resident verified copy can never go stale relative
+            # to what was just written to untrusted memory.
+            self.maccache.store(ctx, set_id, by_bucket)
+            self.stats.mac_cache_evictions = self.maccache.evictions
+
+    def _verify_covering_set(
+        self,
+        ctx: ExecContext,
+        bucket: int,
+        walk: Optional["WalkResult"] = None,
+        own_macs: Optional[List[bytes]] = None,
+    ) -> Tuple[int, Dict[int, List[bytes]]]:
+        """Authenticated MAC lists for ``bucket``'s covering set.
+
+        Fast path: the enclave-resident :class:`MacSetCache` already
+        holds the verified lists — enclave memory is ground truth, so
+        neither the untrusted re-gather nor the keyed set-hash
+        recomputation is needed (the caller still authenticates the
+        entries it uses against the returned lists).  On a miss the
+        full §4.3 gather + verification runs and repopulates the cache.
+        """
+        set_id = self.mactree.set_of(bucket)
+        if self.maccache is not None:
+            cached = self.maccache.lookup(ctx, set_id)
+            if cached is not None:
+                self.stats.mac_cache_hits += 1
+                return set_id, cached
+            self.stats.mac_cache_misses += 1
+        if own_macs is None and walk is not None and self.macbuckets is None:
+            own_macs = walk.macs
+        _sid, by_bucket = self._gather_set_macs(ctx, bucket, own_macs)
+        self._verify_set(ctx, set_id, by_bucket)
+        if self.maccache is not None:
+            self.maccache.store(ctx, set_id, by_bucket)
+            self.stats.mac_cache_evictions = self.maccache.evictions
+        return set_id, by_bucket
+
+    def _verify_lookup(
+        self, ctx: ExecContext, key: bytes
+    ) -> Tuple[int, int, Dict[int, List[bytes]], "WalkResult"]:
+        """Shared single-op read prologue: search the chain, obtain the
+        authenticated covering-set MAC lists, and authenticate what the
+        walk concluded.  Returns ``(bucket, set_id, by_bucket, walk)``.
+        """
+        bucket = self._bucket_of(ctx, key)
+        hint = self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
+        walk = self._search(ctx, bucket, key, hint)
+        set_id, by_bucket = self._verify_covering_set(ctx, bucket, walk)
+        self._verify_walk(ctx, walk, by_bucket[bucket])
+        return bucket, set_id, by_bucket, walk
 
     def _verify_found(
         self,
@@ -349,18 +483,26 @@ class ShieldStore:
         found: FoundEntry,
         bucket_macs: List[bytes],
     ) -> None:
-        """Check the found entry's own MAC against the authenticated copy."""
+        """Check the found entry's own MAC against the authenticated copy.
+
+        ``bucket_macs`` is ground truth either way it was obtained — a
+        just-verified §4.3 gather, or the enclave-cached copy at the
+        entry's chain position (the O(1) hit path) — so this one
+        constant-time comparison is the entire per-entry authentication.
+        """
+        start = perf_counter()
         ctx.charge_cmac(len(found.enc_kv) + 25)
         computed = self.suite.mac(mac_message(found.header, found.enc_kv))
         if found.index >= len(bucket_macs):
             raise IntegrityError(
                 "entry is missing from its MAC bucket (tampered metadata)"
             )
-        if computed != bucket_macs[found.index]:
+        if not compare_digest(computed, bucket_macs[found.index]):
             raise IntegrityError(
                 f"entry MAC mismatch for key {self.keyring.redact(found.key)}: "
                 "untrusted entry bytes were tampered with"
             )
+        self.stats.stage_crypto_s += perf_counter() - start
 
     def _verify_walk(
         self,
@@ -378,10 +520,13 @@ class ShieldStore:
           authenticated MAC count — in MAC-bucket mode a truncated chain
           would otherwise hide entries while the set hash still matched.
         """
+        start = perf_counter()
         for index, header, enc_kv in walk.candidates:
             ctx.charge_cmac(len(enc_kv) + 25)
             computed = self.suite.mac(mac_message(header, enc_kv))
-            if index >= len(bucket_macs) or computed != bucket_macs[index]:
+            if index >= len(bucket_macs) or not compare_digest(
+                computed, bucket_macs[index]
+            ):
                 raise IntegrityError(
                     f"chain entry at position {index} failed verification: "
                     "untrusted entry bytes were tampered with"
@@ -396,6 +541,7 @@ class ShieldStore:
                 f"authenticated MAC count {len(bucket_macs)}: entries were "
                 "hidden or injected"
             )
+        self.stats.stage_crypto_s += perf_counter() - start
 
     # ------------------------------------------------------------------
     # public operations
@@ -418,15 +564,8 @@ class ShieldStore:
                 self.stats.hits += 1
                 return cached
             self.stats.cache_misses += 1
-        bucket = self._bucket_of(ctx, key)
-        hint = self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
-        walk = self._search(ctx, bucket, key, hint)
+        bucket, _set_id, by_bucket, walk = self._verify_lookup(ctx, key)
         found = walk.found
-        set_id, by_bucket = self._gather_set_macs(
-            ctx, bucket, walk.macs if self.macbuckets is None else None
-        )
-        self._verify_set(ctx, set_id, by_bucket)
-        self._verify_walk(ctx, walk, by_bucket[bucket])
         if found is None:
             self.stats.misses += 1
             # shieldlint: ignore[trust-boundary] -- structured miss signal: the key rides as the exception argument, every boundary catches it (execute_request maps it to STATUS_MISS) and only redacted text may enter transported messages
@@ -445,15 +584,8 @@ class ShieldStore:
         self.stats.sets += 1
         key, value = bytes(key), bytes(value)
         self._charge_copy(ctx, len(key) + len(value), write=False)
-        bucket = self._bucket_of(ctx, key)
-        hint = self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
-        walk = self._search(ctx, bucket, key, hint)
+        bucket, set_id, by_bucket, walk = self._verify_lookup(ctx, key)
         found = walk.found
-        set_id, by_bucket = self._gather_set_macs(
-            ctx, bucket, walk.macs if self.macbuckets is None else None
-        )
-        self._verify_set(ctx, set_id, by_bucket)
-        self._verify_walk(ctx, walk, by_bucket[bucket])
         if found is not None:
             self._update_entry(ctx, bucket, set_id, by_bucket, found, value)
             self.stats.updates += 1
@@ -469,15 +601,8 @@ class ShieldStore:
         ctx.charge(self.machine.cost.op_dispatch_cycles)
         self.stats.deletes += 1
         key = bytes(key)
-        bucket = self._bucket_of(ctx, key)
-        hint = self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
-        walk = self._search(ctx, bucket, key, hint)
+        bucket, set_id, by_bucket, walk = self._verify_lookup(ctx, key)
         found = walk.found
-        set_id, by_bucket = self._gather_set_macs(
-            ctx, bucket, walk.macs if self.macbuckets is None else None
-        )
-        self._verify_set(ctx, set_id, by_bucket)
-        self._verify_walk(ctx, walk, by_bucket[bucket])
         if found is None:
             self.stats.misses += 1
             # shieldlint: ignore[trust-boundary] -- structured miss signal: the key rides as the exception argument, every boundary catches it (execute_request maps it to STATUS_MISS) and only redacted text may enter transported messages
@@ -496,15 +621,8 @@ class ShieldStore:
         self.stats.appends += 1
         key, suffix = bytes(key), bytes(suffix)
         self._charge_copy(ctx, len(key) + len(suffix), write=False)
-        bucket = self._bucket_of(ctx, key)
-        hint = self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
-        walk = self._search(ctx, bucket, key, hint)
+        bucket, set_id, by_bucket, walk = self._verify_lookup(ctx, key)
         found = walk.found
-        set_id, by_bucket = self._gather_set_macs(
-            ctx, bucket, walk.macs if self.macbuckets is None else None
-        )
-        self._verify_set(ctx, set_id, by_bucket)
-        self._verify_walk(ctx, walk, by_bucket[bucket])
         if found is None:
             self._insert_entry(ctx, bucket, set_id, by_bucket, key, suffix)
             self.stats.inserts += 1
@@ -530,15 +648,8 @@ class ShieldStore:
         ctx.charge(self.machine.cost.op_dispatch_cycles)
         self.stats.increments += 1
         key = bytes(key)
-        bucket = self._bucket_of(ctx, key)
-        hint = self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
-        walk = self._search(ctx, bucket, key, hint)
+        bucket, set_id, by_bucket, walk = self._verify_lookup(ctx, key)
         found = walk.found
-        set_id, by_bucket = self._gather_set_macs(
-            ctx, bucket, walk.macs if self.macbuckets is None else None
-        )
-        self._verify_set(ctx, set_id, by_bucket)
-        self._verify_walk(ctx, walk, by_bucket[bucket])
         if found is None:
             new_int = delta
             self._insert_entry(
@@ -581,14 +692,7 @@ class ShieldStore:
         ctx.charge(self.machine.cost.op_dispatch_cycles)
         key, expected, new_value = bytes(key), bytes(expected), bytes(new_value)
         self._charge_copy(ctx, len(key) + len(expected) + len(new_value), write=False)
-        bucket = self._bucket_of(ctx, key)
-        hint = self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
-        walk = self._search(ctx, bucket, key, hint)
-        set_id, by_bucket = self._gather_set_macs(
-            ctx, bucket, walk.macs if self.macbuckets is None else None
-        )
-        self._verify_set(ctx, set_id, by_bucket)
-        self._verify_walk(ctx, walk, by_bucket[bucket])
+        bucket, set_id, by_bucket, walk = self._verify_lookup(ctx, key)
         if walk.found is None:
             self.stats.misses += 1
             # shieldlint: ignore[trust-boundary] -- structured miss signal: the key rides as the exception argument, every boundary catches it (execute_request maps it to STATUS_MISS) and only redacted text may enter transported messages
@@ -625,21 +729,40 @@ class ShieldStore:
         Dirty sets must NOT be re-verified mid-batch — their stored
         hashes are stale until the batch flushes — which the cache
         guarantees structurally: a set stays cached from first touch.
+
+        The enclave-resident MAC cache is consulted first: its lists
+        are ground truth across batches, and — because mutations update
+        the shared dict object in place and ``verified_sets`` is seeded
+        with that same object on first touch — a mid-batch hit on a
+        dirty set returns the batch-locally maintained lists, never a
+        stale copy.
         """
         bucket = self._bucket_of(ctx, key)
         hint = self._hint_of(ctx, key) if self.config.key_hint_enabled else 0
         walk = self._search(ctx, bucket, key, hint)
         set_id = self.mactree.set_of(bucket)
-        by_bucket = verified_sets.get(set_id)
-        if by_bucket is None:
-            _sid, by_bucket = self._gather_set_macs(
-                ctx, bucket, walk.macs if self.macbuckets is None else None
-            )
-            self._verify_set(ctx, set_id, by_bucket)
-            self.stats.batch_sets_verified += 1
-            verified_sets[set_id] = by_bucket
+        by_bucket = None
+        if self.maccache is not None:
+            by_bucket = self.maccache.lookup(ctx, set_id)
+        if by_bucket is not None:
+            self.stats.mac_cache_hits += 1
+            verified_sets.setdefault(set_id, by_bucket)
         else:
-            self.stats.batch_verifications_saved += 1
+            by_bucket = verified_sets.get(set_id)
+            if by_bucket is not None:
+                self.stats.batch_verifications_saved += 1
+            else:
+                if self.maccache is not None:
+                    self.stats.mac_cache_misses += 1
+                _sid, by_bucket = self._gather_set_macs(
+                    ctx, bucket, walk.macs if self.macbuckets is None else None
+                )
+                self._verify_set(ctx, set_id, by_bucket)
+                self.stats.batch_sets_verified += 1
+                if self.maccache is not None:
+                    self.maccache.store(ctx, set_id, by_bucket)
+                    self.stats.mac_cache_evictions = self.maccache.evictions
+                verified_sets[set_id] = by_bucket
         self._verify_walk(ctx, walk, by_bucket[bucket])
         return bucket, set_id, by_bucket, walk
 
@@ -800,7 +923,9 @@ class ShieldStore:
 
         Verifies every bucket-set hash *and* every entry's own MAC — the
         strongest offline check available (an admin operation, e.g. after
-        a restore or on a schedule).  Raises the usual
+        a restore or on a schedule).  Deliberately bypasses the MAC
+        cache: an audit's job is to re-derive trust from the in-enclave
+        set hashes alone.  Raises the usual
         :class:`~repro.errors.ReplayError`/:class:`~repro.errors.IntegrityError`
         on the first inconsistency.
         """
@@ -1007,11 +1132,14 @@ class ShieldStore:
         for header, enc_kv in entries:
             ctx.charge_cmac(len(enc_kv) + 25)
             own_macs.append(self.suite.mac(mac_message(header, enc_kv)))
-        set_id, by_bucket = self._gather_set_macs(
-            ctx, bucket, own_macs if self.macbuckets is None else None
+        # On a MAC-cache hit by_bucket is the enclave-resident verified
+        # copy, so the comparison below authenticates the recomputed
+        # chain MACs in every configuration; without a hit it falls back
+        # to the full set-hash verification as before.
+        _sid, by_bucket = self._verify_covering_set(
+            ctx, bucket, own_macs=own_macs if self.macbuckets is None else None
         )
-        self._verify_set(ctx, set_id, by_bucket)
-        if self.macbuckets is not None and own_macs != by_bucket[bucket]:
+        if own_macs != by_bucket[bucket]:
             raise IntegrityError(
                 f"bucket {bucket} chain does not match its authenticated "
                 "MACs: untrusted entries were tampered with or reordered"
@@ -1051,6 +1179,13 @@ class ShieldStore:
             self.config.suite_name, self.keyring.enc_key, self.keyring.mac_key
         )
         self.mactree.load(blob[off:])
+        # A restore / checkpoint install replaces the untrusted table
+        # wholesale: both enclave caches describe the old world and must
+        # flush (the MAC cache would otherwise be stale "ground truth").
+        if self.maccache is not None:
+            self.maccache.clear()
+        if self.cache is not None:
+            self.cache.clear()
 
     def untrusted_bytes_live(self) -> int:
         """Bytes of untrusted memory currently holding store data."""

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import EnclaveCache, ShieldStore, shield_opt
+from repro.core.cache import clamp_touch_offset
 from repro.sim import Enclave, Machine
 
 
@@ -69,6 +70,46 @@ class TestCacheSemantics:
     def test_rejects_zero_capacity(self, enclave):
         with pytest.raises(ValueError):
             EnclaveCache(enclave, 0)
+
+
+class _TouchRecorder:
+    """Stub memory capturing the (addr, size) spans _touch charges."""
+
+    def __init__(self):
+        self.spans = []
+
+    def touch(self, ctx, addr, size, write):
+        self.spans.append((addr, size))
+
+
+class TestTouchClamp:
+    """Regression: the old clamp (`offset % max(1, cap - size - 1)`)
+    misaddressed near-capacity entries and degenerated to offset 0 for
+    every entry once ``size >= capacity_bytes - 1``."""
+
+    def test_offset_preserved_when_span_fits(self):
+        # Old code: 512 % (1024 - 512 - 1) == 1, collapsing distinct
+        # entries onto nearly the same page.  The span fits as-is, so
+        # the offset must be preserved.
+        assert clamp_touch_offset(512, 512, 1024) == 512
+
+    def test_tail_pinned_inside_capacity(self):
+        assert clamp_touch_offset(1000, 100, 1024) == 924
+        assert clamp_touch_offset(2048 + 7, 16, 1024) == 7  # wraps first
+
+    def test_full_capacity_span_maps_to_zero(self):
+        # Old code divided by max(1, -1) and lost the span entirely.
+        assert clamp_touch_offset(300, 1024, 1024) == 0
+        assert clamp_touch_offset(300, 1023, 1024) == 1
+
+    def test_touch_spans_stay_inside_allocation(self, cache):
+        recorder = _TouchRecorder()
+        cache._memory = recorder
+        for offset, size in [(0, 64), (512, 512), (1000, 100), (5000, 1024)]:
+            cache._touch(None, offset, size, write=False)
+        for addr, size in recorder.spans:
+            assert addr >= cache.base
+            assert addr + size <= cache.base + cache.capacity_bytes
 
 
 class TestCachedStore:

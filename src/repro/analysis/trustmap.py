@@ -34,6 +34,7 @@ TRUSTED_MODULES: Tuple[str, ...] = (
     "core/macbucket.py",
     "core/cache.py",
     "core/maccache.py",
+    "core/wal.py",
     "sim/enclave.py",
     "sim/sealing.py",
 )

@@ -238,6 +238,8 @@ def _cmd_serve(args) -> int:
             config,
             num_partitions=args.workers,
             data_plane=args.data_plane,
+            wal_dir=args.wal_dir,
+            wal_sync_ms=args.wal_sync_ms,
         )
         plane = getattr(store, "data_plane", None)
         print(f"partition engine: {args.workers} workers, "
@@ -245,6 +247,9 @@ def _cmd_serve(args) -> int:
               + (f", data-plane={plane}" if plane else ""))
     else:
         store = ShieldStore(config)
+    if args.wal_dir:
+        print(f"write-ahead log: {args.wal_dir} "
+              f"(group commit {args.wal_sync_ms:g} ms)")
     plan = None
     if args.fault_plan:
         from repro.sim import faults as faultsmod
@@ -265,11 +270,13 @@ def _cmd_serve(args) -> int:
     )
 
     daemon = None
+    restored_counter = 0
     if args.snapshot_dir:
         from repro.core import (
             PartitionSnapshotter,
             Snapshotter,
             default_platform_secret,
+            snapshot_counter,
         )
         from repro.sim import MonotonicCounterService, SealingService
 
@@ -292,10 +299,24 @@ def _cmd_serve(args) -> int:
             single = Snapshotter(sealing, counters)
 
             def take_snapshot():
-                return single.snapshot_bytes(store.enclave.context(), store)
+                blob = single.snapshot_bytes(store.enclave.context(), store)
+                if store.wal is not None:
+                    # Rotate inside the daemon's locked capture: the
+                    # truncation record brackets exactly this blob.
+                    store.wal.rotate(snapshot_counter(blob))
+                return blob
 
             def load_snapshot(blob):
                 single.restore(store.enclave.context(), blob, store)
+
+        on_checkpoint = None
+        if args.wal_dir:
+            from repro.core import WriteAheadLog
+
+            def on_checkpoint(counter, wal_dir=args.wal_dir):
+                # Only once the checkpoint is durable may the log
+                # segments it supersedes be deleted.
+                WriteAheadLog.retire(wal_dir, counter)
 
         daemon = SnapshotDaemon(
             take_snapshot,
@@ -303,15 +324,39 @@ def _cmd_serve(args) -> int:
             args.snapshot_interval,
             lock=server.store_lock,
             keep=args.snapshot_keep,
+            on_checkpoint=on_checkpoint,
         )
+        server.snapshot_daemon = daemon
         latest = SnapshotDaemon.latest_snapshot(args.snapshot_dir)
         if latest:
             with open(latest, "rb") as fh:
-                load_snapshot(fh.read())
+                blob = fh.read()
+            load_snapshot(blob)
+            restored_counter = snapshot_counter(blob)
             print(f"restored {len(store)} keys from {latest}")
         daemon.start()
         print(f"snapshots: every {args.snapshot_interval:g}s "
               f"-> {args.snapshot_dir}")
+    if args.wal_dir and not isinstance(store, PartitionedShieldStore):
+        # Partitioned engines recover their logs internally (at build
+        # and again on snapshot restore); the single store attaches its
+        # log here — after any checkpoint restore — replaying the tail
+        # the checkpoint does not cover.
+        from repro.core import WriteAheadLog, apply_request
+
+        store.wal = WriteAheadLog.recover(
+            args.wal_dir,
+            0,
+            store.keyring.master,
+            config.suite_name,
+            restored_counter,
+            apply=lambda req: apply_request(store, req),
+            stats=store.stats,
+            sync_ms=args.wal_sync_ms,
+        )
+        if store.wal.replayed:
+            print(f"replayed {store.wal.replayed} operation(s) "
+                  "from the write-ahead log")
 
     server.start()
     host, port = server.address
@@ -545,6 +590,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--snapshot-keep", type=int, default=5,
                        help="checkpoints retained in --snapshot-dir; older "
                             "snapshot-*.bin files are pruned (default 5)")
+    serve.add_argument("--wal-dir", default=None,
+                       help="directory for sealed per-partition write-ahead "
+                            "logs; acknowledged mutations are appended "
+                            "before apply and replayed on restart, so "
+                            "crashes lose nothing")
+    serve.add_argument("--wal-sync-ms", type=float, default=2.0,
+                       help="group-commit window in milliseconds: fsync the "
+                            "log at most this often (0 = fsync every "
+                            "append; default 2)")
     serve.add_argument("--max-connections", type=int, default=64,
                        help="concurrent session cap; excess accepts are "
                             "refused and counted (default 64)")

@@ -49,11 +49,18 @@ from repro.core.persistence import (
 )
 from repro.core.stats import StoreStats
 from repro.core.store import DEFAULT_MEASUREMENT, FoundEntry, ShieldStore
+from repro.core.wal import (
+    DEFAULT_SYNC_MS,
+    WriteAheadLog,
+    apply_request,
+    fsync_directory,
+)
 
 __all__ = [
     "BucketTable",
     "CapacityPlan",
     "DEFAULT_MEASUREMENT",
+    "DEFAULT_SYNC_MS",
     "EnclaveCache",
     "EntryHeader",
     "ExtraHeapAllocator",
@@ -82,7 +89,10 @@ __all__ = [
     "Snapshotter",
     "StoreConfig",
     "StoreStats",
+    "WriteAheadLog",
+    "apply_request",
     "entry_total_size",
+    "fsync_directory",
     "mac_message",
     "make_allocator",
     "pack_header",

@@ -96,6 +96,15 @@ class PartitionedShieldStore:
         Worker IPC transport for ``processes`` mode: ``"shm"``
         (sealed shared-memory rings, the default where supported) or
         ``"pipe"`` (the portable multiprocessing pipe).
+    wal_dir:
+        Directory for per-partition sealed write-ahead logs
+        (:mod:`repro.core.wal`).  When set, every mutating op appends a
+        sealed frame before applying, and construction replays any
+        existing log chain — so recovery is snapshot + log tail instead
+        of snapshot alone.  ``None`` (the default) disables the WAL.
+    wal_sync_ms:
+        Group-commit window in milliseconds: appends inside the window
+        share one fsync.  ``0`` syncs every append.
     """
 
     def __init__(
@@ -109,9 +118,17 @@ class PartitionedShieldStore:
         num_partitions: Optional[int] = None,
         platform_secret: Optional[bytes] = None,
         data_plane: Optional[str] = None,
+        wal_dir: Optional[str] = None,
+        wal_sync_ms: Optional[float] = None,
     ):
         self.config = config
         self.parallel = parallel
+        self.wal_dir = wal_dir
+        if wal_sync_ms is None:
+            from repro.core.wal import DEFAULT_SYNC_MS
+
+            wal_sync_ms = DEFAULT_SYNC_MS
+        self.wal_sync_ms = wal_sync_ms
         self._max_workers = max_workers
         self._executor: Optional[ThreadPoolExecutor] = None
         self._pool = None
@@ -175,6 +192,8 @@ class PartitionedShieldStore:
                 master_secret,
                 platform_secret=platform_secret,
                 data_plane=data_plane,
+                wal_dir=wal_dir,
+                wal_sync_ms=wal_sync_ms,
             )
         else:
             self.partitions = [
@@ -187,6 +206,34 @@ class PartitionedShieldStore:
                 )
                 for t in range(self._num_partitions)
             ]
+            if wal_dir is not None:
+                self._attach_wals(counter=0)
+
+    def _attach_wals(self, counter: int) -> None:
+        """Recover + attach each in-process partition's sealed WAL.
+
+        Replays any existing log chain starting at snapshot ``counter``
+        into the (just-built or just-restored) partition stores, then
+        attaches the tail logs so subsequent mutations append-before-
+        apply.  Replay runs with the log detached, so re-applied ops do
+        not re-log themselves.
+        """
+        from repro.core.wal import WriteAheadLog, apply_request
+
+        for t, partition in enumerate(self.partitions):
+            if partition.wal is not None:
+                partition.wal.close()
+                partition.wal = None
+            partition.wal = WriteAheadLog.recover(
+                self.wal_dir,
+                t,
+                partition.keyring.master,
+                partition.config.suite_name,
+                counter,
+                apply=lambda req, p=partition: apply_request(p, req),
+                stats=partition.stats,
+                sync_ms=self.wal_sync_ms,
+            )
 
     @staticmethod
     def _resolve_mode(
@@ -432,6 +479,10 @@ class PartitionedShieldStore:
             self._executor = None
         if self._pool is not None:
             self._pool.close()
+        for partition in self.partitions:
+            if partition.wal is not None:
+                partition.wal.close()
+                partition.wal = None
 
     def __enter__(self) -> "PartitionedShieldStore":
         return self

@@ -367,12 +367,18 @@ class PartitionSnapshotter:
             by_index = store._pool.snapshot_all(counter)
             sections = [by_index[i] for i in range(store.num_threads)]
         else:
-            sections = [
-                write_section(
-                    store.enclave.context(t), partition, self.sealing, counter
+            sections = []
+            for t, partition in enumerate(store.partitions):
+                sections.append(
+                    write_section(
+                        store.enclave.context(t), partition, self.sealing, counter
+                    )
                 )
-                for t, partition in enumerate(store.partitions)
-            ]
+                if partition.wal is not None:
+                    # Rotate inside the capture: the truncation record
+                    # brackets exactly what this section contains, and
+                    # the fresh segment is keyed to the new counter.
+                    partition.wal.rotate(counter)
         parts: List[bytes] = [
             _PMAGIC,
             struct.pack("<QI", counter, store.num_threads),
@@ -477,7 +483,17 @@ class PartitionSnapshotter:
                     verify=verify,
                 )
                 restored.append(fresh)
+            old_partitions = store.partitions
             store.partitions = restored
+            for old in old_partitions:
+                if old.wal is not None:
+                    old.wal.close()
+                    old.wal = None
+            if getattr(store, "wal_dir", None) is not None:
+                # Snapshot + verified replay of the log tail: frames
+                # sealed after this checkpoint's rotation live in the
+                # segment chain starting at its counter.
+                store._attach_wals(counter)
         store._rekey(master)
         return store
 

@@ -129,7 +129,8 @@ OP_PING = 0x07      # -> empty OK (startup / liveness handshake)
 OP_TAMPER = 0x08    # flip one bit of an entry's untrusted bytes (tests)
 OP_SHUTDOWN = 0x09  # -> empty OK, then the worker exits cleanly
 OP_SNAPSHOT = 0x0A  # u64 counter -> sealed snapshot section (§4.4)
-OP_RESTORE = 0x0B   # u64 counter | u8 verify | section -> empty OK
+OP_RESTORE = 0x0B   # u64 counter | u8 flags | section? -> u64 WAL ops replayed
+                    # flags: bit0 = verify restored sets, bit1 = section present
 OP_TIMING = 0x0C    # -> JSON per-stage timing (worker compute seconds)
 
 REPLY_OK = 0x80
@@ -495,6 +496,8 @@ def _worker_main(
     master_secret: bytes,
     channel_nonce: bytes,
     platform_secret: Optional[bytes] = None,
+    wal_dir: Optional[str] = None,
+    wal_sync_ms: float = 2.0,
 ) -> None:
     """Entry point of one partition worker process.
 
@@ -528,7 +531,35 @@ def _worker_main(
         machine = Machine(num_threads=1, seed=config.seed + 7919 * (index + 1))
         return ShieldStore(config, machine=machine, master_secret=master_secret)
 
+    def attach_wal(target, counter: int) -> int:
+        """Replay this partition's sealed log chain into ``target``.
+
+        Recovery runs with no log attached (re-applied ops must not
+        re-log themselves); the tail log is attached afterwards.
+        Returns the number of replayed operations.
+        """
+        if wal_dir is None:
+            return 0
+        from repro.core.wal import WriteAheadLog, apply_request
+
+        wal = WriteAheadLog.recover(
+            wal_dir,
+            index,
+            master_secret,
+            config.suite_name,
+            counter,
+            apply=lambda req: apply_request(target, req),
+            stats=target.stats,
+            sync_ms=wal_sync_ms,
+        )
+        target.wal = wal
+        return wal.replayed
+
     store = fresh_store()
+    # Startup recovery: a respawned worker replays whatever chain its
+    # dead predecessor left, so even with no cached snapshot section
+    # the partition comes back with every logged mutation.
+    attach_wal(store, 0)
     sealing = SealingService(
         platform_secret
         if platform_secret is not None
@@ -582,23 +613,33 @@ def _worker_main(
                 section = write_section(
                     store.enclave.context(), store, sealing, counter
                 )
+                # Rotate inside the capture: the truncation record
+                # brackets exactly what the section contains, so replay
+                # of the next segment resumes from this counter.
+                if store.wal is not None:
+                    store.wal.rotate(counter)
                 reply = bytes([REPLY_OK]) + section
             elif opcode == OP_RESTORE:
                 counter = _U64.unpack_from(payload, 0)[0]
-                verify = payload[8] != 0
-                # Build the replacement first: a malformed section
-                # leaves the current store untouched.
+                flags = payload[8]
+                verify = bool(flags & 0x01)
+                # Build the replacement first: a malformed section or a
+                # tampered log leaves the current store untouched.
                 replacement = fresh_store()
-                read_section(
-                    replacement.enclave.context(),
-                    replacement,
-                    sealing,
-                    bytes(payload[9:]),
-                    counter,
-                    verify=verify,
-                )
+                if flags & 0x02:
+                    read_section(
+                        replacement.enclave.context(),
+                        replacement,
+                        sealing,
+                        bytes(payload[9:]),
+                        counter,
+                        verify=verify,
+                    )
+                replayed = attach_wal(replacement, counter)
+                if store.wal is not None:
+                    store.wal.close()
                 store = replacement
-                reply = bytes([REPLY_OK])
+                reply = bytes([REPLY_OK]) + _U64.pack(replayed)
             elif opcode == OP_SHUTDOWN:
                 plane.send_bytes(channel.seal(bytes([REPLY_OK])))
                 break
@@ -613,6 +654,8 @@ def _worker_main(
             plane.send_bytes(channel.seal(reply))
         except (BrokenPipeError, OSError):
             break
+    if store.wal is not None:
+        store.wal.close()
     plane.close()
 
 
@@ -701,6 +744,8 @@ class ProcessPartitionPool:
         data_plane: Optional[str] = None,
         ring_slots: int = DEFAULT_NUM_SLOTS,
         ring_slot_size: int = DEFAULT_SLOT_SIZE,
+        wal_dir: Optional[str] = None,
+        wal_sync_ms: float = 2.0,
     ):
         if num_workers <= 0:
             raise StoreError("process pool needs at least one worker")
@@ -727,6 +772,8 @@ class ProcessPartitionPool:
         self._closed = False
         self._config = config
         self._master_secret = master_secret
+        self._wal_dir = wal_dir
+        self._wal_sync_ms = wal_sync_ms
         self._platform_secret = (
             platform_secret
             if platform_secret is not None
@@ -796,6 +843,8 @@ class ProcessPartitionPool:
                     self._master_secret,
                     nonce,
                     self._platform_secret,
+                    self._wal_dir,
+                    self._wal_sync_ms,
                 ),
                 name=f"shieldstore-partition-{index}",
                 daemon=True,
@@ -882,9 +931,13 @@ class ProcessPartitionPool:
         lost = handle.ops_since_snapshot
         handle.plane, handle.process, handle.channel = self._spawn(handle.index)
         handle.ops_since_snapshot = 0
+        # With a write-ahead log every acknowledged mutation is on disk
+        # and replayed during recovery, so nothing counts as lost.
+        walled = self._wal_dir is not None
         with self._health_lock:
             self.recoveries += 1
-            self.ops_lost += lost
+            if not walled:
+                self.ops_lost += lost
         # The replacement interpreter needs time to spawn and import;
         # recovery uses its own generous deadline, not request_timeout.
         self._send(handle, OP_PING, b"", recover=False)
@@ -896,6 +949,18 @@ class ProcessPartitionPool:
             section = self._snapshot_sections.get(handle.index)
             counter = self._snapshot_counter
         if section is None:
+            if walled:
+                # The respawned worker already replayed its full log
+                # chain at startup (attach_wal in _worker_main), so the
+                # partition holds every acknowledged mutation again.
+                with self._health_lock:
+                    self._recovered.add(handle.index)
+                    self._degraded.discard(handle.index)
+                return WorkerError(
+                    f"{why}; worker respawned and replayed its "
+                    f"write-ahead log — {lost} acknowledged mutation(s) "
+                    "recovered"
+                )
             with self._health_lock:
                 self._degraded.add(handle.index)
             return WorkerError(
@@ -903,12 +968,18 @@ class ProcessPartitionPool:
                 f"partition {handle.index} restarted empty, losing "
                 f"{lost} mutation(s) (pool degraded)"
             )
-        payload = _U64.pack(counter) + b"\x01" + section
+        payload = _U64.pack(counter) + b"\x03" + section
         self._send(handle, OP_RESTORE, payload, recover=False)
         self._recv(handle, recover=False, timeout=_RECOVERY_TIMEOUT)
         with self._health_lock:
             self._recovered.add(handle.index)
             self._degraded.discard(handle.index)
+        if walled:
+            return WorkerError(
+                f"{why}; worker respawned, restored from snapshot counter "
+                f"{counter} and replayed the write-ahead log tail — "
+                f"{lost} acknowledged mutation(s) recovered"
+            )
         return WorkerError(
             f"{why}; worker respawned and restored from snapshot counter "
             f"{counter} — up to {lost} mutation(s) since "
@@ -1210,7 +1281,7 @@ class ProcessPartitionPool:
                 f"{len(sections)} snapshot sections for "
                 f"{self.num_workers} workers"
             )
-        flag = b"\x01" if verify else b"\x00"
+        flag = b"\x03" if verify else b"\x02"  # bit1: section present
         checkpoint = dict(enumerate(bytes(s) for s in sections))
         self.scatter(
             {

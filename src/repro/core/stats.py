@@ -47,7 +47,14 @@ class StoreStats:
     alloc_requests: int = 0
     snapshots: int = 0
     snapshot_stall_us: float = 0.0
+    snapshot_failures: int = 0      # SnapshotDaemon run_once exceptions
     temp_table_merges: int = 0
+    # Sealed write-ahead log (repro.core.wal):
+    wal_appends: int = 0            # frames sealed before apply
+    wal_fsyncs: int = 0             # group-commit syncs issued
+    wal_rotations: int = 0          # truncation record + fresh segment
+    wal_replayed: int = 0           # logged ops re-applied during recovery
+    wal_torn_truncated: int = 0     # clean torn tails truncated at replay
     worker_recoveries: int = 0      # dead workers respawned + restored
     worker_ops_lost: int = 0        # upper bound on mutations lost to crashes
     # Transport resilience (TCP front-end + shieldfault plane):

@@ -49,6 +49,12 @@ from repro.crypto.ctr import increment_iv_ctr
 from repro.crypto.keys import KeyRing
 from repro.crypto.suite import make_suite
 from repro.errors import IntegrityError, KeyNotFoundError, StoreError
+from repro.net.message import (
+    Request,
+    encode_cas_value,
+    encode_multi_items,
+    encode_multi_keys,
+)
 from repro.sim.enclave import Enclave, ExecContext, Machine
 from repro.sim.sdk import sgx_read_rand
 
@@ -157,6 +163,11 @@ class ShieldStore:
         )
         self.stats = StoreStats()
         self.count = 0
+        # Optional sealed write-ahead log (repro.core.wal): when
+        # attached, every mutating op appends a sealed frame *before*
+        # applying, so acknowledged writes survive a crash as
+        # snapshot + replayable log tail.
+        self.wal = None
 
     # ------------------------------------------------------------------
     # small helpers
@@ -179,6 +190,18 @@ class ShieldStore:
 
     def _mem(self):
         return self.machine.memory
+
+    def _wal_append(self, op: str, key: bytes, value: bytes = b"") -> None:
+        """Seal one mutating request into the WAL *before* applying it.
+
+        With no log attached this is one attribute check.  The append
+        precedes every state change, so a crash at any later point
+        leaves the operation replayable; an op that goes on to fail
+        deterministically (miss, type error) fails the same way on
+        replay.
+        """
+        if self.wal is not None:
+            self.wal.append(Request(op, key, value))
 
     # -- entry record I/O ---------------------------------------------------
     def _read_header(self, ctx: ExecContext, addr: int) -> EntryHeader:
@@ -583,6 +606,7 @@ class ShieldStore:
         ctx.charge(self.machine.cost.op_dispatch_cycles)
         self.stats.sets += 1
         key, value = bytes(key), bytes(value)
+        self._wal_append("set", key, value)
         self._charge_copy(ctx, len(key) + len(value), write=False)
         bucket, set_id, by_bucket, walk = self._verify_lookup(ctx, key)
         found = walk.found
@@ -601,6 +625,7 @@ class ShieldStore:
         ctx.charge(self.machine.cost.op_dispatch_cycles)
         self.stats.deletes += 1
         key = bytes(key)
+        self._wal_append("delete", key)
         bucket, set_id, by_bucket, walk = self._verify_lookup(ctx, key)
         found = walk.found
         if found is None:
@@ -620,6 +645,7 @@ class ShieldStore:
         ctx.charge(self.machine.cost.op_dispatch_cycles)
         self.stats.appends += 1
         key, suffix = bytes(key), bytes(suffix)
+        self._wal_append("append", key, suffix)
         self._charge_copy(ctx, len(key) + len(suffix), write=False)
         bucket, set_id, by_bucket, walk = self._verify_lookup(ctx, key)
         found = walk.found
@@ -648,6 +674,7 @@ class ShieldStore:
         ctx.charge(self.machine.cost.op_dispatch_cycles)
         self.stats.increments += 1
         key = bytes(key)
+        self._wal_append("increment", key, str(delta).encode())
         bucket, set_id, by_bucket, walk = self._verify_lookup(ctx, key)
         found = walk.found
         if found is None:
@@ -691,6 +718,7 @@ class ShieldStore:
         ctx = self._context(ctx)
         ctx.charge(self.machine.cost.op_dispatch_cycles)
         key, expected, new_value = bytes(key), bytes(expected), bytes(new_value)
+        self._wal_append("cas", key, encode_cas_value(expected, new_value))
         self._charge_copy(ctx, len(key) + len(expected) + len(new_value), write=False)
         bucket, set_id, by_bucket, walk = self._verify_lookup(ctx, key)
         if walk.found is None:
@@ -831,6 +859,8 @@ class ShieldStore:
         if isinstance(items, dict):
             items = items.items()
         pairs = [(bytes(key), bytes(value)) for key, value in items]
+        if pairs:
+            self._wal_append("mset", b"", encode_multi_items(pairs))
         self.stats.batches += 1
         verified_sets: Dict[int, Dict[int, List[bytes]]] = {}
         dirty_sets: set = set()
@@ -880,6 +910,8 @@ class ShieldStore:
         """
         ctx = self._context(ctx)
         keys = [bytes(key) for key in keys]
+        if keys:
+            self._wal_append("mdelete", b"", encode_multi_keys(keys))
         self.stats.batches += 1
         results: Dict[bytes, bool] = {}
         verified_sets: Dict[int, Dict[int, List[bytes]]] = {}

@@ -408,6 +408,9 @@ class TCPShieldServer:
             thread_name_prefix="shieldstore-exec",
         )
         self._stop = threading.Event()
+        # Set by the CLI when a SnapshotDaemon checkpoints this server;
+        # lets stats_snapshot() surface its failure counter.
+        self.snapshot_daemon: Optional["SnapshotDaemon"] = None
         self._loop_thread = threading.Thread(
             target=self._loop, name="shieldstore-eventloop", daemon=True
         )
@@ -437,6 +440,8 @@ class TCPShieldServer:
         with self._stats_mutex:
             merged = merged.merge(self.net_stats)
         merged.faults_injected += faults.fires()
+        if self.snapshot_daemon is not None:
+            merged.snapshot_failures += self.snapshot_daemon.snapshot_failures
         return merged
 
     def transport_snapshot(self) -> TransportStats:
@@ -879,14 +884,27 @@ class SnapshotDaemon:
     truncated latest checkpoint.
 
     Retention: after each successful write the oldest checkpoints are
-    deleted so at most ``keep`` ``snapshot-*.bin`` files remain.  Only
-    snapshot blobs are touched — the monotonic-counter state file lives
-    in the same directory and must survive every prune, because it is
-    the rollback defense for whatever snapshot remains.
+    deleted so at most ``keep`` ``snapshot-*.bin`` files remain.  Stale
+    ``snapshot-*.bin.tmp`` files (a crash between temp write and rename)
+    are swept at daemon start and on every prune.  Only snapshot blobs
+    are touched — the monotonic-counter state file lives in the same
+    directory and must survive every prune, because it is the rollback
+    defense for whatever snapshot remains.
+
+    ``on_checkpoint`` (optional) is called with the snapshot counter
+    after a checkpoint is durable — written, renamed and the directory
+    fsynced — which is the earliest moment write-ahead-log segments
+    below that counter may be retired.
     """
 
     def __init__(
-        self, take_snapshot, directory, interval_s: float, lock=None, keep: int = 5
+        self,
+        take_snapshot,
+        directory,
+        interval_s: float,
+        lock=None,
+        keep: int = 5,
+        on_checkpoint=None,
     ):
         self.take_snapshot = take_snapshot
         self.directory = os.fspath(directory)
@@ -895,8 +913,10 @@ class SnapshotDaemon:
         if keep < 1:
             raise StoreError(f"snapshot retention must keep >= 1, got {keep}")
         self.keep = keep
+        self.on_checkpoint = on_checkpoint
         self.snapshots_written = 0
         self.snapshots_pruned = 0
+        self.snapshot_failures = 0
         self.last_path: Optional[str] = None
         self.last_error: Optional[Exception] = None
         self._stopev = threading.Event()
@@ -904,6 +924,9 @@ class SnapshotDaemon:
             target=self._loop, name="shieldstore-snapshot", daemon=True
         )
         os.makedirs(self.directory, exist_ok=True)
+        # A crash between temp write and rename leaves a .tmp the
+        # retention glob never matched; sweep leftovers up front.
+        self._sweep_tmp()
 
     def start(self) -> None:
         self._thread.start()
@@ -918,12 +941,14 @@ class SnapshotDaemon:
         while not self._stopev.wait(self.interval_s):
             try:
                 self.run_once()
-            except Exception as exc:  # keep checkpointing; surface via attr
+            except Exception as exc:  # keep checkpointing; surface + count
                 self.last_error = exc
+                self.snapshot_failures += 1
 
     def run_once(self) -> str:
         """Take one checkpoint now; returns the file path written."""
         from repro.core.persistence import snapshot_counter
+        from repro.core.wal import fsync_directory
 
         with self.lock:
             blob = self.take_snapshot()
@@ -943,9 +968,14 @@ class SnapshotDaemon:
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        # The rename is only durable once the directory entry is; fsync
+        # the directory so a power cut cannot resurrect the old name.
+        fsync_directory(self.directory)
         self.snapshots_written += 1
         self.last_path = path
         self.last_error = None
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(counter)
         self._prune()
         return path
 
@@ -969,6 +999,25 @@ class SnapshotDaemon:
                 self.snapshots_pruned += 1
             except OSError:
                 pass  # already gone or busy; retry at the next prune
+        self._sweep_tmp()
+
+    def _sweep_tmp(self) -> None:
+        """Remove orphaned ``snapshot-*.bin.tmp`` files (crash debris).
+
+        ``run_once`` renames its temp file away before this runs, so
+        any ``.tmp`` seen here was abandoned by a crash mid-write; each
+        one actually removed counts as pruned.
+        """
+        import glob
+
+        for tmp in glob.glob(
+            os.path.join(self.directory, "snapshot-*.bin.tmp")
+        ):
+            try:
+                os.remove(tmp)
+                self.snapshots_pruned += 1
+            except OSError:
+                pass
 
     @staticmethod
     def latest_snapshot(directory) -> Optional[str]:

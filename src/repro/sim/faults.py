@@ -38,6 +38,9 @@ point                     crossing
 ``snapshot.read``         reading a checkpoint file back from disk
 ``persistence.snapshot``  serializing a store into a snapshot blob
 ``persistence.restore``   restoring a store from a snapshot blob
+``wal.append``            sealing one frame into a write-ahead-log segment
+``wal.fsync``             group-commit fsync of a write-ahead-log segment
+``wal.replay``            reading one WAL segment back during recovery
 ========================  ====================================================
 
 Fault kinds
@@ -105,6 +108,9 @@ INJECTION_POINTS = frozenset(
         "snapshot.read",
         "persistence.snapshot",
         "persistence.restore",
+        "wal.append",
+        "wal.fsync",
+        "wal.replay",
     }
 )
 

@@ -19,12 +19,50 @@ This package turns those invariants into executable AST checks:
   concurrent modules, pins the documented ascending-worker-lock order,
   and flags unguarded mutation of shared pool state.
 
+The **shieldcrypt** rule family covers the key schedule and nonce
+discipline (§4.2's encryption is only as strong as its IVs):
+
+* :mod:`repro.analysis.cryptomap`  — key-domain registry (rule
+  ``key-domain``): every ``derive_key`` label in the tree must match a
+  registered domain; the registry itself is proven collision-free,
+  prefix-free and purpose-unique, and persistent domains must bind an
+  incarnation component or declare an incarnation-unique IV regime;
+* :mod:`repro.analysis.noncereuse` — nonce monotonicity (rule
+  ``nonce-reuse``): counters feeding CTR IVs in the crypto-bearing
+  modules may only grow; a reset or decrement without a key rotation
+  in the same function is flagged;
+* :mod:`repro.analysis.consttime`  — constant-time comparisons (rule
+  ``ct-compare``): MAC/tag/token/digest values must be compared with
+  ``hmac.compare_digest``, never ``==``/``!=``.
+
+:mod:`repro.analysis.sanitizer` is the runtime counterpart: an opt-in
+hook (``SHIELDSTORE_CRYPTO_SANITIZER=1``) that journals every
+``(key, IV-counter-span)`` a cipher suite consumes and raises
+:class:`repro.errors.NonceReuseError` on any overlap — across worker
+respawns and snapshot/WAL restores too, via per-process journals and
+:func:`repro.analysis.sanitizer.global_check`.
+
 Run it with ``python -m repro lint``; see ``docs/INTERNALS.md`` for the
 trust map, per-rule examples, and the suppression syntax
 (``# shieldlint: ignore[rule] -- justification``).
 """
 
-from repro.analysis.engine import ALL_RULES, AnalysisError, Report, run_analysis
+from repro.analysis.cryptomap import key_domain_table
+from repro.analysis.engine import (
+    ALL_RULES,
+    RULE_DOCS,
+    AnalysisError,
+    Report,
+    run_analysis,
+)
 from repro.analysis.findings import Finding
 
-__all__ = ["ALL_RULES", "AnalysisError", "Finding", "Report", "run_analysis"]
+__all__ = [
+    "ALL_RULES",
+    "RULE_DOCS",
+    "AnalysisError",
+    "Finding",
+    "Report",
+    "key_domain_table",
+    "run_analysis",
+]

@@ -1,0 +1,161 @@
+"""Constant-time comparison pass (rule ``ct-compare``).
+
+MAC tags, authentication tokens and keyed digests must never be compared
+with ``==``/``!=``: short-circuiting byte comparison leaks how many
+leading bytes matched through timing, which is enough to forge a tag one
+byte at a time against a networked verifier (the classic remote timing
+attack on HMAC validation).  Every such comparison must go through
+:func:`hmac.compare_digest`.
+
+The pass is name-driven: a comparison operand *looks like* an
+authenticator when its identifier — the attribute/variable name, split
+on underscores — contains one of :data:`DIGEST_TOKENS` (``mac``,
+``tag``, ``token``, ``digest``...).  Identifiers that also carry a size
+or count component (``num_mac_hashes``, ``mac_size``) and ``len()``
+calls are exempt: comparing lengths is not secret-dependent.
+
+Unlike the trust-boundary pass this rule scans *every* module — the
+``ext/`` and ``baselines/`` trees sit outside the declared trust map
+but still verify MACs, and a timing leak there is just as real.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analysis.findings import Finding
+
+RULE = "ct-compare"
+DOC_URL = "docs/INTERNALS.md#constant-time-comparisons-ct-compare"
+REMEDIATION = (
+    "compare MACs/tags/tokens with hmac.compare_digest(a, b), never ==/!="
+)
+
+# Identifier components that mark a value as an authenticator.
+DIGEST_TOKENS = frozenset(
+    {
+        "mac",
+        "macs",
+        "cmac",
+        "hmac",
+        "tag",
+        "tags",
+        "token",
+        "tokens",
+        "digest",
+        "digests",
+        "sig",
+        "sigs",
+        "signature",
+        "signatures",
+        "hash",
+        "hashes",
+    }
+)
+
+# Components that mark the identifier as a *property of* an
+# authenticator (its length, count, offset...) rather than its bytes.
+EXEMPT_TOKENS = frozenset(
+    {
+        "num",
+        "count",
+        "counts",
+        "size",
+        "sizes",
+        "len",
+        "length",
+        "idx",
+        "index",
+        "offset",
+        "kind",
+        "name",
+        "type",
+        "fmt",
+        "width",
+    }
+)
+
+# Call names whose *result* is an authenticator even when assigned to a
+# neutral name: ``x != suite.mac(...)`` is still a tag comparison.
+DIGEST_CALLS = frozenset({"mac", "cmac", "hmac", "digest", "hexdigest"})
+
+
+def _identifier_of(node: ast.expr) -> Optional[str]:
+    """The rightmost identifier of a name/attribute/subscript chain."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _looks_like_digest(node: ast.expr) -> bool:
+    if isinstance(node, ast.Call):
+        name = _identifier_of(node.func)
+        return name is not None and name.lower() in DIGEST_CALLS
+    name = _identifier_of(node)
+    if name is None:
+        return False
+    parts = [p for p in name.lower().split("_") if p]
+    if any(part in EXEMPT_TOKENS for part in parts):
+        return False
+    return any(part in DIGEST_TOKENS for part in parts)
+
+
+def _is_len_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "len"
+    )
+
+
+def _is_trivial_constant(node: ast.expr) -> bool:
+    """Comparisons against None/ints/enums are not byte comparisons."""
+    return isinstance(node, ast.Constant) and not isinstance(
+        node.value, (bytes, str)
+    )
+
+
+class _CompareWalker(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Finding] = []
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        eq_ops = [
+            op for op in node.ops if isinstance(op, (ast.Eq, ast.NotEq))
+        ]
+        if eq_ops and not any(_is_len_call(o) for o in operands):
+            hot = [o for o in operands if _looks_like_digest(o)]
+            others = [o for o in operands if o not in hot]
+            # Skip only authenticator-vs-trivial-constant comparisons
+            # (opcode dispatch on an int, None checks).  Two hot
+            # operands, or a hot operand against any value expression,
+            # is a byte comparison and must be constant-time.
+            trivial = bool(others) and all(
+                _is_trivial_constant(o) for o in others
+            )
+            if hot and not trivial:
+                name = _identifier_of(hot[0]) or "value"
+                self.findings.append(
+                    Finding(
+                        RULE,
+                        self.path,
+                        node.lineno,
+                        f"authenticator {name!r} compared with ==/!= "
+                        "(timing side channel); use hmac.compare_digest",
+                    )
+                )
+        self.generic_visit(node)
+
+
+def run(path: str, tree: ast.AST) -> List[Finding]:
+    """Scan one module for variable-time authenticator comparisons."""
+    walker = _CompareWalker(path)
+    walker.visit(tree)
+    return walker.findings

@@ -2,10 +2,11 @@
 
 :func:`run_analysis` walks every ``*.py`` file under the analyzed root
 (normally ``src/repro``), parses it once, and hands the tree to the
-three passes — ``trust-boundary``, ``verify-before-use`` and
-``lock-order`` — according to the module's declared role in
-:mod:`repro.analysis.trustmap`.  Suppression comments are applied last
-so reports can still show what was silenced and why.
+six passes — ``trust-boundary``, ``verify-before-use``, ``lock-order``,
+``key-domain``, ``nonce-reuse`` and ``ct-compare`` — according to the
+module's declared role in :mod:`repro.analysis.trustmap` (the
+shieldcrypt rules pick their own module scope).  Suppression comments
+are applied last so reports can still show what was silenced and why.
 
 Exit-code convention (used by ``python -m repro lint``):
 
@@ -24,7 +25,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis import lockorder, taint, verifyuse
+from repro.analysis import (
+    consttime,
+    cryptomap,
+    lockorder,
+    noncereuse,
+    taint,
+    verifyuse,
+)
 from repro.analysis.findings import (
     Finding,
     Suppression,
@@ -36,7 +44,36 @@ ALL_RULES: Tuple[str, ...] = (
     taint.RULE,
     verifyuse.RULE,
     lockorder.RULE,
+    cryptomap.RULE,
+    noncereuse.RULE,
+    consttime.RULE,
 )
+
+#: Per-rule documentation pointer and one-line remediation, surfaced in
+#: ``repro lint --format json`` so CI annotations can link the fix.
+RULE_DOCS: Dict[str, Dict[str, str]] = {
+    taint.RULE: {"doc_url": taint.DOC_URL, "remediation": taint.REMEDIATION},
+    verifyuse.RULE: {
+        "doc_url": verifyuse.DOC_URL,
+        "remediation": verifyuse.REMEDIATION,
+    },
+    lockorder.RULE: {
+        "doc_url": lockorder.DOC_URL,
+        "remediation": lockorder.REMEDIATION,
+    },
+    cryptomap.RULE: {
+        "doc_url": cryptomap.DOC_URL,
+        "remediation": cryptomap.REMEDIATION,
+    },
+    noncereuse.RULE: {
+        "doc_url": noncereuse.DOC_URL,
+        "remediation": noncereuse.REMEDIATION,
+    },
+    consttime.RULE: {
+        "doc_url": consttime.DOC_URL,
+        "remediation": consttime.REMEDIATION,
+    },
+}
 
 _SKIP_PARTS = frozenset({"__pycache__"})
 
@@ -55,6 +92,9 @@ class Report:
     findings: List[Finding]
     duration_s: float = 0.0
     unused_suppressions: List[Tuple[str, int]] = field(default_factory=list)
+    #: Unused suppressions whose every named rule actually ran this
+    #: pass — the comment silences nothing and should be deleted.
+    stale_suppressions: List[Tuple[str, int]] = field(default_factory=list)
 
     @property
     def active(self) -> List[Finding]:
@@ -73,14 +113,23 @@ class Report:
     def exit_code(self) -> int:
         return 1 if self.active else 0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, object]:
         return {
             "root": self.root,
             "rules": list(self.rules),
+            "rule_docs": {
+                rule: dict(RULE_DOCS[rule])
+                for rule in self.rules
+                if rule in RULE_DOCS
+            },
             "files_scanned": self.files_scanned,
             "duration_s": round(self.duration_s, 3),
             "counts": self.counts(),
             "findings": [f.to_dict() for f in self.findings],
+            "stale_suppressions": [
+                {"path": path, "line": line}
+                for path, line in self.stale_suppressions
+            ],
             "exit_code": self.exit_code(),
         }
 
@@ -149,6 +198,7 @@ def run_analysis(
     suppressions: Dict[str, List[Suppression]] = {}
     edges: Set[Tuple[str, str]] = set()
     edge_sites: Dict[Tuple[str, str], Tuple[str, int]] = {}
+    derive_sites: List[cryptomap.DeriveSite] = []
     files = _collect_files(root_path)
 
     for file_path in files:
@@ -167,9 +217,17 @@ def run_analysis(
             findings.extend(verifyuse.run(rel, tree))
         if lockorder.RULE in selected:
             findings.extend(lockorder.run_module(rel, tree, edges, edge_sites))
+        if cryptomap.RULE in selected:
+            findings.extend(cryptomap.collect(rel, tree, derive_sites))
+        if noncereuse.RULE in selected:
+            findings.extend(noncereuse.run(rel, tree))
+        if consttime.RULE in selected:
+            findings.extend(consttime.run(rel, tree))
 
     if lockorder.RULE in selected:
         findings.extend(lockorder.cycle_findings(edges, edge_sites))
+    if cryptomap.RULE in selected:
+        findings.extend(cryptomap.finalize(derive_sites))
 
     # Loop bodies are walked twice (may-analysis): identical findings
     # from the second pass collapse here.
@@ -188,6 +246,16 @@ def run_analysis(
         for supp in supps
         if supp.justification and not supp.used
     ]
+    # A suppression is *stale* (safe to delete) only when every rule it
+    # names actually ran this pass and still produced nothing to cover.
+    stale = [
+        (path, supp.line)
+        for path, supps in sorted(suppressions.items())
+        for supp in supps
+        if supp.justification
+        and not supp.used
+        and set(supp.rules) <= set(selected)
+    ]
     return Report(
         root=str(root_path),
         rules=selected,
@@ -195,4 +263,5 @@ def run_analysis(
         findings=findings,
         duration_s=time.monotonic() - started,
         unused_suppressions=unused,
+        stale_suppressions=stale,
     )

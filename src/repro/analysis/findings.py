@@ -1,9 +1,10 @@
 """Finding records and the suppression syntax.
 
 A finding pins one invariant violation to ``path:line`` plus a rule id.
-Suppressions are source comments::
+Suppressions are source comments (``rule-name`` is the rule id being
+silenced, e.g. ``trust-boundary``)::
 
-    # shieldlint: ignore[trust-boundary] -- justification text
+    # shieldlint: ignore[rule-name] -- justification text
 
 placed either on the flagged line or on a line of its own immediately
 above it.  Several rules may be listed (``ignore[rule-a,rule-b]``).
@@ -41,8 +42,8 @@ class Finding:
     def location(self) -> str:
         return f"{self.path}:{self.line}"
 
-    def to_dict(self) -> dict:
-        data = {
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
             "rule": self.rule,
             "path": self.path,
             "line": self.line,

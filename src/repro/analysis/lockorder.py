@@ -32,6 +32,11 @@ from repro.analysis import trustmap
 from repro.analysis.findings import Finding
 
 RULE = "lock-order"
+DOC_URL = "docs/INTERNALS.md#static-analysis-shieldlint"
+REMEDIATION = (
+    "Acquire worker locks in ascending index order only, and guard "
+    "shared pool state with the pool lock before mutating it."
+)
 
 _MUTATING_CONTAINER_METHODS = frozenset(
     {"add", "discard", "clear", "append", "pop", "update", "remove",
@@ -73,7 +78,7 @@ class _ClassAnalysis:
         findings: List[Finding],
         edges: Set[Tuple[str, str]],
         edge_sites: Dict[Tuple[str, str], Tuple[str, int]],
-    ):
+    ) -> None:
         self.path = path
         self.klass = klass
         self.findings = findings

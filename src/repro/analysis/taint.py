@@ -34,6 +34,12 @@ from repro.analysis import trustmap
 from repro.analysis.findings import Finding
 
 RULE = "trust-boundary"
+DOC_URL = "docs/INTERNALS.md#static-analysis-shieldlint"
+REMEDIATION = (
+    "Pass the value through an encrypt/seal/MAC call before it reaches "
+    "an untrusted sink, or reclassify the module in trustmap if the "
+    "data is genuinely public."
+)
 
 
 def _call_name(call: ast.Call) -> Optional[str]:
@@ -121,7 +127,9 @@ def _shm_store_label(target: ast.expr) -> Optional[str]:
 class _FunctionTaint:
     """Taint state and finding collection for one function body."""
 
-    def __init__(self, path: str, findings: List[Finding], trusted: bool):
+    def __init__(
+        self, path: str, findings: List[Finding], trusted: bool
+    ) -> None:
         self.path = path
         self.findings = findings
         self.trusted = trusted

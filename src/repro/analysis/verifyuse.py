@@ -33,6 +33,12 @@ from repro.analysis import trustmap
 from repro.analysis.findings import Finding
 
 RULE = "verify-before-use"
+DOC_URL = "docs/INTERNALS.md#static-analysis-shieldlint"
+REMEDIATION = (
+    "Verify the entry MAC (verify_entry/check_mac) on every path before "
+    "the decrypted data escapes a public API or mutates the "
+    "authenticated structure."
+)
 
 # Modules whose classes implement the verified read path.
 VERIFY_MODULES = ("core/store.py",)
@@ -99,7 +105,7 @@ class _MethodWalk:
         findings: List[Finding],
         producers: Set[str],
         verifiers: Set[str],
-    ):
+    ) -> None:
         self.path = path
         self.findings = findings
         self.producers = producers

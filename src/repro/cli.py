@@ -21,8 +21,9 @@ Commands:
   running ``serve`` deployment and prints its live merged counters,
   resilience counters included
 * ``lint``                      — shieldlint static analysis: enclave
-  trust-boundary taint, verify-before-use and lock-order rules over
-  the package tree (exit 0 clean / 1 findings / 2 analyzer error)
+  trust-boundary taint, verify-before-use, lock-order and the
+  shieldcrypt key-domain / nonce-reuse / ct-compare rules over the
+  package tree (exit 0 clean / 1 findings / 2 analyzer error)
 * ``info``                      — cost-model constants and version
 
 Examples::
@@ -536,7 +537,14 @@ def _cmd_lint(args) -> int:
         _emit_json(report.to_dict())
     else:
         print(report.format_text())
-    return report.exit_code()
+        if args.stale_suppressions:
+            for path, line in report.stale_suppressions:
+                print(f"{path}:{line}: stale suppression — every rule it "
+                      "names ran and none fired; delete the comment")
+    code = report.exit_code()
+    if args.stale_suppressions and report.stale_suppressions:
+        code = max(code, 1)
+    return code
 
 
 def _cmd_info(_args) -> int:
@@ -672,8 +680,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     lint = sub.add_parser(
         "lint",
-        help="shieldlint: trust-boundary, verify-before-use and "
-             "lock-order static analysis (exit 0 clean / 1 findings / "
+        help="shieldlint: trust-boundary, verify-before-use, "
+             "lock-order, key-domain, nonce-reuse and ct-compare "
+             "static analysis (exit 0 clean / 1 findings / "
              "2 analyzer error)",
     )
     lint.add_argument("path", nargs="?", default=None,
@@ -683,8 +692,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="output format (json is stable and sorted)")
     lint.add_argument("--rule", action="append", default=None,
                       choices=["trust-boundary", "verify-before-use",
-                               "lock-order"],
+                               "lock-order", "key-domain", "nonce-reuse",
+                               "ct-compare"],
                       help="run only this rule (repeatable)")
+    lint.add_argument("--stale-suppressions", action="store_true",
+                      help="also report ignore-comments whose rules all "
+                           "ran but no longer fire (exit 1 if any)")
     lint.set_defaults(func=_cmd_lint)
 
     sub.add_parser("info", help="cost-model constants").set_defaults(func=_cmd_info)

@@ -24,6 +24,8 @@ then compares against that in-enclave ground truth directly.
 
 from __future__ import annotations
 
+import os
+import struct
 from dataclasses import dataclass
 from hmac import compare_digest
 from time import perf_counter
@@ -45,7 +47,6 @@ from repro.core.macbucket import MacBucketStore
 from repro.core.maccache import MacSetCache
 from repro.core.mactree import MacTree
 from repro.core.stats import StoreStats
-from repro.crypto.ctr import increment_iv_ctr
 from repro.crypto.keys import KeyRing
 from repro.crypto.suite import make_suite
 from repro.errors import IntegrityError, KeyNotFoundError, StoreError
@@ -56,7 +57,6 @@ from repro.net.message import (
     encode_multi_keys,
 )
 from repro.sim.enclave import Enclave, ExecContext, Machine
-from repro.sim.sdk import sgx_read_rand
 
 _MAX_CHAIN = 1_000_000  # cycle guard against corrupted untrusted chains
 
@@ -163,6 +163,17 @@ class ShieldStore:
         )
         self.stats = StoreStats()
         self.count = 0
+        # Entry-IV allocator: a per-instance entropy salt (top 64 bits)
+        # plus a monotone keystream-block counter (bottom 64 bits).
+        # Every encryption takes a fresh, disjoint block span, so (key,
+        # IV) pairs never repeat — not within this store, and (with
+        # 2^-64 salt-collision probability) not across incarnations
+        # that re-derive the same entry key from a restored master.
+        # The deterministic machine RNG must NOT supply IVs: a respawned
+        # worker or restored snapshot replays the same "random" stream
+        # under the same key.
+        self._iv_salt = int.from_bytes(os.urandom(8), "big")
+        self._iv_seq = 0
         # Optional sealed write-ahead log (repro.core.wal): when
         # attached, every mutating op appends a sealed frame *before*
         # applying, so acknowledged writes survive a crash as
@@ -190,6 +201,21 @@ class ShieldStore:
 
     def _mem(self):
         return self.machine.memory
+
+    def _alloc_iv(self, nbytes: int) -> bytes:
+        """A fresh IV/counter block covering ``nbytes`` of keystream.
+
+        Advances the monotone block counter by the payload's worst-case
+        block count (16-byte AES blocks; the fast suite's 32-byte chunks
+        consume at most as many), so consecutive allocations hand out
+        disjoint keystream spans.  Cycle accounting stays at the call
+        sites: inserts charge the one-block ``sgx_read_rand`` cost real
+        ShieldStore pays per fresh entry IV; updates charge nothing,
+        like the counter bump they replace.
+        """
+        iv_ctr = struct.pack(">QQ", self._iv_salt, self._iv_seq)
+        self._iv_seq += (nbytes + 15) // 16
+        return iv_ctr
 
     def _wal_append(self, op: str, key: bytes, value: bytes = b"") -> None:
         """Seal one mutating request into the WAL *before* applying it.
@@ -980,7 +1006,9 @@ class ShieldStore:
                     enc_kv = self._read_enc_kv(ctx, addr, header)
                     ctx.charge_cmac(len(enc_kv) + 25)
                     computed = self.suite.mac(mac_message(header, enc_kv))
-                    if index >= len(macs) or computed != macs[index]:
+                    if index >= len(macs) or not compare_digest(
+                        computed, macs[index]
+                    ):
                         raise IntegrityError(
                             f"audit: entry {index} of bucket {bucket} fails "
                             "verification"
@@ -1009,7 +1037,10 @@ class ShieldStore:
         update_set: bool = True,
     ) -> None:
         self._verify_found(ctx, found, by_bucket[bucket])
-        new_iv = increment_iv_ctr(found.header.iv_ctr)
+        # A fresh disjoint span, NOT increment_iv_ctr(old_iv): advancing
+        # one block would overlap the old ciphertext's keystream span
+        # for any record longer than one block (two-time pad).
+        new_iv = self._alloc_iv(len(found.key) + len(new_value))
         header, enc_kv, mac = self._encrypt_entry(
             ctx, found.key, new_value, new_iv, found.header.next_ptr
         )
@@ -1045,7 +1076,8 @@ class ShieldStore:
         value: bytes,
         update_set: bool = True,
     ) -> None:
-        iv_ctr = sgx_read_rand(ctx, 16)
+        iv_ctr = self._alloc_iv(len(key) + len(value))
+        ctx.charge_rand(16)  # the per-entry IV cost real ShieldStore pays
         old_head = self.buckets.read_head(ctx, bucket, self.config.pointer_check)
         header, enc_kv, mac = self._encrypt_entry(ctx, key, value, iv_ctr, old_head)
         addr = self.allocator.alloc(ctx, header.total_size)
@@ -1171,7 +1203,10 @@ class ShieldStore:
         _sid, by_bucket = self._verify_covering_set(
             ctx, bucket, own_macs=own_macs if self.macbuckets is None else None
         )
-        if own_macs != by_bucket[bucket]:
+        authenticated = by_bucket[bucket]
+        if len(own_macs) != len(authenticated) or not compare_digest(
+            b"".join(own_macs), b"".join(authenticated)
+        ):
             raise IntegrityError(
                 f"bucket {bucket} chain does not match its authenticated "
                 "MACs: untrusted entries were tampered with or reordered"

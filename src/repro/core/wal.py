@@ -27,12 +27,16 @@ Frame layout
 Length-prefixed sealed frames, reusing the ``net/message`` request
 codec for the payload::
 
-    u32 body_len | u64 seq | u8 kind | ciphertext | mac(16)
+    u32 body_len | u64 seq | u8 kind | u64 epoch | ciphertext | mac(16)
 
-The MAC binds ``(partition, counter, seq, kind, ciphertext)`` and the
-sequence number is strictly sequential from 0 within a segment, so the
-host cannot replay, reorder, drop, or truncate-and-extend frames.
-Kinds:
+The MAC binds ``(partition, counter, seq, kind, epoch, ciphertext)``
+and the sequence number is strictly sequential from 0 within a segment,
+so the host cannot replay, reorder, drop, or truncate-and-extend
+frames.  ``epoch`` is a random per-process-incarnation value mixed into
+each frame's IV: recovery truncates a torn tail and the next
+incarnation re-appends *the same sequence number* to the same segment
+(same key), which without the epoch would reuse the (key, IV) pair of
+the torn frame the crashed process already encrypted.  Kinds:
 
 * ``KIND_OP`` (1) — payload is one encoded mutating request;
 * ``KIND_TRUNCATE`` (2) — payload is the u64 counter of the *next*
@@ -84,17 +88,12 @@ KIND_TRUNCATE = 2
 DEFAULT_SYNC_MS = 2.0
 
 _LEN = struct.Struct("<I")
-_SEQ_KIND = struct.Struct("<QB")
+_SEQ_KIND_EPOCH = struct.Struct("<QBQ")
 _U64 = struct.Struct("<Q")
-_AD = struct.Struct("<IQQB")  # partition, counter, seq, kind
-_HEADER_SIZE = _SEQ_KIND.size
+_AD = struct.Struct("<IQQBQ")  # partition, counter, seq, kind, epoch
+_HEADER_SIZE = _SEQ_KIND_EPOCH.size
 _MIN_BODY = _HEADER_SIZE + MAC_SIZE
 _MAX_BODY = 1 << 26  # sanity bound against hostile length prefixes
-
-# IV domain for WAL frames; segments never share a key with any other
-# component (fresh derivation per incarnation), and seq is unique within
-# a segment, so (key, IV) pairs never repeat.
-_IV_DOMAIN = 0x57A10C
 
 
 def fsync_directory(path: str) -> None:
@@ -193,6 +192,11 @@ class WriteAheadLog:
         self._master = bytes(master)
         self._suite = self._suite_for(counter)
         self._seq = 0
+        # Per-incarnation frame epoch (entropy, NOT the seeded machine
+        # RNG): appended frames get IV = (seq, epoch), so re-appending a
+        # sequence number after a torn-tail truncation — same segment,
+        # same key — still takes a fresh keystream span.
+        self._epoch = int.from_bytes(os.urandom(8), "big")
         self._fh = None
         self._dirty = False
         self._last_sync = time.monotonic()
@@ -211,16 +215,18 @@ class WriteAheadLog:
             derive_key(log_key, "wal/mac"),
         )
 
-    def _iv(self, seq: int) -> bytes:
-        return struct.pack("<QQ", seq, _IV_DOMAIN)
+    @staticmethod
+    def _iv(seq: int, epoch: int) -> bytes:
+        return struct.pack("<QQ", seq, epoch)
 
     def _seal_frame(self, kind: int, payload: bytes) -> bytes:
-        seq = self._seq
-        ciphertext = self._suite.encrypt(self._iv(seq), payload)
+        seq, epoch = self._seq, self._epoch
+        ciphertext = self._suite.encrypt(self._iv(seq, epoch), payload)
         tag = self._suite.mac(
-            _AD.pack(self.partition, self.counter, seq, kind) + ciphertext
+            _AD.pack(self.partition, self.counter, seq, kind, epoch)
+            + ciphertext
         )
-        body = _SEQ_KIND.pack(seq, kind) + ciphertext + tag
+        body = _SEQ_KIND_EPOCH.pack(seq, kind, epoch) + ciphertext + tag
         return _LEN.pack(len(body)) + body
 
     # -- the write path ------------------------------------------------------
@@ -385,7 +391,7 @@ class WriteAheadLog:
             if end > len(data):
                 return next_counter, offset, seq  # torn frame body
             body = data[offset + _LEN.size : end]
-            frame_seq, kind = _SEQ_KIND.unpack_from(body, 0)
+            frame_seq, kind, epoch = _SEQ_KIND_EPOCH.unpack_from(body, 0)
             ciphertext = body[_HEADER_SIZE:-MAC_SIZE]
             tag = body[-MAC_SIZE:]
             if next_counter is not None:
@@ -395,7 +401,7 @@ class WriteAheadLog:
                     "record (spliced log)"
                 )
             if frame_seq != seq or not self._suite.verify(
-                _AD.pack(self.partition, self.counter, frame_seq, kind)
+                _AD.pack(self.partition, self.counter, frame_seq, kind, epoch)
                 + ciphertext,
                 tag,
             ):
@@ -404,7 +410,7 @@ class WriteAheadLog:
                     f"{self.partition}: frame {seq} failed authentication "
                     "(tampered, reordered, or wrong incarnation)"
                 )
-            payload = self._suite.decrypt(self._iv(frame_seq), ciphertext)
+            payload = self._suite.decrypt(self._iv(frame_seq, epoch), ciphertext)
             if kind == KIND_TRUNCATE:
                 (candidate,) = _U64.unpack(payload)
                 if candidate <= self.counter:

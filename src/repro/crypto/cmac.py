@@ -8,6 +8,8 @@ the HMAC backend in :mod:`repro.crypto.fast` with identical semantics.
 
 from __future__ import annotations
 
+from hmac import compare_digest
+
 from repro.crypto.aes import AES128, BLOCK_SIZE
 from repro.errors import CryptoError
 
@@ -63,11 +65,7 @@ def cmac_with_cipher(cipher: AES128, message: bytes) -> bytes:
 
 
 def verify_cmac(key: bytes, message: bytes, tag: bytes) -> bool:
-    """Constant-time-ish comparison of an expected CMAC tag."""
+    """Constant-time comparison of an expected CMAC tag."""
     if len(tag) != MAC_SIZE:
         raise CryptoError(f"CMAC tag must be {MAC_SIZE} bytes, got {len(tag)}")
-    expected = cmac(key, message)
-    diff = 0
-    for a, b in zip(expected, tag):
-        diff |= a ^ b
-    return diff == 0
+    return compare_digest(cmac(key, message), tag)

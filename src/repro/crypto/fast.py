@@ -29,7 +29,8 @@ from repro.errors import CryptoError
 IV_SIZE = 16
 MAC_SIZE = 16
 _CTR_MASK = (1 << 128) - 1
-_CHUNK = 32  # SHA-256 digest size
+CHUNK_SIZE = 32  # SHA-256 digest size: one counter step per chunk
+_CHUNK = CHUNK_SIZE
 
 
 def prf_keystream(key: bytes, iv_ctr: bytes, length: int) -> bytes:

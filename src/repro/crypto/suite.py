@@ -9,12 +9,14 @@ changes simulated performance.
 
 from __future__ import annotations
 
+from hmac import compare_digest
 from typing import Callable, Dict
 
+from repro.analysis import sanitizer as _sanitizer
 from repro.crypto import fast as _fast
 from repro.crypto.cmac import cmac_with_cipher as _cmac_with_cipher
 from repro.crypto.ctr import ctr_transform as _ctr_transform
-from repro.crypto.aes import AES128
+from repro.crypto.aes import AES128, BLOCK_SIZE as _AES_BLOCK
 from repro.errors import CryptoError
 
 IV_SIZE = 16
@@ -66,11 +68,7 @@ class CipherSuite:
 
     def verify(self, message: bytes, tag: bytes) -> bool:
         """Return True when ``tag`` authenticates ``message``."""
-        expected = self.mac(message)
-        diff = 0
-        for a, b in zip(expected, tag):
-            diff |= a ^ b
-        return diff == 0 and len(expected) == len(tag)
+        return compare_digest(self.mac(message), tag)
 
 
 class ReferenceSuite(CipherSuite):
@@ -84,6 +82,8 @@ class ReferenceSuite(CipherSuite):
         self._mac_cipher = AES128(self.mac_key)
 
     def encrypt(self, iv_ctr: bytes, plaintext: bytes) -> bytes:
+        if _sanitizer.active:
+            _sanitizer.record(self.enc_key, iv_ctr, len(plaintext), _AES_BLOCK)
         return _ctr_transform(self._enc_cipher, iv_ctr, plaintext)
 
     def decrypt(self, iv_ctr: bytes, ciphertext: bytes) -> bytes:
@@ -99,12 +99,22 @@ class FastSuite(CipherSuite):
     name = "fast-hashlib"
 
     def encrypt(self, iv_ctr: bytes, plaintext: bytes) -> bytes:
+        if _sanitizer.active:
+            _sanitizer.record(
+                self.enc_key, iv_ctr, len(plaintext), _fast.CHUNK_SIZE
+            )
         return _fast.prf_transform(self.enc_key, iv_ctr, plaintext)
 
     def decrypt(self, iv_ctr: bytes, ciphertext: bytes) -> bytes:
         return _fast.prf_transform(self.enc_key, iv_ctr, ciphertext)
 
     def encrypt_many(self, items) -> list:
+        if _sanitizer.active:
+            items = list(items)
+            for iv_ctr, plaintext in items:
+                _sanitizer.record(
+                    self.enc_key, iv_ctr, len(plaintext), _fast.CHUNK_SIZE
+                )
         return _fast.prf_transform_many(self.enc_key, items)
 
     def decrypt_many(self, items) -> list:

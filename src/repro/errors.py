@@ -17,6 +17,15 @@ class CryptoError(ReproError):
     """Malformed key/IV sizes or other misuse of the crypto substrate."""
 
 
+class NonceReuseError(CryptoError):
+    """The runtime crypto sanitizer observed a repeated (key, IV) span.
+
+    Raised by :mod:`repro.analysis.sanitizer` when two CTR encryptions
+    anywhere in the instrumented process tree consume overlapping
+    keystream blocks under the same key — the two-time-pad condition the
+    paper's IV/counter discipline (§4.2) exists to rule out."""
+
+
 class IntegrityError(ReproError):
     """A MAC check failed: untrusted data was tampered with."""
 

@@ -52,8 +52,16 @@ NET_SYSTEMS = (
 
 def _channels():
     root = b"fig18-session-root-secret-0000000"
-    suite_c = make_suite("fast-hashlib", derive_key(root, "c/enc"), derive_key(root, "c/mac"))
-    suite_s = make_suite("fast-hashlib", derive_key(root, "c/enc"), derive_key(root, "c/mac"))
+    suite_c = make_suite(
+        "fast-hashlib",
+        derive_key(root, "fig18/chan/enc"),
+        derive_key(root, "fig18/chan/mac"),
+    )
+    suite_s = make_suite(
+        "fast-hashlib",
+        derive_key(root, "fig18/chan/enc"),
+        derive_key(root, "fig18/chan/mac"),
+    )
     return make_secure_channels(suite_c, suite_s)
 
 

@@ -55,8 +55,16 @@ def _measure(
     machine = make_machine(1, scale, seed=seed)
     store = ShieldStore(shield_config(scale), machine=machine)
     root = b"fig19-session-root-secret-0000000"
-    suite_c = make_suite("fast-hashlib", derive_key(root, "enc"), derive_key(root, "mac"))
-    suite_s = make_suite("fast-hashlib", derive_key(root, "enc"), derive_key(root, "mac"))
+    suite_c = make_suite(
+        "fast-hashlib",
+        derive_key(root, "fig19/enc"),
+        derive_key(root, "fig19/mac"),
+    )
+    suite_s = make_suite(
+        "fast-hashlib",
+        derive_key(root, "fig19/enc"),
+        derive_key(root, "fig19/mac"),
+    )
     cch, sch = make_secure_channels(suite_c, suite_s)
     server = NetworkedServer(
         store, frontend=FRONTEND_HOTCALLS, server_channel=sch, client_channel=cch

@@ -19,6 +19,7 @@ implementation makes concrete and testable:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
@@ -77,6 +78,11 @@ class ClientKeyDirectory:
     master: bytes
 
     def suite_for_namespace(self, namespace: str) -> CipherSuite:
+        if "/" in namespace:
+            # "a/b" would make cs/a/b/enc ambiguous with namespace "a"
+            # and sub-label "b/enc" — the derivation labels must stay
+            # prefix-free (see repro.analysis.cryptomap).
+            raise ValueError(f"namespace must not contain '/': {namespace!r}")
         return make_suite(
             "fast-hashlib",
             derive_key(self.master, f"cs/{namespace}/enc"),
@@ -103,8 +109,16 @@ class ClientSideClient:
         self._versions: Dict[bytes, int] = {}
 
     # -- wire-format helpers ------------------------------------------------
+    @staticmethod
+    def _iv(key: bytes, version: int) -> bytes:
+        # The IV must bind (key, version), not version alone: every key
+        # in a namespace shares one derived data key, so two keys at the
+        # same version would otherwise reuse keystream.  Both ends can
+        # recompute it, so it needs no wire bytes.
+        return version.to_bytes(8, "little") + hashlib.sha256(key).digest()[:8]
+
     def _seal(self, key: bytes, value: bytes, version: int) -> bytes:
-        iv = version.to_bytes(8, "little") + bytes(8)
+        iv = self._iv(key, version)
         self._ctx.charge_aes(len(value))
         ciphertext = self.suite.encrypt(iv, value)
         header = version.to_bytes(_VERSION_SIZE, "little")
@@ -130,7 +144,7 @@ class ClientSideClient:
                 f"server returned version {version} of {key!r}, but this "
                 f"client has seen version {expected}: replay/rollback"
             )
-        iv = version.to_bytes(8, "little") + bytes(8)
+        iv = self._iv(key, version)
         self._ctx.charge_aes(len(ciphertext))
         return version, self.suite.decrypt(iv, ciphertext)
 

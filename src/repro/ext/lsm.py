@@ -24,6 +24,7 @@ simulator so the trade-off is measurable:
 from __future__ import annotations
 
 import struct
+from hmac import compare_digest
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.crypto.keys import KeyRing
@@ -36,6 +37,10 @@ from repro.util import fnv1a
 _MEASUREMENT = bytes([0x15]) * 32
 _TOMBSTONE = object()
 _RECORD_HEADER = struct.Struct("<BII16s")  # kind, klen, vlen, iv
+# WAL IVs are (record number, domain) and table IVs are (table id, item
+# index), both under the same entry keys.  The domain keeps its top bit
+# set so no reachable item index (< 2**63) can collide with it.
+_WAL_IV_DOMAIN = 0x3A1 | (1 << 63)
 
 
 class BloomFilter:
@@ -118,7 +123,7 @@ class ShieldLSM:
     # ------------------------------------------------------------------
     def _wal_append(self, ctx: ExecContext, kind: int, key: bytes, value: bytes) -> None:
         body = struct.pack("<BI", kind, len(key)) + key + value
-        iv = struct.pack("<QQ", self.wal_records, 0x3A1)
+        iv = struct.pack("<QQ", self.wal_records, _WAL_IV_DOMAIN)
         ctx.charge_aes(len(body))
         ciphertext = self.suite.encrypt(iv, body)
         ctx.charge_cmac(len(ciphertext) + 16)
@@ -152,7 +157,7 @@ class ShieldLSM:
         mac = record[-16:]
         header = record[: _RECORD_HEADER.size]
         ctx.charge_cmac(len(header) + len(ciphertext))
-        if self.suite.mac(header + ciphertext) != mac:
+        if not compare_digest(self.suite.mac(header + ciphertext), mac):
             raise IntegrityError("SSTable record failed authentication")
         ctx.charge_aes(len(ciphertext))
         payload = self.suite.decrypt(iv, ciphertext)
@@ -188,7 +193,7 @@ class ShieldLSM:
         computed = self.suite.mac(
             b"".join(table.records[k][-16:] for k in sorted(table.records))
         )
-        if computed != table.root_mac:
+        if not compare_digest(computed, table.root_mac):
             raise IntegrityError(
                 f"SSTable {table.table_id} root MAC mismatch: stale or "
                 "substituted run"

@@ -21,7 +21,9 @@ This module implements that design with the counter-amortization idea:
 
 from __future__ import annotations
 
+import os
 import struct
+from hmac import compare_digest
 from typing import List, Optional
 
 from repro.core.store import ShieldStore
@@ -55,17 +57,27 @@ class OperationLog:
         self._last_mac = bytes(_MAC_SIZE)
         self._since_counter = 0
         self.counter_bumps = 0
+        # Per-log-incarnation epoch mixed into every record IV.  Records
+        # are encrypted under the *store's* entry key, which is the same
+        # for every incarnation of one master secret — a fixed
+        # (record-index, constant) IV would hand two log incarnations
+        # the same keystream for their first records.  The epoch rides
+        # in each record so replay can reconstruct the IV.
+        self._epoch = int.from_bytes(os.urandom(8), "big")
         counters.create(counter_name)
 
     # -- appending ---------------------------------------------------------
     def _append(self, ctx: ExecContext, op: int, key: bytes, value: bytes) -> None:
         body = struct.pack("<BII", op, len(key), len(value)) + key + value
-        iv = struct.pack("<QQ", len(self._records), 0x106)
+        iv = struct.pack("<QQ", len(self._records), self._epoch)
         ctx.charge_aes(len(body))
         ciphertext = self.store.suite.encrypt(iv, body)
+        epoch_bytes = struct.pack("<Q", self._epoch)
         ctx.charge_cmac(len(ciphertext) + _MAC_SIZE)
-        mac = self.store.suite.mac(self._last_mac + ciphertext)
-        record = struct.pack("<I", len(ciphertext)) + ciphertext + mac
+        mac = self.store.suite.mac(self._last_mac + epoch_bytes + ciphertext)
+        record = (
+            struct.pack("<I", len(ciphertext)) + epoch_bytes + ciphertext + mac
+        )
         self._records.append(record)
         self._last_mac = mac
         # Storage write of the record (sequential append).
@@ -119,18 +131,23 @@ class OperationLog:
                 raise IntegrityError("truncated log record header")
             (clen,) = struct.unpack_from("<I", blob, offset)
             offset += 4
-            if offset + clen + _MAC_SIZE > len(blob):
+            if offset + 8 + clen + _MAC_SIZE > len(blob):
                 raise IntegrityError("truncated log record body")
+            epoch_bytes = blob[offset : offset + 8]
+            offset += 8
             ciphertext = blob[offset : offset + clen]
             offset += clen
             mac = blob[offset : offset + _MAC_SIZE]
             offset += _MAC_SIZE
             ctx.charge_cmac(len(ciphertext) + _MAC_SIZE)
-            if self.store.suite.mac(last_mac + ciphertext) != mac:
+            if not compare_digest(
+                self.store.suite.mac(last_mac + epoch_bytes + ciphertext), mac
+            ):
                 raise IntegrityError(
                     f"log record {replayed} failed chain verification"
                 )
-            iv = struct.pack("<QQ", replayed, 0x106)
+            (epoch,) = struct.unpack("<Q", epoch_bytes)
+            iv = struct.pack("<QQ", replayed, epoch)
             ctx.charge_aes(len(ciphertext))
             body = self.store.suite.decrypt(iv, ciphertext)
             op, klen, vlen = struct.unpack_from("<BII", body, 0)

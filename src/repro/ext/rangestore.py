@@ -19,6 +19,9 @@ meta-data".  This module is that redesign:
 
 from __future__ import annotations
 
+import os
+import struct
+from hmac import compare_digest
 from typing import Iterator, List, Optional, Tuple
 
 from repro.core.allocator import ExtraHeapAllocator
@@ -30,14 +33,12 @@ from repro.core.entry import (
     pack_header,
     unpack_header,
 )
-from repro.crypto.ctr import increment_iv_ctr
 from repro.crypto.keys import KeyRing
 from repro.crypto.suite import make_suite
 from repro.errors import IntegrityError, KeyNotFoundError, ReplayError
 from repro.ext.skiplist import SkipList
 from repro.sim.cycles import MB
 from repro.sim.enclave import Enclave, ExecContext, Machine
-from repro.sim.sdk import sgx_read_rand
 
 _MEASUREMENT = bytes([0x5E]) * 32
 
@@ -73,6 +74,17 @@ class RangeShieldStore:
         # In-enclave segment hashes, one per run of segment_size keys.
         self._segment_hashes: List[bytes] = []
         self.count = 0
+        # Entry-IV allocator: entropy salt + monotone block counter.  An
+        # update must not reuse any keystream block of the entry it
+        # replaces — advancing the old IV by a single block overlaps the
+        # remaining blocks of a multi-block record.
+        self._iv_salt = int.from_bytes(os.urandom(8), "big")
+        self._iv_seq = 0
+
+    def _alloc_iv(self, nbytes: int) -> bytes:
+        iv_ctr = struct.pack(">QQ", self._iv_salt, self._iv_seq)
+        self._iv_seq += (nbytes + 15) // 16
+        return iv_ctr
 
     # ------------------------------------------------------------------
     # entry record I/O (same wire format as the hash store)
@@ -148,8 +160,8 @@ class RangeShieldStore:
     def _verify_segment(self, ctx: ExecContext, segment: int) -> None:
         macs = self._segment_macs(ctx, segment)
         computed = self._compute_segment_hash(ctx, macs)
-        if segment >= len(self._segment_hashes) or (
-            self._segment_hashes[segment] != computed
+        if segment >= len(self._segment_hashes) or not compare_digest(
+            self._segment_hashes[segment], computed
         ):
             raise ReplayError(
                 f"ordered-segment hash mismatch in segment {segment}: "
@@ -173,12 +185,12 @@ class RangeShieldStore:
         ctx.charge(self.machine.cost.op_dispatch_cycles)
         key, value = bytes(key), bytes(value)
         existing = self._index.search(key)
+        iv = self._alloc_iv(len(key) + len(value))
         if existing is not None:
             header, _enc, _mac = self._read_record(ctx, existing)
-            iv = increment_iv_ctr(header.iv_ctr)
             self.allocator.free(ctx, existing, header.total_size)
         else:
-            iv = sgx_read_rand(ctx, 16)
+            ctx.charge_rand(16)  # the per-entry IV cost of a real insert
         addr, _mac = self._write_record(ctx, key, value, iv)
         was_new = self._index.insert(key, addr)
         if was_new:
@@ -196,7 +208,7 @@ class RangeShieldStore:
         self._verify_segment(ctx, self._segment_of(self._position_of(key)))
         header, enc_kv, mac = self._read_record(ctx, addr)
         ctx.charge_cmac(len(enc_kv) + 25)
-        if self.suite.mac(mac_message(header, enc_kv)) != mac:
+        if not compare_digest(self.suite.mac(mac_message(header, enc_kv)), mac):
             raise IntegrityError(f"entry MAC mismatch for {key!r}")
         plain_key, plain_val = self._decrypt(ctx, header, enc_kv)
         if plain_key != key:
@@ -242,7 +254,9 @@ class RangeShieldStore:
                 verified.add(segment)
             header, enc_kv, mac = self._read_record(ctx, addr)
             ctx.charge_cmac(len(enc_kv) + 25)
-            if self.suite.mac(mac_message(header, enc_kv)) != mac:
+            if not compare_digest(
+                self.suite.mac(mac_message(header, enc_kv)), mac
+            ):
                 raise IntegrityError(f"entry MAC mismatch for {key!r}")
             plain_key, plain_val = self._decrypt(ctx, header, enc_kv)
             if plain_key != key:

@@ -1134,6 +1134,7 @@ class TCPShieldClient:
 
     def _handshake(self) -> SecureChannel:
         import hashlib
+        from hmac import compare_digest
 
         from repro.sim.attestation import Quote
 
@@ -1147,7 +1148,7 @@ class TCPShieldClient:
         pub_bytes = frame[96:]
         quote = Quote(measurement, report_data, signature)
         self.attestation.verify(quote, self.expected_measurement)
-        if hashlib.sha256(pub_bytes).digest() != report_data:
+        if not compare_digest(hashlib.sha256(pub_bytes).digest(), report_data):
             raise ProtocolError("quote does not bind the server DH key")
         client_dh = DHKeyPair(self.entropy)
         _send_frame(

@@ -10,11 +10,13 @@ encryption from the cipher-suite layer.
 
 from __future__ import annotations
 
+import os
+import struct
+
 from repro.crypto.keys import derive_key
 from repro.crypto.suite import FastSuite
 from repro.errors import SealingError
 from repro.sim.enclave import Enclave, ExecContext
-from repro.sim.sdk import sgx_read_rand
 
 _MAGIC = b"SGXSEAL1"
 _IV_SIZE = 16
@@ -29,6 +31,20 @@ class SealingService:
         if len(platform_secret) < 16:
             raise SealingError("platform secret must be at least 16 bytes")
         self._platform_secret = bytes(platform_secret)
+        # Seal-IV allocator: entropy salt + monotone block counter.  The
+        # sealing keys derive from the *platform* secret, which is the
+        # same across every process incarnation of a machine seed — so
+        # IVs must NOT come from the deterministic machine RNG, whose
+        # replayed stream would hand a restored snapshot daemon the same
+        # "random" IV under the same key.  The IV travels in the blob,
+        # so unsealing needs no allocator state.
+        self._iv_salt = int.from_bytes(os.urandom(8), "big")
+        self._iv_seq = 0
+
+    def _next_iv(self, nbytes: int) -> bytes:
+        iv = struct.pack(">QQ", self._iv_salt, self._iv_seq)
+        self._iv_seq += (nbytes + 15) // 16
+        return iv
 
     def _suite_for(self, measurement: bytes) -> FastSuite:
         root = self._platform_secret + measurement
@@ -39,7 +55,8 @@ class SealingService:
     def seal(self, ctx: ExecContext, enclave: Enclave, plaintext: bytes) -> bytes:
         """Seal ``plaintext`` to ``enclave``'s identity on this platform."""
         suite = self._suite_for(enclave.measurement)
-        iv = sgx_read_rand(ctx, _IV_SIZE)
+        iv = self._next_iv(len(plaintext))
+        ctx.charge_rand(_IV_SIZE)  # the sgx_read_rand cost of a real seal IV
         ciphertext = suite.encrypt(iv, plaintext)
         ctx.charge_aes(len(plaintext))
         header = _MAGIC + enclave.measurement + iv

@@ -176,7 +176,9 @@ class TestOperationLog:
         rest = blob_full[offset:]
         while rest:
             (clen,) = _struct.unpack_from("<I", rest, 0)
-            record, rest = rest[: 4 + clen + 16], rest[4 + clen + 16 :]
+            # record layout: u32 clen | u64 epoch | ciphertext | mac
+            size = 4 + 8 + clen + 16
+            record, rest = rest[:size], rest[size:]
             records.append(record)
         short_blob = blob_full[:8] + b"".join(records[:8])
         target = ShieldStore(

@@ -13,6 +13,7 @@ import threading
 
 import pytest
 
+from repro.analysis import sanitizer
 from repro.core import PartitionedShieldStore, PartitionSnapshotter, shield_opt
 from repro.core.procpool import process_mode_supported
 from repro.errors import ProtocolError, StoreError
@@ -395,6 +396,10 @@ class TestChaosYCSB:
 
     @pytest.mark.parametrize("seed", [101, 202, 303])
     def test_ycsb_b_exactly_once_under_faults(self, seed, tmp_path, service):
+        # The crypto sanitizer rides along: every (key, IV) pair the
+        # storm consumes — across worker respawns too — must be unique.
+        journal_dir = str(tmp_path / "crypto-sanitizer")
+        sanitizer.enable(journal_dir)
         store = PartitionedShieldStore(
             shield_opt(num_buckets=256, num_mac_hashes=64),
             num_partitions=4,
@@ -467,3 +472,7 @@ class TestChaosYCSB:
             client.close()
             server.close()
             store.close()
+            sanitizer.disable()
+        # All journals (parent + spawned workers) merged: no overlap.
+        crypto = sanitizer.global_check(journal_dir)
+        assert crypto.records > 0

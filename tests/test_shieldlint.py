@@ -480,11 +480,14 @@ class TestRealTreeGate:
         for finding in report.suppressed:
             assert finding.justification, finding.format()
 
-    def test_all_three_passes_complete_quickly(self):
+    def test_all_six_passes_complete_quickly(self):
         report = run_analysis()
         assert set(report.rules) == {
             "trust-boundary",
             "verify-before-use",
             "lock-order",
+            "key-domain",
+            "nonce-reuse",
+            "ct-compare",
         }
         assert report.duration_s < 10.0

@@ -14,6 +14,7 @@ import time
 
 import pytest
 
+from repro.analysis import sanitizer
 from repro.core import (
     PartitionSnapshotter,
     PartitionedShieldStore,
@@ -586,6 +587,10 @@ class TestChaosWALAcceptance:
 
     @pytest.mark.parametrize("seed", [101, 202, 303])
     def test_no_acknowledged_mutation_lost(self, seed, tmp_path):
+        # Sanitizer on: WAL appends, worker respawns and the recovery
+        # replay must never reuse a (key, IV) pair.
+        journal_dir = str(tmp_path / "crypto-sanitizer")
+        sanitizer.enable(journal_dir)
         service = AttestationService(b"ias-secret-for-wal")
         store = PartitionedShieldStore(
             shield_opt(num_buckets=256, num_mac_hashes=64),
@@ -656,3 +661,6 @@ class TestChaosWALAcceptance:
             client.close()
             server.close()
             store.close()
+            sanitizer.disable()
+        crypto = sanitizer.global_check(journal_dir)
+        assert crypto.records > 0

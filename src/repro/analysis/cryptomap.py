@@ -114,6 +114,11 @@ REGISTRY: Tuple[DomainSpec, ...] = (
         "per-incarnation worker-pipe session secret",
         binding=("index", "nonce"),
     ),
+    DomainSpec(
+        "shieldstore/repl-digest", "ext/replication.py", "master",
+        "anti-entropy per-set logical digest key (replication groups)",
+        iv_regime="none",
+    ),
     # -- chained: WAL segment key ---------------------------------------
     DomainSpec(
         "wal/enc", "core/wal.py", "wal-segment",

@@ -45,6 +45,10 @@ BOUNDARY_MODULES: Tuple[str, ...] = (
     "net/client.py",
     "core/procpool.py",
     "core/shmring.py",
+    # Replication fan-out/anti-entropy: versioned records and set
+    # contents cross to peer enclaves, but only inside attested sealed
+    # sessions (the peer links are TCPShieldClients).
+    "ext/replication.py",
 )
 
 # Modules whose lock discipline the lock-order pass analyzes.

@@ -11,7 +11,9 @@ Commands:
   (``--snapshot-dir``/``--snapshot-interval`` add periodic §4.4
   checkpoints and restore-on-start, ``--snapshot-keep`` bounds the
   retained checkpoints, ``--fault-plan plan.json`` installs a seeded
-  shieldfault schedule for chaos drills)
+  shieldfault schedule for chaos drills, and ``--node-id``/``--peer
+  NAME=HOST:PORT``/``--replication-secret`` join the node to a
+  replicated group with write fan-out and Merkle anti-entropy)
 * ``snapshot`` / ``restore``    — write / load a sealed multi-partition
   snapshot blob (rollback-protected by a persisted monotonic counter)
 * ``stats``                     — run a seeded batched workload and print
@@ -231,6 +233,27 @@ def _cmd_serve(args) -> int:
         cache_bytes=int(args.cache_mb * MB),
         mac_cache_bytes=int(args.mac_cache_mb * MB),
     )
+    peers = []
+    for spec in args.peer or ():
+        name, eq, addr = spec.partition("=")
+        host_part, colon, port_part = addr.rpartition(":")
+        if not name or not eq or not colon or not port_part.isdigit():
+            print(f"bad --peer {spec!r}: expected NAME=HOST:PORT",
+                  file=sys.stderr)
+            return 2
+        peers.append((name, host_part, int(port_part)))
+    replicated = bool(peers or args.node_id)
+    if replicated and args.workers > 1:
+        print("replication (--peer/--node-id) requires --workers 1: the "
+              "partition engine shards one node; replication spans nodes",
+              file=sys.stderr)
+        return 2
+    if peers and not args.replication_secret:
+        print("--peer requires --replication-secret (all group members "
+              "must share one master secret so anti-entropy digests and "
+              "bucket placement line up)", file=sys.stderr)
+        return 2
+
     if args.workers > 1:
         # Shared-nothing partition engine: one worker process per
         # partition, each with its own enclave sim (auto mode picks
@@ -247,7 +270,22 @@ def _cmd_serve(args) -> int:
               f"mode={store.mode}"
               + (f", data-plane={plane}" if plane else ""))
     else:
-        store = ShieldStore(config)
+        master = None
+        if args.replication_secret:
+            # Stretch the operator passphrase into a full-width master
+            # secret (every group member derives the same one).
+            import hashlib
+
+            master = hashlib.sha256(
+                b"shieldstore/replication-group:"
+                + args.replication_secret.encode()
+            ).digest()
+        store = ShieldStore(config, master_secret=master)
+    inner = store
+    if replicated:
+        from repro.ext import ReplicatedStore
+
+        store = ReplicatedStore(store, node_id=args.node_id or "node-0")
     if args.wal_dir:
         print(f"write-ahead log: {args.wal_dir} "
               f"(group commit {args.wal_sync_ms:g} ms)")
@@ -261,6 +299,12 @@ def _cmd_serve(args) -> int:
               f"({args.fault_plan})")
 
     service = AttestationService(args.attestation_secret.encode())
+    if replicated:
+        for name, peer_host, peer_port in peers:
+            store.add_peer(
+                name, (peer_host, peer_port), service,
+                store.enclave.measurement,
+            )
     server = TCPShieldServer(
         store,
         service,
@@ -294,21 +338,24 @@ def _cmd_serve(args) -> int:
                 snapshotter.restore(blob, store)
 
         else:
+            # Persistence always targets the inner ShieldStore: under
+            # replication the versioned records are just opaque values,
+            # so checkpoints and WAL replay round-trip them unchanged.
             sealing = SealingService(
-                default_platform_secret(store.keyring.master)
+                default_platform_secret(inner.keyring.master)
             )
             single = Snapshotter(sealing, counters)
 
             def take_snapshot():
-                blob = single.snapshot_bytes(store.enclave.context(), store)
-                if store.wal is not None:
+                blob = single.snapshot_bytes(inner.enclave.context(), inner)
+                if inner.wal is not None:
                     # Rotate inside the daemon's locked capture: the
                     # truncation record brackets exactly this blob.
-                    store.wal.rotate(snapshot_counter(blob))
+                    inner.wal.rotate(snapshot_counter(blob))
                 return blob
 
             def load_snapshot(blob):
-                single.restore(store.enclave.context(), blob, store)
+                single.restore(inner.enclave.context(), blob, inner)
 
         on_checkpoint = None
         if args.wal_dir:
@@ -345,21 +392,25 @@ def _cmd_serve(args) -> int:
         # the checkpoint does not cover.
         from repro.core import WriteAheadLog, apply_request
 
-        store.wal = WriteAheadLog.recover(
+        inner.wal = WriteAheadLog.recover(
             args.wal_dir,
             0,
-            store.keyring.master,
+            inner.keyring.master,
             config.suite_name,
             restored_counter,
-            apply=lambda req: apply_request(store, req),
-            stats=store.stats,
+            apply=lambda req: apply_request(inner, req),
+            stats=inner.stats,
             sync_ms=args.wal_sync_ms,
         )
-        if store.wal.replayed:
-            print(f"replayed {store.wal.replayed} operation(s) "
+        if inner.wal.replayed:
+            print(f"replayed {inner.wal.replayed} operation(s) "
                   "from the write-ahead log")
 
     server.start()
+    if replicated:
+        store.start(anti_entropy_interval_s=args.anti_entropy_interval)
+        print(f"replication: node {store.node_id}, {len(peers)} peer(s), "
+              f"anti-entropy every {args.anti_entropy_interval:g}s")
     host, port = server.address
     print(f"ShieldStore enclave serving on {host}:{port}")
     print(f"measurement: {store.enclave.measurement.hex()}")
@@ -380,6 +431,8 @@ def _cmd_serve(args) -> int:
         server.close()
         if hasattr(store, "close"):
             store.close()
+        if inner is not store and hasattr(inner, "close"):
+            inner.close()
         if plan is not None:
             report = plan.snapshot()
             print(f"faults injected: {report['total_fires']} "
@@ -624,6 +677,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="enclave-resident verified MAC-list cache "
                             "budget in MB (O(1) hit-path verification; "
                             "split across workers; 0 disables)")
+    serve.add_argument("--node-id", default=None,
+                       help="this node's replication-group name; enables "
+                            "the replicated store (requires --workers 1)")
+    serve.add_argument("--peer", action="append", default=None,
+                       metavar="NAME=HOST:PORT",
+                       help="replication peer (repeatable); every group "
+                            "member lists every other member and shares "
+                            "--replication-secret")
+    serve.add_argument("--replication-secret", default=None,
+                       help="shared group master secret; required with "
+                            "--peer so anti-entropy digests and keyed "
+                            "bucket placement agree across replicas")
+    serve.add_argument("--anti-entropy-interval", type=float, default=5.0,
+                       help="seconds between background Merkle anti-"
+                            "entropy rounds against each peer (default 5)")
     serve.set_defaults(func=_cmd_serve)
 
     snapshot = sub.add_parser(

@@ -73,6 +73,20 @@ class StoreStats:
     batch_sets_verified: int = 0        # set hashes verified inside batches
     batch_verifications_saved: int = 0  # ops that reused an already-verified set
     batch_set_updates_saved: int = 0    # set-hash recomputes avoided by dirty tracking
+    # Replication group (repro.ext.replication):
+    replicated_out: int = 0         # records fanned out to peers (acked)
+    replicated_in: int = 0          # remote records LWW-applied locally
+    replication_conflicts: int = 0  # stale records rejected by (clock, origin)
+    hints_queued: int = 0           # records hinted for a dead peer
+    hints_delivered: int = 0        # hints replayed after a peer revived
+    hints_dropped: int = 0          # oldest hints evicted at the queue cap
+    sync_rounds: int = 0            # anti-entropy digest exchanges completed
+    sync_sets_diverged: int = 0     # bucket sets whose logical digests differed
+    sync_keys_repaired: int = 0     # records merged in during set exchanges
+    read_repairs: int = 0           # stale replicas rewritten by quorum reads
+    quorum_reads: int = 0           # reads satisfied at QUORUM
+    quorum_writes: int = 0          # writes acked at the requested level
+    quorum_failures: int = 0        # requests that missed their ack target
 
     # Host wall-clock accumulators: meaningful to report and to sum
     # across workers, but never reproducible run-to-run — equivalence

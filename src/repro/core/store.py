@@ -1176,6 +1176,36 @@ class ShieldStore:
             chain.append((header, enc_kv))
         yield from self._emit_verified_bucket(ctx, current, chain)
 
+    def iter_set_items(
+        self, set_id: int, ctx: Optional[ExecContext] = None
+    ) -> Iterator[Tuple[bytes, bytes]]:
+        """Decrypt-iterate one MAC set's (key, value) pairs, verified.
+
+        Replication anti-entropy descends into exactly the bucket sets
+        whose logical digests diverge, so it needs a per-set walk: each
+        chain covered by ``set_id`` is MAC-verified against its set
+        hash before plaintext is yielded, same as :meth:`iter_items`.
+        """
+        if not 0 <= set_id < self.mactree.num_hashes:
+            raise StoreError(f"MAC set id {set_id} out of range")
+        ctx = self._context(ctx)
+        mem = self._mem()
+        for bucket in self.mactree.buckets_of(set_id):
+            addr = int.from_bytes(mem.raw_read(self.buckets.slot_addr(bucket), 8), "little")
+            chain: List[Tuple[EntryHeader, bytes]] = []
+            steps = 0
+            while addr:
+                if steps >= _MAX_CHAIN:
+                    raise StoreError("hash chain cycle during set walk")
+                header = unpack_header(mem.raw_read(addr, HEADER_SIZE))
+                record = mem.raw_read(addr, header.total_size)
+                enc_kv = record[HEADER_SIZE : HEADER_SIZE + header.kv_size]
+                ctx.charge_aes(len(enc_kv))
+                chain.append((header, enc_kv))
+                addr = header.next_ptr
+                steps += 1
+            yield from self._emit_verified_bucket(ctx, bucket, chain)
+
     def _emit_verified_bucket(
         self,
         ctx: ExecContext,

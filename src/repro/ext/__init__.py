@@ -12,7 +12,10 @@ alternatives, implemented on the same substrate.
 * :class:`~repro.ext.rote.RoteCounterService` — ROTE-style distributed
   rollback protection replacing slow SGX counters (refs [8, 31]);
 * :class:`~repro.ext.lsm.ShieldLSM` — a SPEICHER-style shielded LSM
-  store, the persistent design §8 contrasts with ShieldStore.
+  store, the persistent design §8 contrasts with ShieldStore;
+* :mod:`repro.ext.replication` — replicated multi-node groups with
+  Lamport/LWW conflict resolution, hinted handoff, Merkle anti-entropy
+  and ONE/QUORUM consistency, over :mod:`repro.ext.ring` placement.
 """
 
 from repro.ext.clientside import ClientKeyDirectory, ClientSideClient, PassiveStore
@@ -22,6 +25,12 @@ from repro.ext.expiry import ExpiringStore
 from repro.ext.lsm import BloomFilter, ShieldLSM
 from repro.ext.oplog import OperationLog, RecoveringStore
 from repro.ext.rangestore import RangeShieldStore
+from repro.ext.replication import (
+    ReplicaClient,
+    ReplicatedStore,
+    ReplicationGroup,
+)
+from repro.ext.ring import HashRing
 from repro.ext.rote import CounterReplica, RoteCounterService
 from repro.ext.skiplist import SkipList
 
@@ -30,6 +39,7 @@ __all__ = [
     "ClientKeyDirectory",
     "ClientSideClient",
     "CounterReplica",
+    "HashRing",
     "ShardNode",
     "ShieldCluster",
     "DynamicShieldStore",
@@ -38,6 +48,9 @@ __all__ = [
     "PassiveStore",
     "RangeShieldStore",
     "RecoveringStore",
+    "ReplicaClient",
+    "ReplicatedStore",
+    "ReplicationGroup",
     "RoteCounterService",
     "ShieldLSM",
     "SkipList",

@@ -1,4 +1,4 @@
-"""Sharded multi-node ShieldStore cluster.
+"""Sharded (and optionally replicated) multi-node ShieldStore cluster.
 
 The paper evaluates a single 4-core host ("due to the current lack of
 SGX support in server-class multi-socket systems", §6.1) — but its
@@ -9,30 +9,43 @@ ownership, no cross-node coordination on the data path.
 * each shard is an independent ShieldStore enclave on its own simulated
   machine, with its own master secret (one compromised platform never
   weakens another);
-* clients route by consistent hashing over a virtual-node ring, after
+* clients route by consistent hashing over a virtual-node ring
+  (:mod:`repro.ext.ring`, shared with replica placement), after
   attesting every shard's enclave;
 * shards can be added or drained at runtime; only the keys whose ring
   ownership changes migrate, streamed through the client's attested
-  sessions (re-encrypted per-shard — shards share no keys).
+  sessions (re-encrypted per-shard — shards share no keys);
+* with ``replicas=R > 1`` every key lives on its ring preference list
+  (owner + R-1 successors) as a versioned LWW record
+  (:mod:`repro.ext.replication`), reads and writes take a
+  ``consistency`` level (ONE or QUORUM), and :meth:`kill_node` models a
+  node loss the survivors absorb — the in-process analogue of the TCP
+  replication group.
 """
 
 from __future__ import annotations
 
-import bisect
-import hashlib
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import StoreConfig
 from repro.core.store import ShieldStore
-from repro.errors import AttestationError, StoreError
+from repro.errors import AttestationError, KeyNotFoundError, StoreError
+from repro.ext.replication import (
+    CONSISTENCY_LEVELS,
+    CONSISTENCY_ONE,
+    FLAG_TOMBSTONE,
+    LamportClock,
+    is_tombstone,
+    node_origin,
+    pack_record,
+    record_version,
+    unpack_record,
+)
+from repro.ext.ring import HashRing
 from repro.sim.attestation import AttestationService
 from repro.sim.enclave import Machine
 
 _VNODES = 64  # virtual nodes per shard on the hash ring
-
-
-def _ring_position(token: bytes) -> int:
-    return int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
 
 
 class ShardNode:
@@ -43,6 +56,7 @@ class ShardNode:
         self.machine = Machine(seed=seed)
         self.store = ShieldStore(config, machine=self.machine)
         self.attested = False
+        self.alive = True
 
     @property
     def measurement(self) -> bytes:
@@ -58,36 +72,45 @@ class ShieldCluster:
         attestation: AttestationService,
         num_nodes: int = 3,
         seed: int = 2019,
+        replicas: int = 1,
+        consistency: str = "quorum",
     ):
         if num_nodes < 1:
             raise StoreError("a cluster needs at least one node")
+        if replicas < 1:
+            raise StoreError("replicas must be at least 1")
+        if replicas > num_nodes:
+            raise StoreError("cannot place more replicas than nodes")
+        if consistency not in CONSISTENCY_LEVELS:
+            raise StoreError(f"unknown consistency level {consistency!r}")
         self.config = config
         self.attestation = attestation
         self._seed = seed
+        self.replicas = replicas
+        self.consistency = consistency
         self.nodes: Dict[str, ShardNode] = {}
-        self._ring: List[Tuple[int, str]] = []
+        self._ring = HashRing(_VNODES)
         self.keys_migrated = 0
+        # Coordinator-side version authority for replicated placement.
+        self._clock = LamportClock()
+        self._origin = node_origin("cluster-coordinator")
         for i in range(num_nodes):
             self.add_node(f"node-{i}")
 
-    # -- ring maintenance -------------------------------------------------
-    def _ring_insert(self, node_id: str) -> None:
-        for vnode in range(_VNODES):
-            position = _ring_position(f"{node_id}/{vnode}".encode())
-            bisect.insort(self._ring, (position, node_id))
-
-    def _ring_remove(self, node_id: str) -> None:
-        self._ring = [(p, n) for p, n in self._ring if n != node_id]
-
+    # -- ring lookups -------------------------------------------------------
     def owner_of(self, key: bytes) -> ShardNode:
         """Consistent-hash lookup: first ring token at/after the key."""
-        if not self._ring:
+        if not len(self._ring):
             raise StoreError("cluster has no nodes")
-        position = _ring_position(bytes(key))
-        idx = bisect.bisect_right(self._ring, (position, "\xff" * 8))
-        if idx == len(self._ring):
-            idx = 0
-        return self.nodes[self._ring[idx][1]]
+        return self.nodes[self._ring.owner(bytes(key))]
+
+    def preference_nodes(self, key: bytes) -> List[ShardNode]:
+        """The key's replica set, in ring successor order."""
+        width = min(self.replicas, len(self._ring))
+        return [
+            self.nodes[node_id]
+            for node_id in self._ring.preference_list(bytes(key), width)
+        ]
 
     # -- membership -----------------------------------------------------------
     def _attest(self, node: ShardNode) -> None:
@@ -103,11 +126,14 @@ class ShieldCluster:
             raise StoreError(f"duplicate node id {node_id!r}")
         node = ShardNode(node_id, self.config, self._seed + len(self.nodes))
         self._attest(node)
-        old_ring_nonempty = bool(self._ring)
+        old_ring_nonempty = len(self._ring) > 0
         self.nodes[node_id] = node
-        self._ring_insert(node_id)
+        self._ring.add(node_id)
         if old_ring_nonempty:
-            self._rebalance_into(node)
+            if self.replicas == 1:
+                self._rebalance_into(node)
+            else:
+                self._replace_all()
         return node
 
     def remove_node(self, node_id: str) -> int:
@@ -117,15 +143,32 @@ class ShieldCluster:
             raise StoreError(f"unknown node {node_id!r}")
         if len(self.nodes) == 1:
             raise StoreError("cannot drain the last node")
+        if len(self.nodes) - 1 < self.replicas:
+            raise StoreError("draining would leave fewer nodes than replicas")
         items = list(node.store.iter_items())
-        self._ring_remove(node_id)
+        self._ring.remove(node_id)
         del self.nodes[node_id]
-        moved = 0
-        for key, value in items:
-            self.owner_of(key).store.set(key, value)
-            moved += 1
-        self.keys_migrated += moved
-        return moved
+        if self.replicas == 1:
+            moved = 0
+            for key, value in items:
+                self.owner_of(key).store.set(key, value)
+                moved += 1
+            self.keys_migrated += moved
+            return moved
+        return self._replace_all(extra=items)
+
+    def kill_node(self, node_id: str) -> ShardNode:
+        """Lose a node *without* draining it (crash, not decommission).
+
+        The node stays on the ring (preference lists are stable), but
+        reads and writes skip it; with ``replicas > 1`` the surviving
+        replicas keep serving the key range.
+        """
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise StoreError(f"unknown node {node_id!r}")
+        node.alive = False
+        return node
 
     def _rebalance_into(self, new_node: ShardNode) -> int:
         """Move keys whose ring ownership changed to the new shard."""
@@ -145,33 +188,199 @@ class ShieldCluster:
         self.keys_migrated += moved
         return moved
 
+    def _replace_all(self, extra=()) -> int:
+        """Re-place every replicated record after a membership change.
+
+        LWW-merges all copies (plus ``extra`` records streamed off a
+        drained node), then makes each key present on exactly its
+        preference list.  Quadratic in data size, which matches the
+        migration story: rebalances stream through the trusted client,
+        they are not a data-path operation.
+        """
+        merged: Dict[bytes, bytes] = {}
+
+        def absorb(key: bytes, record: bytes) -> None:
+            current = merged.get(key)
+            if current is None or record_version(record) > record_version(
+                current
+            ):
+                merged[key] = record
+
+        for node in self.nodes.values():
+            if not node.alive:
+                continue
+            for key, record in node.store.iter_items():
+                absorb(key, record)
+        for key, record in extra:
+            absorb(key, record)
+        moved = 0
+        for key, record in merged.items():
+            targets = {n.node_id for n in self.preference_nodes(key)}
+            for node in self.nodes.values():
+                if not node.alive:
+                    continue
+                try:
+                    held = node.store.get(key)
+                except KeyNotFoundError:
+                    held = None
+                if node.node_id in targets:
+                    if held is None or record_version(held) < record_version(
+                        record
+                    ):
+                        node.store.set(key, record)
+                        moved += 1
+                elif held is not None:
+                    node.store.delete(key)
+        self.keys_migrated += moved
+        return moved
+
     # -- data path ---------------------------------------------------------
-    def _checked_owner(self, key: bytes) -> ShardNode:
-        node = self.owner_of(bytes(key))
+    def _checked(self, node: ShardNode) -> ShardNode:
         if not node.attested:
             raise AttestationError(f"node {node.node_id} was never attested")
         return node
 
-    def get(self, key: bytes) -> bytes:
-        return self._checked_owner(key).store.get(bytes(key))
+    def _checked_owner(self, key: bytes) -> ShardNode:
+        return self._checked(self.owner_of(bytes(key)))
 
-    def set(self, key: bytes, value: bytes) -> None:
-        self._checked_owner(key).store.set(bytes(key), bytes(value))
+    def _need(self, consistency: Optional[str]) -> Tuple[str, int]:
+        level = consistency if consistency is not None else self.consistency
+        if level not in CONSISTENCY_LEVELS:
+            raise StoreError(f"unknown consistency level {level!r}")
+        need = 1 if level == CONSISTENCY_ONE else self.replicas // 2 + 1
+        return level, need
 
-    def delete(self, key: bytes) -> None:
-        self._checked_owner(key).store.delete(bytes(key))
+    def _write_record(
+        self, key: bytes, record: bytes, consistency: Optional[str]
+    ) -> None:
+        _level, need = self._need(consistency)
+        acks = 0
+        for node in self.preference_nodes(key):
+            if not self._checked(node).alive:
+                continue
+            node.store.set(key, record)
+            acks += 1
+        if acks < need:
+            raise StoreError(
+                f"write reached {acks} replica(s), needed {need}"
+            )
 
-    def append(self, key: bytes, suffix: bytes) -> bytes:
-        return self._checked_owner(key).store.append(bytes(key), bytes(suffix))
+    def _read_record(
+        self, key: bytes, consistency: Optional[str]
+    ) -> Optional[bytes]:
+        """LWW winner across the live replica set (read-repairing)."""
+        _level, need = self._need(consistency)
+        replies: List[Tuple[ShardNode, Optional[bytes]]] = []
+        for node in self.preference_nodes(key):
+            if not self._checked(node).alive:
+                continue
+            try:
+                replies.append((node, node.store.get(key)))
+            except KeyNotFoundError:
+                replies.append((node, None))
+        if len(replies) < need:
+            raise StoreError(
+                f"read reached {len(replies)} replica(s), needed {need}"
+            )
+        winner: Optional[bytes] = None
+        for _node, record in replies:
+            if record is None:
+                continue
+            if winner is None or record_version(record) > record_version(winner):
+                winner = record
+        if winner is not None:
+            for node, record in replies:
+                if record is None or record_version(record) < record_version(
+                    winner
+                ):
+                    node.store.set(key, winner)
+        return winner
 
-    def increment(self, key: bytes, delta: int = 1) -> int:
-        return self._checked_owner(key).store.increment(bytes(key), delta)
+    def get(self, key: bytes, consistency: Optional[str] = None) -> bytes:
+        key = bytes(key)
+        if self.replicas == 1:
+            return self._checked_owner(key).store.get(key)
+        winner = self._read_record(key, consistency)
+        if winner is None or is_tombstone(winner):
+            raise KeyNotFoundError("no replica has the key")
+        return unpack_record(winner)[3]
 
-    def contains(self, key: bytes) -> bool:
-        return self._checked_owner(key).store.contains(bytes(key))
+    def set(
+        self, key: bytes, value: bytes, consistency: Optional[str] = None
+    ) -> None:
+        key, value = bytes(key), bytes(value)
+        if self.replicas == 1:
+            self._checked_owner(key).store.set(key, value)
+            return
+        record = pack_record(0, self._clock.tick(), self._origin, value)
+        self._write_record(key, record, consistency)
+
+    def delete(self, key: bytes, consistency: Optional[str] = None) -> None:
+        key = bytes(key)
+        if self.replicas == 1:
+            self._checked_owner(key).store.delete(key)
+            return
+        self.get(key, consistency=consistency)  # delete-of-missing raises
+        record = pack_record(FLAG_TOMBSTONE, self._clock.tick(), self._origin, b"")
+        self._write_record(key, record, consistency)
+
+    def append(
+        self, key: bytes, suffix: bytes, consistency: Optional[str] = None
+    ) -> bytes:
+        key, suffix = bytes(key), bytes(suffix)
+        if self.replicas == 1:
+            return self._checked_owner(key).store.append(key, suffix)
+        try:
+            base = self.get(key, consistency=consistency)
+        except KeyNotFoundError:
+            base = b""
+        new_value = base + suffix
+        record = pack_record(0, self._clock.tick(), self._origin, new_value)
+        self._write_record(key, record, consistency)
+        return new_value
+
+    def increment(
+        self, key: bytes, delta: int = 1, consistency: Optional[str] = None
+    ) -> int:
+        key = bytes(key)
+        if self.replicas == 1:
+            return self._checked_owner(key).store.increment(key, delta)
+        try:
+            base = self.get(key, consistency=consistency)
+            new_int = int(base.decode("ascii")) + delta
+        except KeyNotFoundError:
+            new_int = delta
+        except (UnicodeDecodeError, ValueError):
+            raise StoreError("increment target is not an ASCII integer") from None
+        record = pack_record(
+            0, self._clock.tick(), self._origin, str(new_int).encode()
+        )
+        self._write_record(key, record, consistency)
+        return new_int
+
+    def contains(self, key: bytes, consistency: Optional[str] = None) -> bool:
+        if self.replicas == 1:
+            return self._checked_owner(bytes(key)).store.contains(bytes(key))
+        try:
+            self.get(key, consistency=consistency)
+            return True
+        except KeyNotFoundError:
+            return False
 
     def __len__(self) -> int:
-        return sum(len(node.store) for node in self.nodes.values())
+        if self.replicas == 1:
+            return sum(len(node.store) for node in self.nodes.values())
+        winners: Dict[bytes, bytes] = {}
+        for node in self.nodes.values():
+            if not node.alive:
+                continue
+            for key, record in node.store.iter_items():
+                current = winners.get(key)
+                if current is None or record_version(record) > record_version(
+                    current
+                ):
+                    winners[key] = record
+        return sum(1 for record in winners.values() if not is_tombstone(record))
 
     # -- introspection ------------------------------------------------------
     def shard_sizes(self) -> Dict[str, int]:

@@ -1,0 +1,109 @@
+"""Consistent-hash ring shared by shard placement and replica placement.
+
+Factored out of :mod:`repro.ext.cluster` so the same ring drives both
+uses:
+
+* **shard placement** — :class:`~repro.ext.cluster.ShieldCluster` maps a
+  key to the node owning the first virtual-node token at or after the
+  key's position (hash-disjoint ownership, no coordination);
+* **replica placement** — a replication group walks the ring *forward*
+  from the owner collecting the next R - 1 distinct nodes
+  (:meth:`HashRing.preference_list`), so each key has a stable,
+  membership-local preference order and adding or draining one node
+  only disturbs the ranges adjacent to its tokens.
+
+Positions come from SHA-256, never the process-salted builtin ``hash``,
+so ownership is stable across processes and runs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import List, Tuple
+
+from repro.errors import StoreError
+
+DEFAULT_VNODES = 64  # virtual nodes per member
+
+# Sorts after any node id in a (position, node_id) tuple, so a lookup
+# lands past every token that shares the key's exact position.
+_POSITION_CEILING = "\xff" * 8
+
+
+def ring_position(token: bytes) -> int:
+    """Stable 64-bit ring position of an arbitrary byte token."""
+    return int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring of named members with virtual nodes."""
+
+    def __init__(self, vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise StoreError("a ring needs at least one virtual node")
+        self.vnodes = vnodes
+        self._ring: List[Tuple[int, str]] = []
+        self._members: set = set()
+
+    # -- membership ---------------------------------------------------------
+    def add(self, node_id: str) -> None:
+        """Insert a member's virtual-node tokens."""
+        if node_id in self._members:
+            raise StoreError(f"duplicate ring member {node_id!r}")
+        self._members.add(node_id)
+        for vnode in range(self.vnodes):
+            position = ring_position(f"{node_id}/{vnode}".encode())
+            bisect.insort(self._ring, (position, node_id))
+
+    def remove(self, node_id: str) -> None:
+        """Remove every token of a member."""
+        if node_id not in self._members:
+            raise StoreError(f"unknown ring member {node_id!r}")
+        self._members.discard(node_id)
+        self._ring = [(p, n) for p, n in self._ring if n != node_id]
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def members(self) -> List[str]:
+        return sorted(self._members)
+
+    # -- lookups ------------------------------------------------------------
+    def _successor_index(self, key: bytes) -> int:
+        if not self._ring:
+            raise StoreError("ring has no members")
+        position = ring_position(bytes(key))
+        idx = bisect.bisect_right(self._ring, (position, _POSITION_CEILING))
+        return 0 if idx == len(self._ring) else idx
+
+    def owner(self, key: bytes) -> str:
+        """First member token at/after the key's position (wrap-around)."""
+        return self._ring[self._successor_index(key)][1]
+
+    def preference_list(self, key: bytes, n: int) -> List[str]:
+        """The key's first ``n`` *distinct* members, in successor order.
+
+        Walks the ring forward from the owner token, skipping repeat
+        members (each member holds many virtual nodes).  Fewer than
+        ``n`` members on the ring means the whole membership, still in
+        preference order.
+        """
+        if n < 1:
+            raise StoreError("preference list length must be positive")
+        start = self._successor_index(key)
+        picked: List[str] = []
+        seen = set()
+        for step in range(len(self._ring)):
+            node_id = self._ring[(start + step) % len(self._ring)][1]
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            picked.append(node_id)
+            if len(picked) == n:
+                break
+        return picked

@@ -48,6 +48,10 @@ class SimClient:
     def increment(self, key: bytes, delta: int = 1) -> int:
         return int(self._call("increment", key, str(delta).encode()))
 
+    def get_versioned(self, key: bytes) -> bytes:
+        """Raw versioned record from a replication-capable store (VGET)."""
+        return self._call("vget", key)
+
     def compare_and_swap(self, key: bytes, expected: bytes, new_value: bytes) -> bool:
         from repro.net.message import encode_cas_value
 

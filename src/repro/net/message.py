@@ -39,6 +39,13 @@ OP_CODES = {
     # Introspection: the TCP server answers with its merged StoreStats
     # (JSON) so ``repro stats --connect`` can read a live deployment.
     "stats": 10,
+    # Replication group (repro.ext.replication): versioned reads, peer
+    # record push (OP_REPLICATE), and the anti-entropy digest/set
+    # exchange (OP_SYNC).  All flow inside the same attested sealed
+    # sessions as client traffic.
+    "vget": 11,
+    "replicate": 12,
+    "sync": 13,
 }
 OP_NAMES = {v: k for k, v in OP_CODES.items()}
 BATCH_OPS = frozenset({"mget", "mset", "mdelete"})

@@ -133,6 +133,23 @@ def execute_request(store, request: Request) -> Response:
             expected, new_value = decode_cas_value(request.value)
             swapped = store.compare_and_swap(request.key, expected, new_value)
             return Response(STATUS_OK, b"1" if swapped else b"0")
+        # Replication verbs (repro.ext.replication).  Only replication-
+        # capable stores answer them; anything else falls through to
+        # STATUS_ERROR, so a stray OP_REPLICATE at a plain server is a
+        # visible error rather than a silent write.
+        if request.op == "vget":
+            if not hasattr(store, "get_versioned"):
+                return Response(STATUS_ERROR)
+            return Response(STATUS_OK, store.get_versioned(request.key))
+        if request.op == "replicate":
+            if not hasattr(store, "apply_remote"):
+                return Response(STATUS_ERROR)
+            applied, node_clock = store.apply_remote(request.key, request.value)
+            return Response(STATUS_OK, b"%d:%d" % (int(applied), node_clock))
+        if request.op == "sync":
+            if not hasattr(store, "serve_sync"):
+                return Response(STATUS_ERROR)
+            return Response(STATUS_OK, store.serve_sync(request.key, request.value))
     except KeyNotFoundError:
         return Response(STATUS_MISS)
     except WorkerError:

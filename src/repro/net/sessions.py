@@ -38,6 +38,10 @@ class Session:
     last_used_us: float
     rekeys: int = 0
     requests: int = 0
+    # "client" for ordinary clients, "peer" for replication-group links
+    # (repro.ext.replication) — peers replicate through the same
+    # attested sessions, but operators want to see them separately.
+    kind: str = "client"
 
 
 class SessionManager:
@@ -61,7 +65,7 @@ class SessionManager:
 
     # -- establishment ---------------------------------------------------
     def open_session(
-        self, ctx: ExecContext, client_entropy: bytes
+        self, ctx: ExecContext, client_entropy: bytes, kind: str = "client"
     ) -> Tuple[int, SecureChannel]:
         """Run the §3.2 handshake; returns (session_id, client_channel).
 
@@ -82,9 +86,12 @@ class SessionManager:
         self._next_id += 1
         server_channel = self._derive_channel(shared_server, session_id, "server")
         client_channel = self._derive_channel(shared_client, session_id, "client")
+        if kind not in ("client", "peer"):
+            raise ProtocolError(f"unknown session kind {kind!r}")
         now = ctx.machine.elapsed_us()
         self._sessions[session_id] = Session(
-            session_id, server_channel, established_us=now, last_used_us=now
+            session_id, server_channel, established_us=now, last_used_us=now,
+            kind=kind,
         )
         return session_id, client_channel
 
@@ -167,6 +174,10 @@ class SessionManager:
     # -- introspection ------------------------------------------------------
     def __len__(self) -> int:
         return len(self._sessions)
+
+    def peer_sessions(self) -> int:
+        """Live sessions opened by replication peers (not clients)."""
+        return sum(1 for s in self._sessions.values() if s.kind == "peer")
 
     def session_info(self, session_id: int) -> Optional[Session]:
         """Read-only session record (None when absent)."""

@@ -99,7 +99,10 @@ _LEN = struct.Struct("<I")
 # Wire ops that mutate the store: these carry idempotency tokens so the
 # server can deduplicate retries.  Reads are naturally idempotent.
 MUTATING_WIRE_OPS = frozenset(
-    {"set", "delete", "append", "increment", "cas", "mset", "mdelete"}
+    {"set", "delete", "append", "increment", "cas", "mset", "mdelete",
+     # Replication pushes are strictly-LWW idempotent already, but the
+     # token costs nothing and keeps retry dedup uniform.
+     "replicate"}
 )
 
 
@@ -117,10 +120,13 @@ class _ServerBusyError(StoreError):
 
 
 def _send_frame(
-    sock: socket.socket, payload: bytes, point: Optional[str] = None
+    sock: socket.socket,
+    payload: bytes,
+    point: Optional[str] = None,
+    link=None,
 ) -> None:
     if point is not None:
-        hit = faults.check(point, payload)
+        hit = faults.check(point, payload, link=link)
         if hit is not None:
             if hit.kind == "drop":
                 return  # the frame vanishes on the wire
@@ -133,6 +139,7 @@ def _recv_frame(
     sock: socket.socket,
     point: Optional[str] = None,
     body_timeout: Optional[float] = None,
+    link=None,
 ) -> Optional[bytes]:
     """Receive one length-prefixed frame.
 
@@ -158,7 +165,7 @@ def _recv_frame(
     if body is None:
         body = b""
     if point is not None:
-        hit = faults.check(point, body)
+        hit = faults.check(point, body, link=link)
         if hit is not None:
             if hit.kind == "drop":
                 # The frame never arrived.  Receivers treat that as a
@@ -1082,9 +1089,19 @@ class TCPShieldClient:
         backoff_base_s: float = 0.05,
         backoff_max_s: float = 2.0,
         retry_seed: Optional[int] = None,
+        local_name: Optional[str] = None,
+        peer_name: Optional[str] = None,
     ):
         import random
 
+        # Named link endpoints let shieldfault ``partition`` rules cut
+        # exactly this edge of the replication graph.  Every inter-node
+        # link has a client end, so naming the client side is enough.
+        self._link = (
+            (local_name, peer_name)
+            if local_name is not None and peer_name is not None
+            else None
+        )
         self.address = address
         self.attestation = attestation
         self.expected_measurement = expected_measurement
@@ -1108,7 +1125,9 @@ class TCPShieldClient:
     def _ensure_connected(self) -> None:
         if self._channel is not None:
             return
-        hit = faults.check("tcp.client.connect", on_crash=self._teardown)
+        hit = faults.check(
+            "tcp.client.connect", on_crash=self._teardown, link=self._link
+        )
         if hit is not None and hit.kind == "drop":
             raise socket.timeout("injected connect drop")
         self._sock = socket.create_connection(
@@ -1139,7 +1158,7 @@ class TCPShieldClient:
         from repro.sim.attestation import Quote
 
         assert self._sock is not None
-        frame = _recv_frame(self._sock, point="tcp.client.recv")
+        frame = _recv_frame(self._sock, point="tcp.client.recv", link=self._link)
         if frame is None or len(frame) < 32 + 32 + 32 + 256:
             raise ProtocolError("handshake frame truncated")
         measurement = frame[:32]
@@ -1155,6 +1174,7 @@ class TCPShieldClient:
             self._sock,
             client_dh.public.to_bytes(256, "big"),
             point="tcp.client.send",
+            link=self._link,
         )
         server_pub = int.from_bytes(pub_bytes, "big")
         suite = derive_session_suite(client_dh.shared_secret(server_pub))
@@ -1226,9 +1246,12 @@ class TCPShieldClient:
         assert self._sock is not None and self._channel is not None
         self._sock.settimeout(self.request_deadline_s)
         _send_frame(
-            self._sock, self._channel.seal(payload), point="tcp.client.send"
+            self._sock,
+            self._channel.seal(payload),
+            point="tcp.client.send",
+            link=self._link,
         )
-        reply = _recv_frame(self._sock, point="tcp.client.recv")
+        reply = _recv_frame(self._sock, point="tcp.client.recv", link=self._link)
         if reply is None:
             raise ProtocolError("server closed the connection")
         response = decode_response(self._channel.open(reply))

@@ -57,7 +57,16 @@ Fault kinds
 * ``crash``  — the call site invokes its ``on_crash`` callback (kill
   the worker process, sever the socket, truncate the half-written
   file...) and then lets its ordinary failure handling observe the
-  wreckage.  Sites without a callback get ``ConnectionResetError``.
+  wreckage.  Sites without a callback get ``ConnectionResetError``;
+* ``partition`` — cut the network between named node groups: the rule
+  lists ``groups`` (e.g. ``[["a"], ["b", "c"]]``) and fires — as a
+  ``drop`` — at every ``tcp.*`` crossing whose **link** connects nodes
+  in *different* groups, until the partition heals (``heal_after_s``
+  wall-clock seconds after the plan is installed, or an explicit
+  ``plan.heal()``).  Call sites identify the edge by passing
+  ``link=(local, peer)`` to :func:`check`; crossings without a link
+  label are never partitioned.  Partition rules ignore the hit-schedule
+  fields — a cut cable fails every packet, not every third one.
 
 ``drop`` and ``crash`` need site cooperation, so :func:`check` returns
 a :class:`Hit` describing them; ``delay``/``error``/``tamper`` need
@@ -114,7 +123,7 @@ INJECTION_POINTS = frozenset(
     }
 )
 
-FAULT_KINDS = ("drop", "delay", "tamper", "crash", "error")
+FAULT_KINDS = ("drop", "delay", "tamper", "crash", "error", "partition")
 
 # Exception classes a rule's ``error`` field may name.  Transport-ish
 # classes for socket/pipe points, protocol/snapshot classes for codec
@@ -155,6 +164,8 @@ class FaultRule:
     delay_s: float = 0.05                  # for ``delay``
     error: str = "OSError"                 # class name for ``error``
     flips: int = 1                         # bits flipped by ``tamper``
+    groups: Optional[Sequence[Sequence[str]]] = None  # ``partition`` sides
+    heal_after_s: Optional[float] = None   # ``partition`` scheduled heal
 
     def validate(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -165,6 +176,34 @@ class FaultRule:
             raise FaultPlanError(
                 f"pattern {self.point!r} matches no registered injection "
                 f"point; see repro.sim.faults.INJECTION_POINTS"
+            )
+        if self.kind == "partition":
+            if not self.groups or len(self.groups) < 2:
+                raise FaultPlanError(
+                    "partition rules need 'groups': at least two lists "
+                    "of node names"
+                )
+            for group in self.groups:
+                if not group or not all(isinstance(n, str) for n in group):
+                    raise FaultPlanError(
+                        "each partition group must be a non-empty list "
+                        "of node-name strings"
+                    )
+            matched = [
+                p for p in INJECTION_POINTS if fnmatch.fnmatch(p, self.point)
+            ]
+            if any(not p.startswith("tcp.") for p in matched):
+                raise FaultPlanError(
+                    "partition rules only apply to tcp.* injection points "
+                    "(links are labeled at the TCP layer)"
+                )
+            if self.heal_after_s is not None and self.heal_after_s < 0:
+                raise FaultPlanError(
+                    f"heal_after_s={self.heal_after_s} must be >= 0"
+                )
+        elif self.groups is not None or self.heal_after_s is not None:
+            raise FaultPlanError(
+                "'groups'/'heal_after_s' are only valid on partition rules"
             )
         if self.error not in ERROR_CLASSES:
             raise FaultPlanError(
@@ -220,6 +259,10 @@ class FaultPlan:
         self._mutex = threading.Lock()
         self.point_hits: Dict[str, int] = {}
         self.fired: Dict[Tuple[str, str], int] = {}
+        # Partition lifecycle: scheduled heals count wall-clock seconds
+        # from plan *activation* (install time), explicit heal() wins.
+        self._activated_at: Optional[float] = None
+        self._healed = False
 
     # -- construction --------------------------------------------------------
     @classmethod
@@ -255,14 +298,60 @@ class FaultPlan:
         with open(path, "r", encoding="utf-8") as fh:
             return cls.from_json(fh.read())
 
+    # -- partition lifecycle -------------------------------------------------
+    def activate(self) -> None:
+        """Start the partition heal clocks (called by :func:`install`)."""
+        with self._mutex:
+            if self._activated_at is None:
+                self._activated_at = time.monotonic()
+
+    def heal(self) -> None:
+        """Heal every partition rule immediately."""
+        with self._mutex:
+            self._healed = True
+
+    def _partition_cuts(self, rule: FaultRule, link) -> bool:
+        """True iff this un-healed partition rule severs ``link``."""
+        if link is None or rule.groups is None or self._healed:
+            return False
+        if rule.heal_after_s is not None and self._activated_at is not None:
+            if time.monotonic() - self._activated_at >= rule.heal_after_s:
+                return False
+        local, peer = link
+
+        def side_of(name):
+            for i, group in enumerate(rule.groups):
+                if name in group:
+                    return i
+            return None
+
+        local_side, peer_side = side_of(local), side_of(peer)
+        return (
+            local_side is not None
+            and peer_side is not None
+            and local_side != peer_side
+        )
+
     # -- the decision --------------------------------------------------------
-    def decide(self, point: str) -> Optional[Tuple[FaultRule, _RuleState]]:
+    def decide(
+        self, point: str, link=None
+    ) -> Optional[Tuple[FaultRule, _RuleState]]:
         """Count one hit at ``point``; first matching rule that fires wins."""
         with self._mutex:
             self.point_hits[point] = self.point_hits.get(point, 0) + 1
             for rule, state in zip(self.rules, self._states):
                 if not fnmatch.fnmatch(point, rule.point):
                     continue
+                if rule.kind == "partition":
+                    # No schedule: a cut cable fails every crossing of
+                    # the severed edge until the partition heals.
+                    if not self._partition_cuts(rule, link):
+                        continue
+                    state.hits += 1
+                    state.fires += 1
+                    key = (point, rule.kind)
+                    self.fired[key] = self.fired.get(key, 0) + 1
+                    return rule, state
                 index = state.hits
                 state.hits += 1
                 if index < rule.after:
@@ -312,7 +401,7 @@ class FaultPlan:
     def snapshot(self) -> dict:
         """Stable dict of hits and fires for reports and ``repro stats``."""
         with self._mutex:
-            return {
+            report = {
                 "seed": self.seed,
                 "rules": len(self.rules),
                 "hits": dict(sorted(self.point_hits.items())),
@@ -322,6 +411,13 @@ class FaultPlan:
                 },
                 "total_fires": sum(self.fired.values()),
             }
+            partitions = [r for r in self.rules if r.kind == "partition"]
+            if partitions:
+                report["partitions"] = {
+                    "rules": len(partitions),
+                    "healed": self._healed,
+                }
+            return report
 
 
 # ---------------------------------------------------------------------------
@@ -334,6 +430,7 @@ _INSTALL_MUTEX = threading.Lock()
 def install(plan: FaultPlan) -> FaultPlan:
     """Make ``plan`` the process's active fault plan (replaces any)."""
     global _ACTIVE
+    plan.activate()
     with _INSTALL_MUTEX:
         _ACTIVE = plan
     return plan
@@ -364,6 +461,7 @@ def check(
     point: str,
     payload: Optional[bytes] = None,
     on_crash=None,
+    link=None,
 ) -> Optional[Hit]:
     """The hook every boundary crossing calls.
 
@@ -378,14 +476,17 @@ def check(
       let ordinary failure handling observe the damage.
 
     ``delay`` sleeps here; ``error`` raises here; ``crash`` with no
-    ``on_crash`` raises ``ConnectionResetError``.
+    ``on_crash`` raises ``ConnectionResetError``.  ``link`` is the
+    ``(local, peer)`` node-name pair of the edge being crossed (TCP
+    sites with named endpoints); ``partition`` rules fire only against
+    it and surface as ``drop`` hits, so sites need no new handling.
     """
     plan = _ACTIVE
     if plan is None:
         return None
     if point not in INJECTION_POINTS:
         raise FaultPlanError(f"unregistered injection point {point!r}")
-    decision = plan.decide(point)
+    decision = plan.decide(point, link=link)
     if decision is None:
         return None
     rule, state = decision

@@ -117,3 +117,98 @@ class TestIsolation:
         busy = [node.machine.elapsed_us() for node in cluster.nodes.values()]
         assert all(us > 0 for us in busy)
         assert cluster.total_elapsed_us() == max(busy)
+
+
+@pytest.fixture
+def replicated():
+    return ShieldCluster(
+        shield_opt(num_buckets=64, num_mac_hashes=32),
+        AttestationService(b"cluster-ias-secret"),
+        num_nodes=4,
+        replicas=3,
+    )
+
+
+class TestReplicatedCluster:
+    """replicas > 1: quorum placement on the shared ring (satellite)."""
+
+    def test_validation(self):
+        config = shield_opt(num_buckets=64, num_mac_hashes=32)
+        service = AttestationService(b"cluster-ias-secret")
+        with pytest.raises(StoreError, match="more replicas"):
+            ShieldCluster(config, service, num_nodes=2, replicas=3)
+        with pytest.raises(StoreError, match="consistency"):
+            ShieldCluster(config, service, num_nodes=3, replicas=2,
+                          consistency="eventual")
+
+    def test_basic_operations(self, replicated):
+        populate(replicated, 80)
+        assert len(replicated) == 80
+        assert replicated.get(b"key-0042") == b"value-42"
+        replicated.delete(b"key-0042")
+        with pytest.raises(KeyNotFoundError):
+            replicated.get(b"key-0042")
+        assert len(replicated) == 79
+
+    def test_each_key_lands_on_its_preference_list(self, replicated):
+        populate(replicated, 60)
+        for i in range(60):
+            key = f"key-{i:04d}".encode()
+            holders = [
+                node.node_id for node in replicated.nodes.values()
+                if node.store.contains(key)
+            ]
+            expected = [n.node_id for n in replicated.preference_nodes(key)]
+            assert sorted(holders) == sorted(expected)
+
+    def test_survives_a_node_kill(self, replicated):
+        populate(replicated, 80)
+        replicated.kill_node("node-1")
+        for i in range(80):
+            assert replicated.get(f"key-{i:04d}".encode()) == \
+                f"value-{i}".encode()
+        # Writes still reach a majority of each key's replica set.
+        replicated.set(b"key-after-kill", b"still-works")
+        assert replicated.get(b"key-after-kill") == b"still-works"
+
+    def test_below_quorum_write_fails_but_one_works(self, replicated):
+        populate(replicated, 10)
+        key = b"key-0003"
+        prefs = [n.node_id for n in replicated.preference_nodes(key)]
+        for node_id in prefs[:2]:  # 2 of 3 replicas down: no majority
+            replicated.kill_node(node_id)
+        with pytest.raises(StoreError):
+            replicated.set(key, b"nope")
+        replicated.set(key, b"yes", consistency="one")
+        assert replicated.get(key, consistency="one") == b"yes"
+
+    def test_add_node_keeps_replicated_data(self, replicated):
+        populate(replicated, 60)
+        replicated.add_node("node-9")
+        for i in range(60):
+            assert replicated.get(f"key-{i:04d}".encode()) == \
+                f"value-{i}".encode()
+        # Placement is re-established against the grown ring.
+        for i in range(0, 60, 7):
+            key = f"key-{i:04d}".encode()
+            holders = sorted(
+                node.node_id for node in replicated.nodes.values()
+                if node.store.contains(key)
+            )
+            expected = sorted(
+                n.node_id for n in replicated.preference_nodes(key)
+            )
+            assert holders == expected
+
+    def test_remove_node_drains_without_loss(self, replicated):
+        populate(replicated, 60)
+        replicated.remove_node("node-2")
+        assert len(replicated.nodes) == 3
+        for i in range(60):
+            assert replicated.get(f"key-{i:04d}".encode()) == \
+                f"value-{i}".encode()
+
+    def test_remove_below_replica_floor_refused(self, replicated):
+        replicated.remove_node("node-3")
+        with pytest.raises(StoreError, match="fewer nodes than replicas"):
+            replicated.remove_node("node-2")

@@ -80,7 +80,13 @@ class TestPlanParsing:
 
     def test_every_kind_is_constructible(self):
         for kind in FAULT_KINDS:
-            plan_of(FaultRule(point=POINT, kind=kind))
+            if kind == "partition":
+                # Partition rules are the only kind with mandatory
+                # extra fields: the named groups being separated.
+                plan_of(FaultRule(point=POINT, kind=kind,
+                                  groups=[["a"], ["b"]]))
+            else:
+                plan_of(FaultRule(point=POINT, kind=kind))
 
 
 class TestSchedules:
